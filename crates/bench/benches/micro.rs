@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks of the simulator's hot paths: per-policy
+//! command-selection throughput, device state-machine throughput, cache
+//! accesses, trace generation, and whole-system simulation speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stfm_cpu::{Cache, Core, TraceSource};
+use stfm_dram::{BankId, Channel, DramCommand, DramConfig, PhysAddr};
+use stfm_mc::{AccessKind, MemorySystem, ThreadId};
+use stfm_sim::{SchedulerKind, System};
+use stfm_workloads::{spec, SyntheticTrace};
+
+fn bench_dram_tick(c: &mut Criterion) {
+    let cfg = DramConfig {
+        refresh_enabled: false,
+        ..DramConfig::ddr2_800()
+    };
+    c.bench_function("dram_channel_activate_read_precharge", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(&cfg);
+            let t = cfg.timing;
+            let mut now = 0;
+            for i in 0..64u32 {
+                let bank = BankId(i % 8);
+                ch.issue(&DramCommand::activate(bank, i), now);
+                now += t.t_rcd;
+                ch.issue(&DramCommand::read(bank, i, 0), now);
+                now += t.t_ras;
+                ch.issue(&DramCommand::precharge(bank), now);
+                now += t.t_rp;
+            }
+            std::hint::black_box(ch.stats().reads)
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_access_l2_512k", |b| {
+        let mut l2 = Cache::l2_paper();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x1040);
+            let addr = PhysAddr(i % (1 << 24));
+            if l2.access(addr, false) == stfm_cpu::CacheAccess::Miss {
+                l2.install(addr, false);
+            }
+            std::hint::black_box(l2.hits)
+        })
+    });
+}
+
+fn bench_trace_gen(c: &mut Criterion) {
+    c.bench_function("synthetic_trace_next_op", |b| {
+        let cfg = DramConfig::ddr2_800();
+        let mut t = SyntheticTrace::new(spec::mcf(), &cfg, 0, 1);
+        b.iter(|| std::hint::black_box(t.next_op()))
+    });
+}
+
+fn bench_scheduler_decision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem_system_tick_64_queued");
+    for kind in SchedulerKind::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            let cfg = DramConfig {
+                refresh_enabled: false,
+                ..DramConfig::ddr2_800()
+            };
+            b.iter_batched(
+                || {
+                    let mut mem =
+                        MemorySystem::new(cfg.clone(), kind.build(cfg.timing, &[], &[]));
+                    for i in 0..64u64 {
+                        mem.try_enqueue(
+                            ThreadId((i % 4) as u32),
+                            AccessKind::Read,
+                            PhysAddr((i * 64) ^ ((i % 13) << 20)),
+                            0,
+                            0,
+                        );
+                    }
+                    mem
+                },
+                |mut mem| {
+                    for now in 0..32 {
+                        mem.tick(now);
+                    }
+                    std::hint::black_box(mem.outstanding())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_4core_2k_insts");
+    g.sample_size(10);
+    for kind in [SchedulerKind::FrFcfs, SchedulerKind::Stfm] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            b.iter(|| {
+                let profiles = stfm_workloads::mix::case_study_intensive();
+                let dram = DramConfig::for_cores(4);
+                let mem = MemorySystem::new(dram.clone(), kind.build(dram.timing, &[], &[]));
+                let cores: Vec<Core> = profiles
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        let tr = SyntheticTrace::new(p.clone(), &dram, i as u32, 1);
+                        Core::new(ThreadId(i as u32), Box::new(tr))
+                    })
+                    .collect();
+                let mut sys = System::new(cores, mem);
+                let out = sys.run(2_000, 100_000_000);
+                std::hint::black_box(out.cpu_cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dram_tick,
+    bench_cache,
+    bench_trace_gen,
+    bench_scheduler_decision,
+    bench_end_to_end
+);
+criterion_main!(benches);

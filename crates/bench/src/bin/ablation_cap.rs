@@ -1,0 +1,25 @@
+//! Ablation: the FR-FCFS+Cap cap value (the paper picks 4 empirically).
+
+use stfm_bench::Args;
+use stfm_sim::{AloneCache, Experiment, SchedulerKind, Table};
+use stfm_workloads::mix;
+
+fn main() {
+    let args = Args::parse(150_000);
+    let cache = AloneCache::new();
+    let mut t = Table::new(["cap", "unfairness", "w-speedup", "hmean"]);
+    for cap in [1u32, 2, 4, 8, 16] {
+        let m = Experiment::new(mix::case_study_intensive())
+            .scheduler(SchedulerKind::FrFcfsCap { cap })
+            .instructions_per_thread(args.insts)
+            .seed(args.seed)
+            .run_with_cache(&cache);
+        t.row([
+            cap.to_string(),
+            format!("{:.2}", m.unfairness()),
+            format!("{:.2}", m.weighted_speedup()),
+            format!("{:.3}", m.hmean_speedup()),
+        ]);
+    }
+    println!("== Ablation: FR-FCFS+Cap cap value ==\n\n{t}");
+}

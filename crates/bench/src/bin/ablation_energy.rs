@@ -1,0 +1,62 @@
+//! Extension: DRAM energy per scheduler. Fairness scheduling changes the
+//! row-buffer hit rate (more precharge/activate cycles), which shows up as
+//! activation energy; this harness quantifies the cost using the
+//! Micron-power-calculator model in `stfm-dram::power`.
+
+use stfm_bench::Args;
+use stfm_cpu::Core;
+use stfm_dram::DramConfig;
+use stfm_mc::{MemorySystem, ThreadId};
+use stfm_sim::{SchedulerKind, System, Table};
+use stfm_workloads::{mix, SyntheticTrace};
+
+fn main() {
+    let args = Args::parse(100_000);
+    let profiles = mix::case_study_intensive();
+    let mut t = Table::new([
+        "scheduler",
+        "ACT energy (µJ)",
+        "RD/WR energy (µJ)",
+        "background (µJ)",
+        "total (µJ)",
+        "avg power (mW)",
+        "nJ per serviced request",
+    ]);
+    for kind in SchedulerKind::all() {
+        let dram = DramConfig::for_cores(profiles.len() as u32);
+        let mut mem = MemorySystem::new(dram.clone(), kind.build(dram.timing, &[], &[]));
+        mem.enable_energy_model();
+        let cores: Vec<Core> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let tr = SyntheticTrace::new(p.clone(), &dram, i as u32, args.seed);
+                Core::new(ThreadId(i as u32), Box::new(tr))
+            })
+            .collect();
+        let mut sys = System::new(cores, mem);
+        let _ = sys.run(args.insts, args.insts * 4_000);
+        let e = sys.memory().energy().expect("energy model enabled");
+        let serviced = sys.memory().stats().completed.max(1);
+        let cycles: u64 = sys
+            .cores()
+            .iter()
+            .map(|c| c.stats().cycles)
+            .max()
+            .unwrap_or(1);
+        let avg_power_mw = e.total_nj() / (cycles as f64 * 0.25) * 1e3
+            / f64::from(dram.channels);
+        t.row([
+            kind.name().to_string(),
+            format!("{:.1}", e.activate_nj / 1e3),
+            format!("{:.1}", (e.read_nj + e.write_nj) / 1e3),
+            format!("{:.1}", e.background_nj / 1e3),
+            format!("{:.1}", e.total_nj() / 1e3),
+            format!("{:.0}", avg_power_mw),
+            format!("{:.0}", e.total_nj() / serviced as f64),
+        ]);
+    }
+    println!("== Extension: DRAM energy by scheduler (case-study-I workload) ==\n\n{t}");
+    println!("Fairness policies that sacrifice row-buffer locality pay in ACT energy;");
+    println!("policies that stretch the run pay in background energy.");
+}

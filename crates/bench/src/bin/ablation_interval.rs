@@ -1,0 +1,31 @@
+//! Ablation: STFM's IntervalLength (paper Section 6.3: fairness degrades
+//! below 2^18 CPU cycles because slowdown estimates get noisy).
+
+use stfm_bench::Args;
+use stfm_core::StfmConfig;
+use stfm_sim::{AloneCache, Experiment, SchedulerKind, Table};
+use stfm_workloads::mix;
+
+fn main() {
+    let args = Args::parse(150_000);
+    let cache = AloneCache::new();
+    let mut t = Table::new(["IntervalLength", "unfairness", "w-speedup", "hmean"]);
+    for log2 in [14u32, 16, 18, 20, 24] {
+        let cfg = StfmConfig {
+            interval_length: 1 << log2,
+            ..StfmConfig::default()
+        };
+        let m = Experiment::new(mix::case_study_intensive())
+            .scheduler(SchedulerKind::StfmWith(cfg))
+            .instructions_per_thread(args.insts)
+            .seed(args.seed)
+            .run_with_cache(&cache);
+        t.row([
+            format!("2^{log2}"),
+            format!("{:.2}", m.unfairness()),
+            format!("{:.2}", m.weighted_speedup()),
+            format!("{:.3}", m.hmean_speedup()),
+        ]);
+    }
+    println!("== Ablation: IntervalLength ==\n\n{t}");
+}

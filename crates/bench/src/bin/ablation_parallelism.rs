@@ -1,0 +1,32 @@
+//! Ablation: disable STFM's parallelism amortization (BankWaiting /
+//! BankAccess parallelism), charging full command latencies instead —
+//! the naive estimator the paper argues against in Section 3.2.2.
+
+use stfm_bench::Args;
+use stfm_core::StfmConfig;
+use stfm_sim::{AloneCache, Experiment, SchedulerKind, Table};
+use stfm_workloads::mix;
+
+fn main() {
+    let args = Args::parse(150_000);
+    let cache = AloneCache::new();
+    let mut t = Table::new(["estimator", "unfairness", "w-speedup", "hmean"]);
+    for (label, on) in [("with parallelism (paper)", true), ("naive (no parallelism)", false)] {
+        let cfg = StfmConfig {
+            use_parallelism: on,
+            ..StfmConfig::default()
+        };
+        let m = Experiment::new(mix::case_study_intensive())
+            .scheduler(SchedulerKind::StfmWith(cfg))
+            .instructions_per_thread(args.insts)
+            .seed(args.seed)
+            .run_with_cache(&cache);
+        t.row([
+            label.to_string(),
+            format!("{:.2}", m.unfairness()),
+            format!("{:.2}", m.weighted_speedup()),
+            format!("{:.3}", m.hmean_speedup()),
+        ]);
+    }
+    println!("== Ablation: interference-estimate parallelism awareness ==\n\n{t}");
+}

@@ -1,0 +1,44 @@
+//! Extension: open-page vs closed-page row-buffer policy. The paper's
+//! baseline is open-page (Table 2); this harness quantifies what that
+//! choice is worth per scheduler on a high-locality and a low-locality
+//! workload.
+
+use stfm_bench::Args;
+use stfm_sim::{AloneCache, Experiment, RowPolicy, SchedulerKind, Table};
+use stfm_workloads::{micro, mix};
+
+fn main() {
+    let args = Args::parse(100_000);
+    for (title, profiles) in [
+        ("high locality: case study I", mix::case_study_intensive()),
+        (
+            "low locality: 4 random-access threads",
+            vec![micro::random(), micro::random(), micro::chase(), micro::random()],
+        ),
+    ] {
+        let cache = AloneCache::new();
+        let mut t = Table::new([
+            "scheduler",
+            "open unfairness",
+            "open w-speedup",
+            "closed unfairness",
+            "closed w-speedup",
+        ]);
+        for kind in [SchedulerKind::FrFcfs, SchedulerKind::Stfm] {
+            let mut cells = vec![kind.name().to_string()];
+            for policy in [RowPolicy::OpenPage, RowPolicy::ClosedPage] {
+                let m = Experiment::new(profiles.clone())
+                    .scheduler(kind)
+                    .row_policy(policy)
+                    .instructions_per_thread(args.insts)
+                    .seed(args.seed)
+                    .run_with_cache(&cache);
+                cells.push(format!("{:.2}", m.unfairness()));
+                cells.push(format!("{:.2}", m.weighted_speedup()));
+            }
+            t.row(cells);
+        }
+        println!("== Row policy: {title} ==\n\n{t}");
+    }
+    println!("note: alone baselines always use the paper's open-page FR-FCFS configuration.");
+}

@@ -1,0 +1,31 @@
+//! Extension: PAR-BS (Mutlu & Moscibroda, ISCA 2008) — the batching +
+//! parallelism-aware ranking successor the STFM paper's conclusion points
+//! toward — compared against STFM and the baselines on the three case
+//! studies.
+
+use stfm_bench::{report, Args};
+use stfm_sim::SchedulerKind;
+use stfm_workloads::mix;
+
+fn main() {
+    let args = Args::parse(150_000);
+    let kinds = [
+        SchedulerKind::FrFcfs,
+        SchedulerKind::Nfq,
+        SchedulerKind::Stfm,
+        SchedulerKind::ParBs,
+    ];
+    for (title, profiles) in [
+        ("case study I (intensive)", mix::case_study_intensive()),
+        ("case study II (mixed)", mix::case_study_mixed()),
+        ("case study III (non-intensive)", mix::case_study_non_intensive()),
+    ] {
+        report::compare_schedulers(
+            &format!("Extension: PAR-BS vs STFM — {title}"),
+            &profiles,
+            &kinds,
+            args.insts,
+            args.seed,
+        );
+    }
+}

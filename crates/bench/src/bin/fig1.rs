@@ -1,0 +1,28 @@
+//! Figure 1: memory slowdown (normalized memory stall time) of each thread
+//! in a 4-core and an 8-core workload under the baseline FR-FCFS scheduler.
+
+use stfm_bench::Args;
+use stfm_sim::{AloneCache, Experiment, SchedulerKind, Table};
+use stfm_workloads::mix;
+
+fn main() {
+    let args = Args::parse(100_000);
+    let cache = AloneCache::new();
+    for (title, profiles) in [
+        ("Figure 1 (left): 4-core, FR-FCFS", mix::fig1_four_core()),
+        ("Figure 1 (right): 8-core, FR-FCFS", mix::fig1_eight_core()),
+    ] {
+        let m = Experiment::new(profiles.clone())
+            .scheduler(SchedulerKind::FrFcfs)
+            .instructions_per_thread(args.insts)
+            .seed(args.seed)
+            .run_with_cache(&cache);
+        println!("== {title} ==\n");
+        let mut t = Table::new(["benchmark", "memory slowdown"]);
+        for x in &m.threads {
+            t.row([x.name.clone(), format!("{:.2}", x.mem_slowdown())]);
+        }
+        t.row(["(unfairness)".to_string(), format!("{:.2}", m.unfairness())]);
+        println!("{t}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 10: non-memory-intensive 8-core workload
+//! (all five schedulers: slowdowns, unfairness, throughput metrics).
+
+use stfm_bench::{report, Args};
+use stfm_sim::SchedulerKind;
+use stfm_workloads::mix;
+
+fn main() {
+    let args = Args::parse(60_000);
+    report::compare_schedulers(
+        "Figure 10: non-memory-intensive 8-core workload",
+        &mix::fig10_eight_core(),
+        &SchedulerKind::all(),
+        args.insts,
+        args.seed,
+    );
+}

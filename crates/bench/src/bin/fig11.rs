@@ -1,0 +1,26 @@
+//! Figure 11: unfairness and throughput averaged over the 32 diverse
+//! 8-core workloads, plus individual samples.
+
+use stfm_bench::{report, Args};
+use stfm_sim::SchedulerKind;
+use stfm_workloads::mix;
+
+fn main() {
+    let args = Args::parse(40_000);
+    let mixes = mix::eight_core_mixes();
+    for sample in mixes.iter().step_by(8) {
+        let names: Vec<_> = sample.iter().map(|p| p.name).collect();
+        report::compare_schedulers(
+            &format!("sample mix {names:?}"),
+            sample,
+            &SchedulerKind::all(),
+            args.insts,
+            args.seed,
+        );
+    }
+    let averages = report::averaged_sweep(&mixes, &SchedulerKind::all(), args.insts, args.seed);
+    report::print_averages(
+        "Figure 11: geometric means over the 32 8-core workloads",
+        &averages,
+    );
+}

@@ -1,0 +1,23 @@
+//! Figure 12: the three 16-core workloads (high16, high8+low8, low16)
+//! under all five schedulers, plus their geometric means.
+
+use stfm_bench::{report, Args};
+use stfm_sim::SchedulerKind;
+use stfm_workloads::mix;
+
+fn main() {
+    let args = Args::parse(30_000);
+    let mixes = mix::sixteen_core_mixes();
+    for (name, profiles) in &mixes {
+        report::compare_schedulers(
+            &format!("Figure 12: 16-core workload {name}"),
+            profiles,
+            &SchedulerKind::all(),
+            args.insts,
+            args.seed,
+        );
+    }
+    let bare: Vec<_> = mixes.into_iter().map(|(_, m)| m).collect();
+    let averages = report::averaged_sweep(&bare, &SchedulerKind::all(), args.insts, args.seed);
+    report::print_averages("Figure 12: geometric means over the 3 workloads", &averages);
+}

@@ -1,0 +1,18 @@
+//! Figure 13: the Windows desktop workload (xml-parser + matlab background
+//! threads vs iexplorer + instant-messenger foreground threads) under all
+//! five schedulers.
+
+use stfm_bench::{report, Args};
+use stfm_sim::SchedulerKind;
+use stfm_workloads::desktop;
+
+fn main() {
+    let args = Args::parse(150_000);
+    report::compare_schedulers(
+        "Figure 13: desktop applications (4-core)",
+        &desktop::workload(),
+        &SchedulerKind::all(),
+        args.insts,
+        args.seed,
+    );
+}

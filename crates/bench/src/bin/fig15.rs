@@ -1,0 +1,41 @@
+//! Figure 15: effect of STFM's α parameter on unfairness and throughput
+//! (α ∈ {1, 1.05, 1.1, 1.2, 2, 5, 20} vs plain FR-FCFS).
+
+use stfm_bench::Args;
+use stfm_sim::{AloneCache, Experiment, SchedulerKind, Table};
+use stfm_workloads::mix;
+
+fn main() {
+    let args = Args::parse(150_000);
+    let cache = AloneCache::new();
+    let profiles = mix::case_study_intensive();
+    let mut t = Table::new(["config", "unfairness", "w-speedup", "sum-ipc", "hmean"]);
+    for alpha in [1.0, 1.05, 1.1, 1.2, 2.0, 5.0, 20.0] {
+        let m = Experiment::new(profiles.clone())
+            .scheduler(SchedulerKind::Stfm)
+            .alpha(alpha)
+            .instructions_per_thread(args.insts)
+            .seed(args.seed)
+            .run_with_cache(&cache);
+        t.row([
+            format!("Alpha={alpha}"),
+            format!("{:.2}", m.unfairness()),
+            format!("{:.2}", m.weighted_speedup()),
+            format!("{:.2}", m.sum_of_ipcs()),
+            format!("{:.3}", m.hmean_speedup()),
+        ]);
+    }
+    let m = Experiment::new(profiles)
+        .scheduler(SchedulerKind::FrFcfs)
+        .instructions_per_thread(args.insts)
+        .seed(args.seed)
+        .run_with_cache(&cache);
+    t.row([
+        "FR-FCFS".to_string(),
+        format!("{:.2}", m.unfairness()),
+        format!("{:.2}", m.weighted_speedup()),
+        format!("{:.2}", m.sum_of_ipcs()),
+        format!("{:.3}", m.hmean_speedup()),
+    ]);
+    println!("== Figure 15: α sweep (case-study-I workload) ==\n\n{t}");
+}

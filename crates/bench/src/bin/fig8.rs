@@ -1,0 +1,17 @@
+//! Figure 8: case study III - non-memory-intensive 4-core workload
+//! (all five schedulers: slowdowns, unfairness, throughput metrics).
+
+use stfm_bench::{report, Args};
+use stfm_sim::SchedulerKind;
+use stfm_workloads::mix;
+
+fn main() {
+    let args = Args::parse(150_000);
+    report::compare_schedulers(
+        "Figure 8: case study III - non-memory-intensive 4-core workload",
+        &mix::case_study_non_intensive(),
+        &SchedulerKind::all(),
+        args.insts,
+        args.seed,
+    );
+}

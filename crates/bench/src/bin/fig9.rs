@@ -1,0 +1,37 @@
+//! Figure 9: unfairness and throughput averaged (geometric mean) over the
+//! 256 category combinations run on the 4-core system, plus ten sample
+//! workloads. The default subsamples every 8th combination (32 mixes);
+//! pass `--full` for all 256.
+
+use stfm_bench::{report, Args};
+use stfm_sim::SchedulerKind;
+use stfm_workloads::mix;
+
+fn main() {
+    let args = Args::parse(50_000);
+    let all = mix::category_combinations(4);
+    let mixes: Vec<_> = if args.full {
+        all
+    } else {
+        all.into_iter().step_by(8).collect()
+    };
+    println!(
+        "Figure 9: {} of 256 4-core mixes (use --full for all)\n",
+        mixes.len()
+    );
+
+    // Ten sample workloads (paper's left panel shows individual mixes).
+    for sample in mixes.iter().step_by((mixes.len() / 10).max(1)).take(10) {
+        let names: Vec<_> = sample.iter().map(|p| p.name).collect();
+        report::compare_schedulers(
+            &format!("sample mix {names:?}"),
+            sample,
+            &SchedulerKind::all(),
+            args.insts,
+            args.seed,
+        );
+    }
+
+    let averages = report::averaged_sweep(&mixes, &SchedulerKind::all(), args.insts, args.seed);
+    report::print_averages("Figure 9 (right): geometric means over all mixes", &averages);
+}

@@ -1,0 +1,85 @@
+//! Table 5: sensitivity of fairness and throughput to the number of DRAM
+//! banks (4/8/16) and the per-chip row-buffer size (1/2/4 KB), FR-FCFS vs
+//! STFM, averaged over 8-core workloads. The default uses 8 of the 32
+//! mixes; pass `--full` for all 32.
+
+use stfm_bench::Args;
+use stfm_sim::{gmean, AloneCache, Experiment, SchedulerKind, Table};
+use stfm_dram::DramConfig;
+use stfm_workloads::mix;
+
+fn sweep(
+    label: String,
+    dram: DramConfig,
+    mixes: &[Vec<stfm_workloads::Profile>],
+    args: &Args,
+    t: &mut Table,
+) {
+    let cache = AloneCache::new(); // config-specific baselines
+    let mut cells = vec![label];
+    let mut frfcfs = (Vec::new(), Vec::new());
+    let mut stfm = (Vec::new(), Vec::new());
+    for (kind, acc) in [
+        (SchedulerKind::FrFcfs, &mut frfcfs),
+        (SchedulerKind::Stfm, &mut stfm),
+    ] {
+        let exps: Vec<Experiment> = mixes
+            .iter()
+            .map(|m| {
+                Experiment::new(m.clone())
+                    .scheduler(kind)
+                    .dram_config(dram.clone())
+                    .instructions_per_thread(args.insts)
+                    .seed(args.seed)
+            })
+            .collect();
+        for r in stfm_sim::run_all_with_cache(&exps, &cache) {
+            acc.0.push(r.unfairness());
+            acc.1.push(r.weighted_speedup());
+        }
+    }
+    let (fu, fw) = (gmean(frfcfs.0), gmean(frfcfs.1));
+    let (su, sw) = (gmean(stfm.0), gmean(stfm.1));
+    cells.extend([
+        format!("{fu:.2}"),
+        format!("{fw:.2}"),
+        format!("{su:.2}"),
+        format!("{sw:.2}"),
+        // The paper's Table 5 "Improvement" row: FR-FCFS / STFM unfairness.
+        format!("{:.2}X", fu / su),
+        format!("{:+.1}%", (sw / fw - 1.0) * 100.0),
+    ]);
+    t.row(cells);
+}
+
+fn main() {
+    let args = Args::parse(30_000);
+    let all = mix::eight_core_mixes();
+    let mixes: Vec<_> = if args.full {
+        all
+    } else {
+        all.into_iter().step_by(4).collect()
+    };
+    println!(
+        "Table 5 over {} 8-core mixes (use --full for all 32)\n",
+        mixes.len()
+    );
+    let mut t = Table::new([
+        "config",
+        "FR-FCFS unfairness",
+        "FR-FCFS w-speedup",
+        "STFM unfairness",
+        "STFM w-speedup",
+        "unfairness impr.",
+        "w-speedup impr.",
+    ]);
+    for banks in [4u32, 8, 16] {
+        let dram = DramConfig::for_cores(8).with_banks(banks);
+        sweep(format!("{banks} banks / 2KB row"), dram, &mixes, &args, &mut t);
+    }
+    for row_kb in [1u32, 2, 4] {
+        let dram = DramConfig::for_cores(8).with_row_buffer_bytes_per_chip(row_kb * 1024);
+        sweep(format!("8 banks / {row_kb}KB row"), dram, &mixes, &args, &mut t);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,58 @@
+//! Tiny argument parser shared by the harness binaries.
+
+/// Common harness options.
+#[derive(Debug, Clone, Copy)]
+pub struct Args {
+    /// Per-thread instruction budget (`--insts N`).
+    pub insts: u64,
+    /// Workload seed (`--seed N`).
+    pub seed: u64,
+    /// Run the full-scale sweep where the default subsamples (`--full`).
+    pub full: bool,
+}
+
+impl Args {
+    /// Parses `std::env::args` with a per-binary default budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(default_insts: u64) -> Args {
+        let mut args = Args {
+            insts: default_insts,
+            seed: 1,
+            full: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--insts" => {
+                    args.insts = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--insts needs a number"));
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs a number"));
+                }
+                "--full" => args.full = true,
+                // `cargo bench --workspace` invokes every binary with
+                // --bench; the figure harnesses are run explicitly, not as
+                // Criterion benchmarks, so exit cleanly.
+                "--bench" => {
+                    println!("(figure harness; run explicitly with `cargo run --release -p stfm-bench --bin ...`)");
+                    std::process::exit(0);
+                }
+                "--help" | "-h" => {
+                    println!("usage: [--insts N] [--seed N] [--full]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        args
+    }
+}

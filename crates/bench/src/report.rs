@@ -1,0 +1,123 @@
+//! Report helpers: the recurring "slowdowns + unfairness + throughput"
+//! layout of the paper's case-study figures, and averaged sweeps.
+
+use stfm_sim::{gmean, AloneCache, Experiment, SchedulerKind, Table, WorkloadMetrics};
+use stfm_workloads::Profile;
+
+/// Runs `profiles` under every scheduler in `kinds` and prints the
+/// case-study layout (per-thread memory slowdowns, unfairness, and the
+/// three throughput metrics). Returns the metrics for further processing.
+pub fn compare_schedulers(
+    title: &str,
+    profiles: &[Profile],
+    kinds: &[SchedulerKind],
+    insts: u64,
+    seed: u64,
+) -> Vec<WorkloadMetrics> {
+    let cache = AloneCache::new();
+    let experiments: Vec<Experiment> = kinds
+        .iter()
+        .map(|k| {
+            Experiment::new(profiles.to_vec())
+                .scheduler(*k)
+                .instructions_per_thread(insts)
+                .seed(seed)
+        })
+        .collect();
+    let results = stfm_sim::run_all_with_cache(&experiments, &cache);
+    print_comparison(title, profiles, &results);
+    results
+}
+
+/// Prints the case-study layout for precomputed results.
+pub fn print_comparison(title: &str, profiles: &[Profile], results: &[WorkloadMetrics]) {
+    println!("== {title} ==\n");
+    let mut headers: Vec<String> = vec!["scheduler".into()];
+    headers.extend(profiles.iter().map(|p| p.name.to_string()));
+    headers.extend(
+        ["unfairness", "w-speedup", "sum-ipc", "hmean"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    let mut t = Table::new(headers);
+    for m in results {
+        let mut row = vec![m.scheduler.clone()];
+        row.extend(m.threads.iter().map(|x| format!("{:.2}", x.mem_slowdown())));
+        row.push(format!("{:.2}", m.unfairness()));
+        row.push(format!("{:.2}", m.weighted_speedup()));
+        row.push(format!("{:.2}", m.sum_of_ipcs()));
+        row.push(format!("{:.3}", m.hmean_speedup()));
+        t.row(row);
+    }
+    println!("{t}");
+}
+
+/// Aggregate of one scheduler over many workloads (the paper's
+/// geometric-mean bars).
+#[derive(Debug, Clone)]
+pub struct SchedulerAverages {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Geometric-mean unfairness.
+    pub unfairness: f64,
+    /// Geometric-mean weighted speedup.
+    pub weighted_speedup: f64,
+    /// Geometric-mean sum of IPCs.
+    pub sum_of_ipcs: f64,
+    /// Geometric-mean hmean speedup.
+    pub hmean_speedup: f64,
+}
+
+/// Runs every mix under every scheduler and returns per-scheduler
+/// geometric means (the Figure 9/11/12 aggregation).
+pub fn averaged_sweep(
+    mixes: &[Vec<Profile>],
+    kinds: &[SchedulerKind],
+    insts: u64,
+    seed: u64,
+) -> Vec<SchedulerAverages> {
+    let cache = AloneCache::new();
+    let mut averages = Vec::new();
+    for kind in kinds {
+        let experiments: Vec<Experiment> = mixes
+            .iter()
+            .map(|mix| {
+                Experiment::new(mix.clone())
+                    .scheduler(*kind)
+                    .instructions_per_thread(insts)
+                    .seed(seed)
+            })
+            .collect();
+        let results = stfm_sim::run_all_with_cache(&experiments, &cache);
+        averages.push(SchedulerAverages {
+            scheduler: kind.name().to_string(),
+            unfairness: gmean(results.iter().map(|m| m.unfairness())),
+            weighted_speedup: gmean(results.iter().map(|m| m.weighted_speedup())),
+            sum_of_ipcs: gmean(results.iter().map(|m| m.sum_of_ipcs())),
+            hmean_speedup: gmean(results.iter().map(|m| m.hmean_speedup())),
+        });
+    }
+    averages
+}
+
+/// Prints [`averaged_sweep`] output in the paper's bar-chart layout.
+pub fn print_averages(title: &str, averages: &[SchedulerAverages]) {
+    println!("== {title} ==\n");
+    let mut t = Table::new([
+        "scheduler",
+        "GMEAN-unfairness",
+        "GMEAN-w-speedup",
+        "GMEAN-sum-ipc",
+        "GMEAN-hmean",
+    ]);
+    for a in averages {
+        t.row([
+            a.scheduler.clone(),
+            format!("{:.2}", a.unfairness),
+            format!("{:.2}", a.weighted_speedup),
+            format!("{:.2}", a.sum_of_ipcs),
+            format!("{:.3}", a.hmean_speedup),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,240 @@
+//! Subcommand implementations.
+
+use crate::args::Flags;
+use stfm_core::StfmConfig;
+use stfm_cpu::{trace_io, Core, FileTrace};
+use stfm_dram::DramConfig;
+use stfm_mc::{MemorySystem, ThreadId};
+use stfm_sim::{AloneCache, Experiment, SchedulerKind, System, Table, ThreadMetrics, WorkloadMetrics};
+use stfm_workloads::{desktop, spec, Profile, SyntheticTrace};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+stfm — Stall-Time Fair Memory scheduling reproduction
+
+USAGE:
+  stfm run --workload <b1,b2,...> [--scheduler frfcfs|fcfs|cap|nfq|stfm|all]
+           [--insts N] [--seed N] [--alpha X] [--weights w1,w2,...]
+           [--banks N] [--row-kb N] [--check] [--energy]
+  stfm list
+  stfm capture --benchmark <name> --ops N --out <file> [--seed N] [--cores N]
+  stfm replay --traces <f1,f2,...> [--scheduler ...] [--insts N]
+  stfm help
+
+Benchmark names come from `stfm list` (the paper's Table 3 + Table 4).
+";
+
+fn lookup(name: &str) -> Result<Profile, String> {
+    spec::by_name(name)
+        .or_else(|| desktop::workload().into_iter().find(|p| p.name == name))
+        .ok_or_else(|| format!("unknown benchmark '{name}' (see `stfm list`)"))
+}
+
+fn parse_scheduler(s: &str) -> Result<Vec<SchedulerKind>, String> {
+    Ok(match s {
+        "frfcfs" | "fr-fcfs" => vec![SchedulerKind::FrFcfs],
+        "fcfs" => vec![SchedulerKind::Fcfs],
+        "cap" | "frfcfs+cap" => vec![SchedulerKind::FrFcfsCap { cap: 4 }],
+        "nfq" => vec![SchedulerKind::Nfq],
+        "stfm" => vec![SchedulerKind::Stfm],
+        "all" => SchedulerKind::all().to_vec(),
+        other => return Err(format!("unknown scheduler '{other}'")),
+    })
+}
+
+fn print_metrics(profile_names: &[String], results: &[WorkloadMetrics]) {
+    let mut headers = vec!["scheduler".to_string()];
+    headers.extend(profile_names.iter().cloned());
+    headers.extend(["unfairness".into(), "w-speedup".into(), "hmean".into()]);
+    let mut t = Table::new(headers);
+    for m in results {
+        let mut row = vec![m.scheduler.clone()];
+        row.extend(m.threads.iter().map(|x| format!("{:.2}", x.mem_slowdown())));
+        row.push(format!("{:.2}", m.unfairness()));
+        row.push(format!("{:.2}", m.weighted_speedup()));
+        row.push(format!("{:.3}", m.hmean_speedup()));
+        t.row(row);
+    }
+    println!("{t}");
+}
+
+/// `stfm run`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let names = f.list("workload")?;
+    let profiles: Vec<Profile> = names
+        .iter()
+        .map(|n| lookup(n))
+        .collect::<Result<_, _>>()?;
+    let kinds = parse_scheduler(f.get("scheduler").unwrap_or("all"))?;
+    let insts: u64 = f.num("insts", 100_000)?;
+    let seed: u64 = f.num("seed", 1)?;
+
+    let mut dram = DramConfig::for_cores(profiles.len() as u32);
+    if let Some(banks) = f.get("banks") {
+        dram = dram.with_banks(banks.parse().map_err(|_| "bad --banks")?);
+    }
+    if let Some(kb) = f.get("row-kb") {
+        let kb: u32 = kb.parse().map_err(|_| "bad --row-kb")?;
+        dram = dram.with_row_buffer_bytes_per_chip(kb * 1024);
+    }
+
+    let weights: Vec<u32> = match f.get("weights") {
+        None => vec![],
+        Some(w) => w
+            .split(',')
+            .map(|x| x.trim().parse().map_err(|_| format!("bad weight '{x}'")))
+            .collect::<Result<_, _>>()?,
+    };
+    if !weights.is_empty() && weights.len() != profiles.len() {
+        return Err(format!(
+            "--weights needs {} entries, got {}",
+            profiles.len(),
+            weights.len()
+        ));
+    }
+
+    let cache = AloneCache::new();
+    let mut results = Vec::new();
+    for kind in &kinds {
+        let mut e = Experiment::new(profiles.clone())
+            .scheduler(*kind)
+            .dram_config(dram.clone())
+            .instructions_per_thread(insts)
+            .seed(seed)
+            .timing_checker(f.has("check"));
+        if let Some(alpha) = f.get("alpha") {
+            e = e.alpha(alpha.parse().map_err(|_| "bad --alpha")?);
+        }
+        for (i, w) in weights.iter().enumerate() {
+            e = match kind {
+                SchedulerKind::Nfq => e.share(i as u32, *w),
+                _ => e.weight(i as u32, *w),
+            };
+        }
+        results.push(e.run_with_cache(&cache));
+    }
+    if !f.has("quiet") {
+        println!(
+            "workload {:?}, {} instructions/thread, seed {}\n",
+            names, insts, seed
+        );
+    }
+    print_metrics(&names, &results);
+    Ok(())
+}
+
+/// `stfm list`.
+pub fn list(_args: &[String]) -> Result<(), String> {
+    let mut t = Table::new(["benchmark", "suite", "cat", "MCPI", "MPKI", "RB hit", "traits"]);
+    let traits = |p: &Profile| {
+        let mut v = Vec::new();
+        if p.dependent_frac > 0.0 {
+            v.push("pointer-chase");
+        }
+        if p.bank_skew.is_some() {
+            v.push("bank-skewed");
+        }
+        if p.burst.is_some() {
+            v.push("bursty");
+        }
+        if p.write_frac > 0.3 {
+            v.push("write-heavy");
+        }
+        v.join(" ")
+    };
+    for p in spec::all() {
+        t.row([
+            p.name.to_string(),
+            "SPEC2006".into(),
+            p.category.index().to_string(),
+            format!("{:.2}", p.targets.mcpi),
+            format!("{:.2}", p.targets.mpki),
+            format!("{:.1}%", p.targets.rb_hit * 100.0),
+            traits(&p),
+        ]);
+    }
+    for p in desktop::workload() {
+        t.row([
+            p.name.to_string(),
+            "desktop".into(),
+            p.category.index().to_string(),
+            format!("{:.2}", p.targets.mcpi),
+            format!("{:.2}", p.targets.mpki),
+            format!("{:.1}%", p.targets.rb_hit * 100.0),
+            traits(&p),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+/// `stfm capture`.
+pub fn capture(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let profile = lookup(f.require("benchmark")?)?;
+    let out = f.require("out")?;
+    let ops: usize = f.num("ops", 50_000usize)?;
+    let seed: u64 = f.num("seed", 1)?;
+    let cores: u32 = f.num("cores", 4u32)?;
+    let dram = DramConfig::for_cores(cores);
+    let mut trace = SyntheticTrace::new(profile, &dram, 0, seed);
+    let records = trace_io::capture(&mut trace, ops);
+    trace_io::write_trace(out, &records).map_err(|e| e.to_string())?;
+    println!("wrote {} records to {out}", records.len());
+    Ok(())
+}
+
+/// `stfm replay`: run trace files (one per core) through the simulator and
+/// report per-thread shared-vs-alone metrics.
+pub fn replay(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let files = f.list("traces")?;
+    let kinds = parse_scheduler(f.get("scheduler").unwrap_or("stfm"))?;
+    let insts: u64 = f.num("insts", 100_000)?;
+    let dram = DramConfig::for_cores(files.len() as u32);
+
+    let load = |path: &str| FileTrace::open(path).map_err(|e| format!("{path}: {e}"));
+
+    // Alone baselines, one per file.
+    let mut alone_stats = Vec::new();
+    for path in &files {
+        let trace = load(path)?;
+        let mem = MemorySystem::new(
+            dram.clone(),
+            SchedulerKind::FrFcfs.build(dram.timing, &[], &[]),
+        );
+        let core = Core::new(ThreadId(0), Box::new(trace));
+        let mut sys = System::new(vec![core], mem);
+        let out = sys.run_with_warmup(insts / 4, insts, insts.saturating_mul(4_000));
+        alone_stats.push(out.frozen[0]);
+    }
+
+    let names: Vec<String> = files.clone();
+    let mut results = Vec::new();
+    for kind in &kinds {
+        let mem = MemorySystem::new(dram.clone(), kind.build(dram.timing, &[], &[]));
+        let cores: Vec<Core> = files
+            .iter()
+            .enumerate()
+            .map(|(i, path)| Ok(Core::new(ThreadId(i as u32), Box::new(load(path)?))))
+            .collect::<Result<_, String>>()?;
+        let mut sys = System::new(cores, mem);
+        let out = sys.run_with_warmup(insts / 4, insts, insts.saturating_mul(4_000));
+        results.push(WorkloadMetrics {
+            scheduler: kind.name().to_string(),
+            threads: files
+                .iter()
+                .zip(out.frozen.iter().zip(&alone_stats))
+                .map(|(name, (shared, alone))| ThreadMetrics {
+                    name: name.clone(),
+                    shared: *shared,
+                    alone: *alone,
+                })
+                .collect(),
+        });
+    }
+    print_metrics(&names, &results);
+    let _ = StfmConfig::default(); // keep the core crate in the public surface
+    Ok(())
+}

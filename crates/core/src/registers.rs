@@ -1,0 +1,279 @@
+//! The STFM register file (paper Table 1).
+//!
+//! Per hardware thread the controller keeps `Tshared`, `Tinterference`,
+//! `Slowdown`, `BankWaitingParallelism` and `BankAccessParallelism`; per
+//! thread × bank it keeps `LastRowAddress`; globally it keeps the
+//! `IntervalCounter` and `Alpha`. [`state_bits`] reproduces the paper's
+//! storage accounting (1808 bits for the 8-thread baseline).
+
+use crate::fixed::Fx8;
+use std::collections::HashMap;
+use stfm_mc::ThreadId;
+
+/// Per-thread slowdown-estimation registers.
+#[derive(Debug, Clone)]
+pub struct ThreadRegs {
+    /// Latest cumulative stall counter received from the core.
+    pub core_tshared: u64,
+    /// Value of `core_tshared` at the last interval reset; the effective
+    /// `Tshared` register is the difference.
+    pub tshared_base: u64,
+    /// Extra stall cycles attributed to inter-thread interference
+    /// (CPU cycles; may be negative — paper footnote 10).
+    pub tinterference: i64,
+    /// Latest computed slowdown (8-bit fixed point, ≥ 1 in practice).
+    pub slowdown: Fx8,
+    /// Weighted slowdown `1 + (S−1)·W` used for prioritization.
+    pub weighted_slowdown: Fx8,
+    /// Banks with ≥ 1 waiting request from this thread (recomputed every
+    /// DRAM cycle).
+    pub bank_waiting_parallelism: u32,
+    /// Waiting (read) requests of this thread across all banks — a proxy
+    /// for how much delay its instruction window can absorb.
+    pub waiting_requests: u32,
+    /// Age (CPU cycles) of the thread's oldest waiting request.
+    pub oldest_wait_cpu: u64,
+    /// Banks currently servicing this thread's requests.
+    pub bank_access_parallelism: u32,
+    /// EMA of the thread's stall fraction `ΔTshared / Δt`. Starts at 1
+    /// (assume fully stalled until measured).
+    pub stall_rate: Fx8,
+    /// Cross-thread interference charged but not yet applied: the paced
+    /// estimator drains this into `tinterference` at the thread's stall
+    /// rate, so attributed interference can never outrun wall-clock stall.
+    pub pending_interference: i64,
+    /// Wall-clock CPU cycle of the last stall-rate sample.
+    pub last_sample_cpu: u64,
+    /// `core_tshared` at the last stall-rate sample.
+    pub last_sample_tshared: u64,
+}
+
+impl Default for ThreadRegs {
+    fn default() -> Self {
+        ThreadRegs {
+            core_tshared: 0,
+            tshared_base: 0,
+            tinterference: 0,
+            slowdown: Fx8::ONE,
+            weighted_slowdown: Fx8::ONE,
+            bank_waiting_parallelism: 0,
+            waiting_requests: 0,
+            oldest_wait_cpu: 0,
+            bank_access_parallelism: 0,
+            stall_rate: Fx8::ONE,
+            pending_interference: 0,
+            last_sample_cpu: 0,
+            last_sample_tshared: 0,
+        }
+    }
+}
+
+impl ThreadRegs {
+    /// Effective `Tshared` (stall cycles accumulated this interval).
+    #[inline]
+    pub fn tshared(&self) -> u64 {
+        self.core_tshared.saturating_sub(self.tshared_base)
+    }
+
+    /// `Talone = Tshared − Tinterference` estimate, floored at zero.
+    #[inline]
+    pub fn talone(&self) -> u64 {
+        let t = self.tshared() as i64 - self.tinterference;
+        t.max(0) as u64
+    }
+
+    /// Recomputes `Slowdown = Tshared / (Tshared − Tinterference)`.
+    ///
+    /// A thread with no stall time has slowdown 1. Because the
+    /// interference estimate is approximate, it can transiently exceed the
+    /// observed stall time; physically a thread's extra stall cannot
+    /// exceed its total stall, so the denominator is floored at
+    /// `Tshared / 16`, capping the estimated slowdown at 16× — a sanity
+    /// clamp a hardware divider would implement as saturation.
+    pub fn compute_slowdown(&mut self) -> Fx8 {
+        let tshared = self.tshared();
+        self.slowdown = if tshared == 0 {
+            Fx8::ONE
+        } else {
+            let floor = (tshared / 16).max(1) as i64;
+            let denom = (tshared as i64 - self.tinterference).max(floor);
+            Fx8::from_ratio(tshared, denom as u64)
+        };
+        // Negative interference (constructive sharing) can push the ratio
+        // below 1; the definition still holds, no clamping there.
+        self.slowdown
+    }
+
+    /// Resets the interval-relative state (interval expiry or context
+    /// switch), keeping the core's cumulative counter as the new baseline.
+    pub fn reset_interval(&mut self) {
+        self.tshared_base = self.core_tshared;
+        self.tinterference = 0;
+        self.pending_interference = 0;
+        self.slowdown = Fx8::ONE;
+        self.weighted_slowdown = Fx8::ONE;
+    }
+}
+
+/// Applies the paper's thread-weight transformation
+/// `S' = 1 + (S − 1) · Weight` in fixed point. Slowdowns below 1 (negative
+/// interference) are left unscaled.
+#[inline]
+pub fn weighted_slowdown(s: Fx8, weight: u32) -> Fx8 {
+    if s <= Fx8::ONE || weight == 1 {
+        return s;
+    }
+    Fx8::ONE.saturating_add(s.saturating_sub(Fx8::ONE).saturating_mul_int(weight))
+}
+
+/// The full STFM register file.
+#[derive(Debug, Clone, Default)]
+pub struct RegisterFile {
+    threads: HashMap<ThreadId, ThreadRegs>,
+    /// Row last accessed by (thread, channel, bank) — the per-thread
+    /// per-bank `LastRowAddress` registers that estimate what the bank's
+    /// row buffer would hold had the thread run alone.
+    pub last_row: HashMap<(ThreadId, u32, u32), u32>,
+}
+
+impl RegisterFile {
+    /// Registers of `thread`, created zeroed on first touch.
+    pub fn thread_mut(&mut self, thread: ThreadId) -> &mut ThreadRegs {
+        self.threads.entry(thread).or_default()
+    }
+
+    /// Registers of `thread`, if it has been seen.
+    pub fn thread(&self, thread: ThreadId) -> Option<&ThreadRegs> {
+        self.threads.get(&thread)
+    }
+
+    /// All threads seen so far.
+    pub fn threads(&self) -> impl Iterator<Item = (ThreadId, &ThreadRegs)> {
+        self.threads.iter().map(|(t, r)| (*t, r))
+    }
+
+    /// Mutable iteration over all thread registers.
+    pub fn threads_mut(&mut self) -> impl Iterator<Item = (ThreadId, &mut ThreadRegs)> {
+        self.threads.iter_mut().map(|(t, r)| (*t, r))
+    }
+
+    /// Interval expiry: resets every thread's interval-relative registers
+    /// and the `LastRowAddress` table.
+    pub fn reset_all_intervals(&mut self) {
+        for r in self.threads.values_mut() {
+            r.reset_interval();
+        }
+        self.last_row.clear();
+    }
+
+    /// Context switch on one thread.
+    pub fn reset_thread(&mut self, thread: ThreadId) {
+        if let Some(r) = self.threads.get_mut(&thread) {
+            r.reset_interval();
+        }
+        self.last_row.retain(|(t, _, _), _| *t != thread);
+    }
+}
+
+/// Storage cost of the register file in bits, reproducing the accounting of
+/// paper Table 1/Section 5.1.
+///
+/// With 8 threads, `IntervalLength` = 2^24, 8 banks, 2^14 rows and a
+/// 128-entry request buffer this is the paper's 1808 bits.
+pub fn state_bits(
+    threads: u32,
+    banks: u32,
+    rows_per_bank: u32,
+    buffer_entries: u32,
+    interval_length: u64,
+) -> u64 {
+    let il_bits = u64::from(64 - u64::leading_zeros(interval_length.saturating_sub(1).max(1)));
+    let bank_bits = u64::from(32 - u32::leading_zeros(banks.saturating_sub(1).max(1)));
+    let row_bits = u64::from(32 - u32::leading_zeros(rows_per_bank.saturating_sub(1).max(1)));
+    let tid_bits = u64::from(32 - u32::leading_zeros(threads.saturating_sub(1).max(1)));
+    let t = u64::from(threads);
+    // Per-thread: Tshared + Tinterference + Slowdown(8) + BWP + BAP.
+    let per_thread = il_bits + il_bits + 8 + bank_bits + bank_bits;
+    // Per thread × bank: LastRowAddress.
+    let last_rows = t * u64::from(banks) * row_bits;
+    // Per request-buffer entry: ThreadID.
+    let per_request = u64::from(buffer_entries) * tid_bits;
+    // Global: IntervalCounter + Alpha.
+    let global = il_bits + 8;
+    t * per_thread + last_rows + per_request + global
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_storage_accounting_is_1808_bits() {
+        assert_eq!(state_bits(8, 8, 1 << 14, 128, 1 << 24), 1808);
+    }
+
+    #[test]
+    fn slowdown_basics() {
+        let mut r = ThreadRegs::default();
+        assert_eq!(r.compute_slowdown(), Fx8::ONE); // no stalls yet
+
+        r.core_tshared = 3000;
+        r.tinterference = 1000;
+        assert_eq!(r.compute_slowdown().to_f64(), 1.5);
+        assert_eq!(r.talone(), 2000);
+
+        // All stall time attributed to interference: clamped near 16×.
+        r.tinterference = 3000;
+        let capped = r.compute_slowdown().to_f64();
+        assert!((15.9..=16.1).contains(&capped), "capped = {capped}");
+
+        // Negative interference (thread benefits from sharing): below 1.
+        r.tinterference = -1000;
+        assert!(r.compute_slowdown() < Fx8::ONE);
+    }
+
+    #[test]
+    fn interval_reset_rebaselines_tshared() {
+        let mut r = ThreadRegs {
+            core_tshared: 5000,
+            tinterference: 2500,
+            ..Default::default()
+        };
+        r.compute_slowdown();
+        r.reset_interval();
+        assert_eq!(r.tshared(), 0);
+        assert_eq!(r.compute_slowdown(), Fx8::ONE);
+        // New stalls accumulate relative to the new baseline.
+        r.core_tshared = 6000;
+        assert_eq!(r.tshared(), 1000);
+    }
+
+    #[test]
+    fn weight_transformation_matches_paper_example() {
+        // Paper Section 3.3: measured slowdown 1.1 with weight 10 is
+        // interpreted as slowdown 2.
+        let s = weighted_slowdown(Fx8::from_f64(1.1), 10);
+        assert!((s.to_f64() - 2.0).abs() < 0.05);
+        // Weight 1 leaves the slowdown unchanged.
+        assert_eq!(weighted_slowdown(Fx8::from_f64(1.1), 1), Fx8::from_f64(1.1));
+    }
+
+    #[test]
+    fn register_file_reset_scopes() {
+        let mut rf = RegisterFile::default();
+        rf.thread_mut(ThreadId(0)).core_tshared = 100;
+        rf.thread_mut(ThreadId(1)).core_tshared = 200;
+        rf.last_row.insert((ThreadId(0), 0, 0), 7);
+        rf.last_row.insert((ThreadId(1), 0, 0), 9);
+
+        rf.reset_thread(ThreadId(0));
+        assert_eq!(rf.thread(ThreadId(0)).unwrap().tshared(), 0);
+        assert_eq!(rf.thread(ThreadId(1)).unwrap().tshared(), 200);
+        assert!(!rf.last_row.contains_key(&(ThreadId(0), 0, 0)));
+        assert!(rf.last_row.contains_key(&(ThreadId(1), 0, 0)));
+
+        rf.reset_all_intervals();
+        assert_eq!(rf.thread(ThreadId(1)).unwrap().tshared(), 0);
+        assert!(rf.last_row.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Miss-status holding registers (MSHRs) with same-line merging.
+//!
+//! The paper's cores have 64 MSHRs (Table 2), which bound each core's
+//! memory-level parallelism. Secondary misses to a line that is already
+//! being fetched merge into the existing entry instead of generating
+//! another DRAM request.
+
+use std::collections::HashMap;
+use stfm_dram::PhysAddr;
+
+/// Token identifying a waiter (a window entry) attached to an MSHR.
+pub type WaiterId = u64;
+
+/// Outcome of an MSHR allocation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAlloc {
+    /// New entry allocated; the caller must send a fill request to memory.
+    NewEntry,
+    /// Merged into an in-flight fetch of the same line; no request needed.
+    Merged,
+    /// All MSHRs busy; retry later.
+    Full,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    waiters: Vec<WaiterId>,
+    /// Whether any merged access was a store (the fill installs dirty).
+    any_store: bool,
+    /// Whether the fill request has actually been accepted by the memory
+    /// controller (back-pressure may delay it).
+    sent: bool,
+    /// Whether the fetch originated as a hardware prefetch.
+    prefetch: bool,
+}
+
+/// A completed fill returned by [`MshrFile::complete`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// Window entries waiting on the line (empty for an untouched
+    /// prefetch).
+    pub waiters: Vec<WaiterId>,
+    /// Whether any merged access was a store.
+    pub any_store: bool,
+    /// Whether the fetch originated as a hardware prefetch (demand merges
+    /// into it are *late-but-useful* prefetches).
+    pub prefetch: bool,
+}
+
+/// A file of miss-status holding registers, keyed by line address.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<u64, Entry>,
+    line_bytes: u32,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers for `line_bytes` lines.
+    pub fn new(capacity: usize, line_bytes: u32) -> Self {
+        MshrFile {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            line_bytes,
+        }
+    }
+
+    #[inline]
+    fn key(&self, addr: PhysAddr) -> u64 {
+        addr.0 / u64::from(self.line_bytes)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no fetch is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when every register is busy.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// True if an allocation for `addr` would merge into an existing entry
+    /// (and therefore succeed even when the file is full).
+    pub fn would_merge(&self, addr: PhysAddr) -> bool {
+        self.entries.contains_key(&self.key(addr))
+    }
+
+    /// Tries to track a miss on `addr` for `waiter`.
+    pub fn allocate(&mut self, addr: PhysAddr, waiter: WaiterId, store: bool) -> MshrAlloc {
+        let key = self.key(addr);
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.waiters.push(waiter);
+            e.any_store |= store;
+            return MshrAlloc::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrAlloc::Full;
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                waiters: vec![waiter],
+                any_store: store,
+                sent: false,
+                prefetch: false,
+            },
+        );
+        MshrAlloc::NewEntry
+    }
+
+    /// Allocates an entry with no waiters for a hardware prefetch of
+    /// `addr`. Returns `true` if a new fill should be requested; `false`
+    /// when the line is already being fetched or the file is full.
+    pub fn allocate_prefetch(&mut self, addr: PhysAddr) -> bool {
+        let key = self.key(addr);
+        if self.entries.contains_key(&key) || self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                prefetch: true,
+                ..Entry::default()
+            },
+        );
+        true
+    }
+
+    /// Marks the fill request for `addr` as accepted by the memory system.
+    pub fn mark_sent(&mut self, addr: PhysAddr) {
+        if let Some(e) = self.entries.get_mut(&self.key(addr)) {
+            e.sent = true;
+        }
+    }
+
+    /// Line addresses whose fill request has not been accepted yet
+    /// (needing a retry after back-pressure).
+    pub fn unsent(&self) -> Vec<PhysAddr> {
+        let line = u64::from(self.line_bytes);
+        let mut v: Vec<PhysAddr> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.sent)
+            .map(|(k, _)| PhysAddr(k * line))
+            .collect();
+        v.sort(); // deterministic retry order
+        v
+    }
+
+    /// Completes the fill of the line containing `addr`, returning the
+    /// waiters to wake and the fill's provenance.
+    pub fn complete(&mut self, addr: PhysAddr) -> Option<FillOutcome> {
+        self.entries.remove(&self.key(addr)).map(|e| FillOutcome {
+            waiters: e.waiters,
+            any_store: e.any_store,
+            prefetch: e.prefetch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_complete() {
+        let mut m = MshrFile::new(2, 64);
+        assert_eq!(m.allocate(PhysAddr(0x100), 1, false), MshrAlloc::NewEntry);
+        assert_eq!(m.allocate(PhysAddr(0x104), 2, true), MshrAlloc::Merged);
+        assert_eq!(m.allocate(PhysAddr(0x200), 3, false), MshrAlloc::NewEntry);
+        assert!(m.is_full());
+        assert_eq!(m.allocate(PhysAddr(0x300), 4, false), MshrAlloc::Full);
+
+        let fill = m.complete(PhysAddr(0x100)).unwrap();
+        assert_eq!(fill.waiters, vec![1, 2]);
+        assert!(fill.any_store);
+        assert!(!fill.prefetch);
+        assert!(!m.is_full());
+        assert!(m.complete(PhysAddr(0x100)).is_none());
+    }
+
+    #[test]
+    fn unsent_tracking() {
+        let mut m = MshrFile::new(4, 64);
+        m.allocate(PhysAddr(0x100), 1, false);
+        m.allocate(PhysAddr(0x200), 2, false);
+        assert_eq!(m.unsent().len(), 2);
+        m.mark_sent(PhysAddr(0x100));
+        assert_eq!(m.unsent(), vec![PhysAddr(0x200)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every allocated waiter is returned exactly once by `complete`,
+        /// and occupancy never exceeds capacity.
+        #[test]
+        fn conservation(lines in proptest::collection::vec(0u64..16, 1..100)) {
+            let mut m = MshrFile::new(8, 64);
+            let mut expected: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+            let mut rejected = 0u64;
+            for (i, line) in lines.iter().enumerate() {
+                let waiter = i as u64;
+                match m.allocate(PhysAddr(line * 64), waiter, false) {
+                    MshrAlloc::Full => rejected += 1,
+                    _ => expected.entry(*line).or_default().push(waiter),
+                }
+                prop_assert!(m.len() <= 8);
+            }
+            let mut woken = 0usize;
+            for (line, waiters) in expected {
+                let got = m.complete(PhysAddr(line * 64)).unwrap().waiters;
+                prop_assert_eq!(&got, &waiters);
+                woken += got.len();
+            }
+            prop_assert!(m.is_empty());
+            prop_assert_eq!(woken as u64 + rejected, lines.len() as u64);
+        }
+    }
+}

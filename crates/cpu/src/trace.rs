@@ -1,0 +1,129 @@
+//! Instruction-trace abstraction driving the cores.
+//!
+//! A trace is a stream of [`TraceOp`]s: a count of non-memory instructions
+//! ("bubbles") followed by one memory operation. This is the standard
+//! trace-driven-simulation format (cf. DRAMsim/Ramulator CPU traces); the
+//! `stfm-workloads` crate provides generators that synthesize such streams
+//! with controlled memory intensity, row-buffer locality, bank balance and
+//! burstiness.
+
+use stfm_dram::PhysAddr;
+
+/// Kind of a memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOpKind {
+    /// A load; blocks commit until its data returns.
+    Load,
+    /// A store; retires through the store buffer without blocking commit.
+    Store,
+}
+
+/// One trace record: `bubbles` non-memory instructions followed by a
+/// memory operation on `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Non-memory instructions preceding the access.
+    pub bubbles: u32,
+    /// Load or store.
+    pub kind: MemOpKind,
+    /// Virtual (= physical, no translation modeled) byte address.
+    pub addr: PhysAddr,
+    /// Address depends on the previous memory operation (pointer chasing):
+    /// the op cannot issue until that operation completes, serializing the
+    /// misses and destroying memory-level parallelism — the low-MLP
+    /// behavior of benchmarks like *mcf*.
+    pub dependent: bool,
+}
+
+impl TraceOp {
+    /// A load of `addr` after `bubbles` non-memory instructions.
+    pub fn load(addr: u64, bubbles: u32) -> Self {
+        TraceOp {
+            bubbles,
+            kind: MemOpKind::Load,
+            addr: PhysAddr(addr),
+            dependent: false,
+        }
+    }
+
+    /// A store to `addr` after `bubbles` non-memory instructions.
+    pub fn store(addr: u64, bubbles: u32) -> Self {
+        TraceOp {
+            bubbles,
+            kind: MemOpKind::Store,
+            addr: PhysAddr(addr),
+            dependent: false,
+        }
+    }
+
+    /// Marks the op as dependent on the previous memory operation.
+    pub fn dependent(mut self) -> Self {
+        self.dependent = true;
+        self
+    }
+}
+
+/// An endless instruction stream. Implementations must keep producing ops
+/// forever (generators are cyclic or statistical); the simulator freezes a
+/// thread's *statistics* after its instruction budget but keeps running it
+/// to preserve memory contention, per the standard multiprogrammed
+/// methodology.
+pub trait TraceSource {
+    /// Produces the next record.
+    fn next_op(&mut self) -> TraceOp;
+
+    /// A short label for reports.
+    fn label(&self) -> &str {
+        "trace"
+    }
+}
+
+/// A trace that cycles over a fixed vector of records. Mostly for tests.
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    ops: Vec<TraceOp>,
+    pos: usize,
+    label: String,
+}
+
+impl VecTrace {
+    /// Creates a cyclic trace over `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn new(label: impl Into<String>, ops: Vec<TraceOp>) -> Self {
+        assert!(!ops.is_empty(), "trace must contain at least one op");
+        VecTrace {
+            ops,
+            pos: 0,
+            label: label.into(),
+        }
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_trace_cycles() {
+        let mut t = VecTrace::new("t", vec![TraceOp::load(0, 1), TraceOp::store(64, 2)]);
+        assert_eq!(t.next_op().bubbles, 1);
+        assert_eq!(t.next_op().bubbles, 2);
+        assert_eq!(t.next_op().bubbles, 1); // wrapped
+        assert_eq!(t.label(), "t");
+    }
+}

@@ -1,0 +1,296 @@
+//! Reading and writing instruction traces as text files.
+//!
+//! The format follows the widely used CPU-trace convention of DRAM
+//! simulators (DRAMsim/Ramulator lineage): one record per line,
+//!
+//! ```text
+//! <bubbles> <R|W> <address> [D]
+//! ```
+//!
+//! where `bubbles` is the number of non-memory instructions preceding the
+//! access, `R`/`W` selects a load or store, `address` is decimal or
+//! `0x`-prefixed hex, and an optional trailing `D` marks the access as
+//! dependent on the previous miss (pointer chasing). Blank lines and lines
+//! starting with `#` are ignored.
+//!
+//! This lets the simulator run *real* program traces (captured with Pin,
+//! DynamoRIO, etc.) instead of — or alongside — the synthetic workloads of
+//! `stfm-workloads`.
+
+use crate::trace::{MemOpKind, TraceOp, TraceSource};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use stfm_dram::PhysAddr;
+
+/// A parse failure while loading a trace file.
+#[derive(Debug)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Errors from [`FileTrace::open`].
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed record.
+    Parse(ParseTraceError),
+    /// The file contained no records.
+    Empty,
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::Parse(e) => write!(f, "{e}"),
+            TraceIoError::Empty => write!(f, "trace file contains no records"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Parses one record line (without comments/blank handling).
+fn parse_line(line: &str, lineno: usize) -> Result<TraceOp, ParseTraceError> {
+    let err = |message: String| ParseTraceError {
+        line: lineno,
+        message,
+    };
+    let mut parts = line.split_whitespace();
+    let bubbles: u32 = parts
+        .next()
+        .ok_or_else(|| err("missing bubble count".into()))?
+        .parse()
+        .map_err(|e| err(format!("bad bubble count: {e}")))?;
+    let kind = match parts.next() {
+        Some("R") | Some("r") => MemOpKind::Load,
+        Some("W") | Some("w") => MemOpKind::Store,
+        Some(other) => return Err(err(format!("expected R or W, found '{other}'"))),
+        None => return Err(err("missing access kind".into())),
+    };
+    let addr_str = parts.next().ok_or_else(|| err("missing address".into()))?;
+    let addr = if let Some(hex) = addr_str.strip_prefix("0x").or_else(|| addr_str.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|e| err(format!("bad hex address: {e}")))?
+    } else {
+        addr_str
+            .parse()
+            .map_err(|e| err(format!("bad address: {e}")))?
+    };
+    let dependent = match parts.next() {
+        None => false,
+        Some("D") | Some("d") => true,
+        Some(other) => return Err(err(format!("unexpected trailing token '{other}'"))),
+    };
+    if let Some(extra) = parts.next() {
+        return Err(err(format!("unexpected trailing token '{extra}'")));
+    }
+    Ok(TraceOp {
+        bubbles,
+        kind,
+        addr: PhysAddr(addr),
+        dependent,
+    })
+}
+
+/// An instruction trace loaded from a file, replayed cyclically.
+#[derive(Debug, Clone)]
+pub struct FileTrace {
+    ops: Vec<TraceOp>,
+    pos: usize,
+    label: String,
+}
+
+impl FileTrace {
+    /// Loads `path`, using the file stem as the trace label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError`] on I/O failure, malformed records, or an
+    /// empty trace.
+    pub fn open(path: impl AsRef<Path>) -> Result<FileTrace, TraceIoError> {
+        let path = path.as_ref();
+        let label = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_string());
+        let reader = BufReader::new(File::open(path)?);
+        Self::from_reader(reader, label)
+    }
+
+    /// Parses a trace from any reader (useful for tests and pipes).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FileTrace::open`].
+    pub fn from_reader(reader: impl BufRead, label: impl Into<String>) -> Result<FileTrace, TraceIoError> {
+        let mut ops = Vec::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            ops.push(parse_line(trimmed, i + 1).map_err(TraceIoError::Parse)?);
+        }
+        if ops.is_empty() {
+            return Err(TraceIoError::Empty);
+        }
+        Ok(FileTrace {
+            ops,
+            pos: 0,
+            label: label.into(),
+        })
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Always false: empty traces are rejected at load time.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The records, in file order.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+}
+
+impl TraceSource for FileTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Writes `ops` to `path` in the text format [`FileTrace`] reads.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_trace(path: impl AsRef<Path>, ops: &[TraceOp]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# <bubbles> <R|W> <address> [D]")?;
+    for op in ops {
+        write_op(&mut w, op)?;
+    }
+    w.flush()
+}
+
+fn write_op(w: &mut impl Write, op: &TraceOp) -> io::Result<()> {
+    let kind = match op.kind {
+        MemOpKind::Load => 'R',
+        MemOpKind::Store => 'W',
+    };
+    if op.dependent {
+        writeln!(w, "{} {} {:#x} D", op.bubbles, kind, op.addr.0)
+    } else {
+        writeln!(w, "{} {} {:#x}", op.bubbles, kind, op.addr.0)
+    }
+}
+
+/// Captures the first `n` records of any [`TraceSource`] (e.g. a synthetic
+/// generator) so they can be written out with [`write_trace`].
+pub fn capture(source: &mut dyn TraceSource, n: usize) -> Vec<TraceOp> {
+    (0..n).map(|_| source.next_op()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(text: &str) -> Result<FileTrace, TraceIoError> {
+        FileTrace::from_reader(Cursor::new(text.to_string()), "t")
+    }
+
+    #[test]
+    fn parses_basic_records() {
+        let t = parse("# header\n5 R 0x1000\n0 W 4096 D\n\n3 r 7\n").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.ops()[0], TraceOp::load(0x1000, 5));
+        assert_eq!(t.ops()[1], TraceOp::store(4096, 0).dependent());
+        assert_eq!(t.ops()[2], TraceOp::load(7, 3));
+    }
+
+    #[test]
+    fn cycles_like_vec_trace() {
+        let mut t = parse("1 R 0x40\n2 W 0x80\n").unwrap();
+        assert_eq!(t.next_op().bubbles, 1);
+        assert_eq!(t.next_op().bubbles, 2);
+        assert_eq!(t.next_op().bubbles, 1);
+        assert_eq!(t.label(), "t");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["R 0x1000", "5 X 0x1000", "5 R", "5 R zz", "5 R 1 D extra", "5 R 1 Q"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let e = parse("1 R 0x40\nbogus\n").unwrap_err();
+        match e {
+            TraceIoError::Parse(p) => assert_eq!(p.line, 2),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(parse("# nothing\n"), Err(TraceIoError::Empty)));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("stfm_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let ops = vec![
+            TraceOp::load(0x1234, 9),
+            TraceOp::store(0x40, 0),
+            TraceOp::load(0xdeadbe40, 2).dependent(),
+        ];
+        write_trace(&path, &ops).unwrap();
+        let t = FileTrace::open(&path).unwrap();
+        assert_eq!(t.ops(), &ops[..]);
+        assert_eq!(t.label(), "t");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn capture_from_synthetic_source() {
+        let mut v = crate::trace::VecTrace::new("v", vec![TraceOp::load(0, 1)]);
+        let ops = capture(&mut v, 5);
+        assert_eq!(ops.len(), 5);
+    }
+}

@@ -1,0 +1,440 @@
+//! A DRAM channel: banks plus the shared command/address and data buses.
+
+use crate::bank::Bank;
+use crate::command::{BankId, CommandKind, DramCommand};
+use crate::config::DramConfig;
+use crate::refresh::RefreshState;
+use crate::timing::TimingParams;
+use crate::DramCycle;
+
+/// Number of ACTIVATEs bounded by the tFAW window.
+const FAW_WINDOW: usize = 4;
+
+/// One DRAM channel: a set of banks behind a shared command/address bus and
+/// a shared bidirectional data bus.
+///
+/// Cross-bank constraints enforced here:
+///
+/// * one command per DRAM cycle on the command/address bus;
+/// * data-bus occupancy (each burst holds the bus for `BL/2` cycles) and
+///   read↔write turnaround (`tWTR` after write data before any READ);
+/// * `tRRD` between ACTIVATEs and at most four ACTIVATEs per `tFAW` window;
+/// * periodic all-bank refresh (see [`RefreshState`]).
+#[derive(Debug, Clone)]
+pub struct Channel {
+    timing: TimingParams,
+    banks: Vec<Bank>,
+    /// Cycle after which the command bus is free.
+    cmd_bus_free: DramCycle,
+    /// Cycle after which the data bus is free.
+    data_bus_free: DramCycle,
+    /// Earliest cycle a READ may issue (write-to-read turnaround).
+    next_read_issue: DramCycle,
+    /// Earliest cycle a WRITE may issue (read-to-write: bus occupancy).
+    next_write_issue: DramCycle,
+    /// Earliest cycle any ACTIVATE may issue (tRRD).
+    next_activate_any: DramCycle,
+    /// Issue cycles of the most recent ACTIVATEs (tFAW sliding window).
+    recent_activates: [DramCycle; FAW_WINDOW],
+    refresh: RefreshState,
+    /// Commands issued, by rough class, for statistics.
+    stats: ChannelStats,
+}
+
+/// Command counts observed by a channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// ACTIVATE commands issued.
+    pub activates: u64,
+    /// PRECHARGE commands issued.
+    pub precharges: u64,
+    /// READ commands issued.
+    pub reads: u64,
+    /// WRITE commands issued.
+    pub writes: u64,
+    /// Refresh operations performed.
+    pub refreshes: u64,
+}
+
+impl Channel {
+    /// Creates an idle channel for `config`.
+    pub fn new(config: &DramConfig) -> Self {
+        Channel {
+            timing: config.timing,
+            banks: (0..config.banks).map(|_| Bank::new()).collect(),
+            cmd_bus_free: 0,
+            data_bus_free: 0,
+            next_read_issue: 0,
+            next_write_issue: 0,
+            next_activate_any: 0,
+            recent_activates: [0; FAW_WINDOW],
+            refresh: RefreshState::new(config.refresh_enabled, config.timing.t_refi),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The channel's timing parameters.
+    #[inline]
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Number of banks.
+    #[inline]
+    pub fn num_banks(&self) -> u32 {
+        self.banks.len() as u32
+    }
+
+    /// Immutable view of a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[inline]
+    pub fn bank(&self, bank: BankId) -> &Bank {
+        &self.banks[bank.0 as usize]
+    }
+
+    /// Command statistics so far.
+    #[inline]
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Advances channel housekeeping to cycle `now`: starts a due refresh if
+    /// the channel has drained, and retires a finished one. Call once per
+    /// DRAM cycle before scheduling.
+    ///
+    /// Returns `Some((start, end))` when a refresh begins this cycle, so
+    /// auditors like [`crate::TimingChecker`] can be informed.
+    pub fn tick(&mut self, now: DramCycle) -> Option<(DramCycle, DramCycle)> {
+        self.refresh.retire(now);
+        if self.refresh.due(now) && self.drained(now) {
+            // Implicit precharge-all (tRP) followed by the refresh (tRFC).
+            let duration = self.timing.t_rp + self.timing.t_rfc;
+            self.refresh.start(now, duration);
+            let reopen = now + duration;
+            for b in &mut self.banks {
+                b.force_close(reopen);
+            }
+            self.cmd_bus_free = self.cmd_bus_free.max(reopen);
+            self.data_bus_free = self.data_bus_free.max(reopen);
+            self.stats.refreshes += 1;
+            return Some((now, reopen));
+        }
+        None
+    }
+
+    /// True when no bank operation or bus transfer is in flight, so a
+    /// refresh can begin.
+    fn drained(&self, now: DramCycle) -> bool {
+        now >= self.data_bus_free && self.banks.iter().all(|b| !b.is_busy(now))
+    }
+
+    /// True while a refresh blocks the channel at `now`.
+    #[inline]
+    pub fn refresh_blocking(&self, now: DramCycle) -> bool {
+        self.refresh.blocking(now)
+    }
+
+    /// Checks every channel- and bank-level constraint for issuing `cmd` at
+    /// cycle `now`. A command for which this returns `true` is *ready* in
+    /// the paper's sense (Section 2.4, footnote 4).
+    pub fn can_issue(&self, cmd: &DramCommand, now: DramCycle) -> bool {
+        if self.refresh.blocking(now) || now < self.cmd_bus_free {
+            return false;
+        }
+        let bank_ok = self
+            .banks
+            .get(cmd.bank.0 as usize)
+            .is_some_and(|b| b.can_issue(cmd, now));
+        if !bank_ok {
+            return false;
+        }
+        match cmd.kind {
+            CommandKind::Activate { .. } => {
+                now >= self.next_activate_any && now >= self.faw_earliest()
+            }
+            CommandKind::Read { .. } => {
+                now >= self.next_read_issue && now + self.timing.t_cl >= self.data_bus_free
+            }
+            CommandKind::Write { .. } => {
+                now >= self.next_write_issue && now + self.timing.t_cwl >= self.data_bus_free
+            }
+            CommandKind::Precharge | CommandKind::Refresh => true,
+        }
+    }
+
+    /// Earliest cycle at which a new ACTIVATE satisfies tFAW.
+    fn faw_earliest(&self) -> DramCycle {
+        if self.stats.activates < FAW_WINDOW as u64 {
+            // Fewer than four ACTIVATEs ever issued: no tFAW bound yet.
+            0
+        } else {
+            // recent_activates[0] is the oldest of the last four.
+            self.recent_activates[0] + self.timing.t_faw
+        }
+    }
+
+    /// Issues `cmd` at cycle `now`, updating all bus and bank state.
+    ///
+    /// Returns the completion cycle: for READ/WRITE, the end of the data
+    /// burst; for ACTIVATE/PRECHARGE, the end of the row operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cmd` is not ready ([`Channel::can_issue`] is false).
+    pub fn issue(&mut self, cmd: &DramCommand, now: DramCycle) -> DramCycle {
+        assert!(self.can_issue(cmd, now), "illegal {cmd} at DRAM cycle {now}");
+        self.cmd_bus_free = now + 1;
+        let t = self.timing;
+        match cmd.kind {
+            CommandKind::Activate { .. } => {
+                self.next_activate_any = now + t.t_rrd;
+                self.recent_activates.rotate_left(1);
+                self.recent_activates[FAW_WINDOW - 1] = now;
+                self.stats.activates += 1;
+            }
+            CommandKind::Precharge => self.stats.precharges += 1,
+            CommandKind::Read { .. } => {
+                let data_start = now + t.t_cl;
+                self.data_bus_free = data_start + t.burst_cycles();
+                // A write burst may not start until the read burst ends.
+                self.next_write_issue = self
+                    .next_write_issue
+                    .max(self.data_bus_free.saturating_sub(t.t_cwl));
+                self.stats.reads += 1;
+            }
+            CommandKind::Write { .. } => {
+                let data_start = now + t.t_cwl;
+                let data_end = data_start + t.burst_cycles();
+                self.data_bus_free = data_end;
+                // Write-to-read turnaround: tWTR after the write data ends.
+                self.next_read_issue = self.next_read_issue.max(data_end + t.t_wtr);
+                self.stats.writes += 1;
+            }
+            CommandKind::Refresh => self.stats.refreshes += 1,
+        }
+        self.banks[cmd.bank.0 as usize].issue(cmd, now, &t)
+    }
+
+    /// Number of banks with an open row (for background-power accounting).
+    pub fn open_banks(&self) -> u32 {
+        self.banks.iter().filter(|b| b.open_row().is_some()).count() as u32
+    }
+
+    /// Issues a column command with auto-precharge (DDR2 RDA/WRA). Same
+    /// channel-level effects as [`Channel::issue`], plus the device-side
+    /// precharge of [`Bank::issue_auto_precharge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command is not ready, or is not a column command.
+    pub fn issue_auto_precharge(&mut self, cmd: &DramCommand, now: DramCycle) -> DramCycle {
+        assert!(cmd.kind.is_column(), "auto-precharge needs a column command");
+        assert!(self.can_issue(cmd, now), "illegal {cmd} at DRAM cycle {now}");
+        self.cmd_bus_free = now + 1;
+        let t = self.timing;
+        match cmd.kind {
+            CommandKind::Read { .. } => {
+                let data_start = now + t.t_cl;
+                self.data_bus_free = data_start + t.burst_cycles();
+                self.next_write_issue = self
+                    .next_write_issue
+                    .max(self.data_bus_free.saturating_sub(t.t_cwl));
+                self.stats.reads += 1;
+            }
+            CommandKind::Write { .. } => {
+                let data_start = now + t.t_cwl;
+                let data_end = data_start + t.burst_cycles();
+                self.data_bus_free = data_end;
+                self.next_read_issue = self.next_read_issue.max(data_end + t.t_wtr);
+                self.stats.writes += 1;
+            }
+            _ => unreachable!("checked above"),
+        }
+        self.stats.precharges += 1;
+        self.banks[cmd.bank.0 as usize].issue_auto_precharge(cmd, now, &t)
+    }
+
+    /// Banks currently servicing an in-flight operation at `now`.
+    pub fn busy_banks(&self, now: DramCycle) -> impl Iterator<Item = BankId> + '_ {
+        self.banks
+            .iter()
+            .enumerate()
+            .filter(move |(_, b)| b.is_busy(now))
+            .map(|(i, _)| BankId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_refresh() -> DramConfig {
+        DramConfig {
+            refresh_enabled: false,
+            ..DramConfig::ddr2_800()
+        }
+    }
+
+    #[test]
+    fn uncontended_row_hit_latency() {
+        let cfg = no_refresh();
+        let mut ch = Channel::new(&cfg);
+        let t = cfg.timing;
+        ch.issue(&DramCommand::activate(BankId(0), 1), 0);
+        let done = ch.issue(&DramCommand::read(BankId(0), 1, 0), t.t_rcd);
+        assert_eq!(done, t.t_rcd + t.read_latency());
+    }
+
+    #[test]
+    fn command_bus_is_one_per_cycle() {
+        let cfg = no_refresh();
+        let mut ch = Channel::new(&cfg);
+        ch.issue(&DramCommand::activate(BankId(0), 1), 0);
+        // A second command in cycle 0 — even to another bank — must wait.
+        assert!(!ch.can_issue(&DramCommand::activate(BankId(1), 1), 0));
+        // tRRD also applies; a PRECHARGE-class command only waits for the bus.
+        let mut ch2 = Channel::new(&cfg);
+        ch2.issue(&DramCommand::activate(BankId(0), 1), 0);
+        ch2.issue(&DramCommand::activate(BankId(1), 1), cfg.timing.t_rrd);
+        assert!(ch2.stats().activates == 2);
+    }
+
+    #[test]
+    fn trrd_spaces_activates() {
+        let cfg = no_refresh();
+        let mut ch = Channel::new(&cfg);
+        ch.issue(&DramCommand::activate(BankId(0), 1), 0);
+        let act = DramCommand::activate(BankId(1), 1);
+        assert!(!ch.can_issue(&act, cfg.timing.t_rrd - 1));
+        assert!(ch.can_issue(&act, cfg.timing.t_rrd));
+    }
+
+    #[test]
+    fn tfaw_limits_activate_bursts() {
+        let cfg = no_refresh();
+        let t = cfg.timing;
+        let mut ch = Channel::new(&cfg);
+        let mut now = 0;
+        for b in 0..4 {
+            assert!(ch.can_issue(&DramCommand::activate(BankId(b), 1), now));
+            ch.issue(&DramCommand::activate(BankId(b), 1), now);
+            now += t.t_rrd;
+        }
+        // Fifth ACTIVATE: must wait for the first + tFAW.
+        let fifth = DramCommand::activate(BankId(4), 1);
+        assert!(!ch.can_issue(&fifth, now));
+        assert!(!ch.can_issue(&fifth, t.t_faw - 1));
+        assert!(ch.can_issue(&fifth, t.t_faw));
+    }
+
+    #[test]
+    fn data_bus_serializes_reads_across_banks() {
+        let cfg = no_refresh();
+        let t = cfg.timing;
+        let mut ch = Channel::new(&cfg);
+        ch.issue(&DramCommand::activate(BankId(0), 1), 0);
+        ch.issue(&DramCommand::activate(BankId(1), 1), t.t_rrd);
+        ch.issue(&DramCommand::read(BankId(0), 1, 0), t.t_rcd);
+        // Bank 1's read is CAS-ready at t_rrd + t_rcd but the data bus is
+        // occupied until t_rcd + t_cl + BL/2; reads pipeline, so the next
+        // read may issue once its data start clears the bus.
+        let rd1 = DramCommand::read(BankId(1), 1, 0);
+        let earliest = t.t_rcd + t.burst_cycles(); // data_start parity
+        assert!(!ch.can_issue(&rd1, earliest - 1));
+        assert!(ch.can_issue(&rd1, earliest));
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let cfg = no_refresh();
+        let t = cfg.timing;
+        let mut ch = Channel::new(&cfg);
+        ch.issue(&DramCommand::activate(BankId(0), 1), 0);
+        ch.issue(&DramCommand::write(BankId(0), 1, 0), t.t_rcd);
+        let rd = DramCommand::read(BankId(0), 1, 1);
+        let write_data_end = t.t_rcd + t.t_cwl + t.burst_cycles();
+        let earliest = write_data_end + t.t_wtr;
+        assert!(!ch.can_issue(&rd, earliest - 1));
+        assert!(ch.can_issue(&rd, earliest));
+    }
+
+    #[test]
+    fn refresh_closes_rows_and_blocks() {
+        let cfg = DramConfig::ddr2_800();
+        let t = cfg.timing;
+        let mut ch = Channel::new(&cfg);
+        ch.issue(&DramCommand::activate(BankId(0), 1), 0);
+        // Run past tREFI with the channel idle; tick should start a refresh.
+        let due = t.t_refi;
+        ch.tick(due);
+        assert!(ch.refresh_blocking(due));
+        assert_eq!(ch.bank(BankId(0)).open_row(), None);
+        assert!(!ch.can_issue(&DramCommand::activate(BankId(0), 1), due));
+        let end = due + t.t_rp + t.t_rfc;
+        ch.tick(end);
+        assert!(!ch.refresh_blocking(end));
+        assert!(ch.can_issue(&DramCommand::activate(BankId(0), 1), end));
+    }
+
+    #[test]
+    fn busy_banks_reports_in_flight_operations() {
+        let cfg = no_refresh();
+        let mut ch = Channel::new(&cfg);
+        ch.issue(&DramCommand::activate(BankId(2), 1), 0);
+        let busy: Vec<_> = ch.busy_banks(1).collect();
+        assert_eq!(busy, vec![BankId(2)]);
+        assert_eq!(ch.busy_banks(1000).count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::checker::TimingChecker;
+    use proptest::prelude::*;
+
+    /// Drives a channel with randomized *intents*; every command the
+    /// channel reports as ready and issues must satisfy the independent
+    /// TimingChecker. This cross-validates the two disjoint encodings of
+    /// the DDR2 rules over arbitrary interleavings.
+    #[test]
+    fn random_ready_commands_are_always_legal() {
+        let mut runner = proptest::test_runner::TestRunner::default();
+        runner
+            .run(
+                &proptest::collection::vec((0u32..8, 0u32..4, 0u32..4, 1u64..4), 200),
+                |intents| {
+                    let cfg = DramConfig {
+                        refresh_enabled: false,
+                        ..DramConfig::ddr2_800()
+                    };
+                    let mut ch = Channel::new(&cfg);
+                    let mut checker = TimingChecker::new(cfg.banks, cfg.timing);
+                    let mut now = 0u64;
+                    for (bank, row, kind, wait) in intents {
+                        now += wait;
+                        let bank = BankId(bank);
+                        let cmd = match (kind, ch.bank(bank).open_row()) {
+                            (0, None) => DramCommand::activate(bank, row),
+                            (0, Some(r)) if r != row => DramCommand::precharge(bank),
+                            (0, Some(r)) => DramCommand::read(bank, r, 0),
+                            (1, Some(r)) => DramCommand::read(bank, r, row),
+                            (2, Some(r)) => DramCommand::write(bank, r, row),
+                            (_, Some(_)) => DramCommand::precharge(bank),
+                            (_, None) => DramCommand::activate(bank, row),
+                        };
+                        if ch.can_issue(&cmd, now) {
+                            ch.issue(&cmd, now);
+                            checker.observe(&cmd, now);
+                        }
+                    }
+                    prop_assert!(checker.violations().is_empty(), "{:?}", checker.violations().first());
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+}

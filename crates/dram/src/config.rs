@@ -1,0 +1,171 @@
+//! Whole-memory-system configuration (geometry + timing).
+
+use crate::timing::TimingParams;
+use crate::DramCycle;
+
+/// Configuration of the DRAM memory system: geometry, timing, and
+/// controller-side constants.
+///
+/// The default matches the paper's Table 2 baseline: a single-rank DIMM of
+/// eight DDR2-800 x8 chips (64-bit data interface), 8 banks, 2 KB row buffer
+/// per chip (16 KB per bank at DIMM level), 2^14 rows per bank, 64-byte cache
+/// lines, and a 10 ns uncontended controller + bus overhead so that the
+/// round-trip L2-miss latencies are 35 / 50 / 70 ns for row hit / closed /
+/// conflict.
+///
+/// Construct with [`DramConfig::ddr2_800`] and adjust fields, or use the
+/// sweep helpers [`DramConfig::with_banks`] and
+/// [`DramConfig::with_row_buffer_bytes_per_chip`] used by the Table 5
+/// sensitivity experiments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DramConfig {
+    /// Number of independent channels (each with its own controller).
+    pub channels: u32,
+    /// Banks per channel. Paper baseline: 8.
+    pub banks: u32,
+    /// Rows per bank. Paper baseline: 2^14.
+    pub rows: u32,
+    /// Row-buffer size per DRAM chip in bytes (2 KB baseline). The DIMM-level
+    /// row is `chips_per_dimm` times larger.
+    pub row_buffer_bytes_per_chip: u32,
+    /// DRAM chips ganged on the DIMM (8 x8 chips → 64-bit interface).
+    pub chips_per_dimm: u32,
+    /// Cache-line (and DRAM burst) size in bytes. Paper baseline: 64.
+    pub line_bytes: u32,
+    /// Extra uncontended controller + on-chip/off-chip bus overhead added to
+    /// every request's round trip, in DRAM cycles (10 ns = 4 cycles).
+    pub controller_overhead: DramCycle,
+    /// Whether periodic refresh is modeled.
+    pub refresh_enabled: bool,
+    /// DDR timing constraints.
+    pub timing: TimingParams,
+}
+
+impl DramConfig {
+    /// The paper's baseline configuration with one channel.
+    pub fn ddr2_800() -> Self {
+        DramConfig {
+            channels: 1,
+            banks: 8,
+            rows: 1 << 14,
+            row_buffer_bytes_per_chip: 2048,
+            chips_per_dimm: 8,
+            line_bytes: 64,
+            controller_overhead: 4, // 10 ns
+            refresh_enabled: true,
+            timing: TimingParams::ddr2_800(),
+        }
+    }
+
+    /// Baseline configuration with the paper's core-count-scaled channel
+    /// count: 1, 1, 2, 4 channels for 2, 4, 8, 16 cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn for_cores(cores: u32) -> Self {
+        assert!(cores > 0, "core count must be positive");
+        let channels = match cores {
+            1..=4 => 1,
+            5..=8 => 2,
+            _ => 4,
+        };
+        DramConfig {
+            channels,
+            ..Self::ddr2_800()
+        }
+    }
+
+    /// Returns a copy with a different bank count (Table 5 sweep).
+    pub fn with_banks(mut self, banks: u32) -> Self {
+        assert!(banks.is_power_of_two(), "bank count must be a power of two");
+        self.banks = banks;
+        self
+    }
+
+    /// Returns a copy with a different per-chip row-buffer size (Table 5
+    /// sweep: 1 KB / 2 KB / 4 KB).
+    pub fn with_row_buffer_bytes_per_chip(mut self, bytes: u32) -> Self {
+        assert!(bytes.is_power_of_two(), "row-buffer size must be a power of two");
+        self.row_buffer_bytes_per_chip = bytes;
+        self
+    }
+
+    /// DIMM-level row size in bytes (per-chip row buffer × chips).
+    #[inline]
+    pub fn row_bytes(&self) -> u32 {
+        self.row_buffer_bytes_per_chip * self.chips_per_dimm
+    }
+
+    /// Cache lines per DIMM-level row (= number of line-sized columns).
+    #[inline]
+    pub fn columns(&self) -> u32 {
+        self.row_bytes() / self.line_bytes
+    }
+
+    /// Row-hit requests a streaming thread can service back to back from one
+    /// row (paper Section 2.5's `2KB * 8 / 64B = 256` example).
+    #[inline]
+    pub fn row_hit_streak(&self) -> u32 {
+        self.columns()
+    }
+
+    /// Total physical address space covered by the configuration, in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.channels)
+            * u64::from(self.banks)
+            * u64::from(self.rows)
+            * u64::from(self.row_bytes())
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::ddr2_800()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper() {
+        let c = DramConfig::ddr2_800();
+        assert_eq!(c.banks, 8);
+        assert_eq!(c.row_bytes(), 16 * 1024);
+        assert_eq!(c.columns(), 256);
+        assert_eq!(c.row_hit_streak(), 256); // paper's 2KB*8/64B example
+    }
+
+    #[test]
+    fn channels_scale_with_cores() {
+        assert_eq!(DramConfig::for_cores(2).channels, 1);
+        assert_eq!(DramConfig::for_cores(4).channels, 1);
+        assert_eq!(DramConfig::for_cores(8).channels, 2);
+        assert_eq!(DramConfig::for_cores(16).channels, 4);
+    }
+
+    #[test]
+    fn sweep_helpers() {
+        let c = DramConfig::ddr2_800()
+            .with_banks(16)
+            .with_row_buffer_bytes_per_chip(4096);
+        assert_eq!(c.banks, 16);
+        assert_eq!(c.row_bytes(), 32 * 1024);
+        assert_eq!(c.columns(), 512);
+    }
+
+    #[test]
+    fn capacity_is_consistent() {
+        let c = DramConfig::ddr2_800();
+        // 8 banks * 2^14 rows * 16 KB rows = 2 GiB per channel.
+        assert_eq!(c.capacity_bytes(), 2 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_banks() {
+        let _ = DramConfig::ddr2_800().with_banks(6);
+    }
+}

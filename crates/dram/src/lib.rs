@@ -1,0 +1,91 @@
+//! Cycle-level DDR2 SDRAM model.
+//!
+//! This crate implements the DRAM substrate used by the STFM reproduction
+//! (Mutlu & Moscibroda, *Stall-Time Fair Memory Access Scheduling for Chip
+//! Multiprocessors*, MICRO 2007): banks with row buffers, per-channel
+//! command/address/data buses, the full DDR2 timing-constraint set, an
+//! XOR-permuted address mapping, periodic refresh, and an independent
+//! [`TimingChecker`] that audits every issued command.
+//!
+//! The model is *command accurate*: a memory controller drives it by issuing
+//! [`DramCommand`]s ([`CommandKind::Activate`], [`CommandKind::Precharge`],
+//! [`CommandKind::Read`], [`CommandKind::Write`]) subject to the readiness
+//! rules of [`Channel::can_issue`]. Time is counted in DRAM clock cycles
+//! (DDR2-800: one DRAM cycle = 2.5 ns = [`CPU_CYCLES_PER_DRAM_CYCLE`] CPU
+//! cycles at the paper's 4 GHz core clock).
+//!
+//! # Example
+//!
+//! ```
+//! use stfm_dram::{Channel, DramConfig, DramCommand, BankId};
+//!
+//! let cfg = DramConfig::ddr2_800();
+//! let mut ch = Channel::new(&cfg);
+//! let t = cfg.timing;
+//!
+//! // Open row 7 of bank 0, then read column 3 of that row.
+//! let act = DramCommand::activate(BankId(0), 7);
+//! assert!(ch.can_issue(&act, 0));
+//! ch.issue(&act, 0);
+//!
+//! let rd = DramCommand::read(BankId(0), 7, 3);
+//! assert!(!ch.can_issue(&rd, 0)); // tRCD not yet elapsed
+//! assert!(ch.can_issue(&rd, t.t_rcd));
+//! let done = ch.issue(&rd, t.t_rcd);
+//! assert_eq!(done, t.t_rcd + t.t_cl + t.burst_cycles());
+//! ```
+
+pub mod address;
+pub mod bank;
+pub mod channel;
+pub mod checker;
+pub mod command;
+pub mod config;
+pub mod latency;
+pub mod power;
+pub mod refresh;
+pub mod timing;
+
+pub use address::{AddressMapping, DecodedAddr, PhysAddr};
+pub use bank::{Bank, BankState};
+pub use channel::Channel;
+pub use checker::{TimingChecker, TimingViolation};
+pub use command::{BankId, ChannelId, CommandKind, DramCommand};
+pub use config::DramConfig;
+pub use latency::{command_bank_latency, AccessCategory};
+pub use power::{EnergyBreakdown, EnergyModel, PowerParams};
+pub use refresh::RefreshState;
+pub use timing::TimingParams;
+
+/// DRAM clock cycle count (DDR2-800: 2.5 ns per cycle).
+pub type DramCycle = u64;
+
+/// CPU clock cycle count (4 GHz: 0.25 ns per cycle).
+pub type CpuCycle = u64;
+
+/// Number of CPU cycles per DRAM cycle (4 GHz core / 400 MHz DDR2-800 bus).
+pub const CPU_CYCLES_PER_DRAM_CYCLE: u64 = 10;
+
+/// Converts DRAM cycles to CPU cycles.
+#[inline]
+pub const fn dram_to_cpu(cycles: DramCycle) -> CpuCycle {
+    cycles * CPU_CYCLES_PER_DRAM_CYCLE
+}
+
+/// Converts CPU cycles to DRAM cycles, rounding down.
+#[inline]
+pub const fn cpu_to_dram(cycles: CpuCycle) -> DramCycle {
+    cycles / CPU_CYCLES_PER_DRAM_CYCLE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_conversions_round_trip_on_boundaries() {
+        assert_eq!(dram_to_cpu(6), 60);
+        assert_eq!(cpu_to_dram(60), 6);
+        assert_eq!(cpu_to_dram(69), 6);
+    }
+}

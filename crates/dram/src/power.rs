@@ -1,0 +1,223 @@
+//! DRAM energy accounting, in the style of the Micron DDR2 power
+//! calculator: per-command energies derived from the datasheet IDD values,
+//! plus state-dependent background power.
+//!
+//! The model is an *auditor*, like [`crate::TimingChecker`]: feed it every
+//! issued command with [`EnergyModel::observe`] and advance it every DRAM
+//! cycle with [`EnergyModel::tick`]; read the totals at the end. It never
+//! influences timing, so it can be attached to any run.
+
+use crate::command::{CommandKind, DramCommand};
+use crate::timing::TimingParams;
+use crate::DramCycle;
+
+/// Per-DIMM energy parameters in nanojoules / milliwatts.
+///
+/// Defaults follow the Micron MT47H128M8 (DDR2-800) datasheet IDD values at
+/// VDD = 1.8 V, scaled by the 8 chips of the paper's single-rank DIMM:
+///
+/// * `E(ACT+PRE) = (IDD0 − IDD3N) · VDD · tRC`
+/// * `E(RD) = (IDD4R − IDD3N) · VDD · tBURST`, similarly for writes
+/// * `E(REF) = (IDD5 − IDD2N) · VDD · tRFC`
+/// * background: IDD3N while any bank is open, IDD2N when all precharged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Energy of one ACTIVATE + (eventual) PRECHARGE pair, nJ. Booked on
+    /// the ACTIVATE; the PRECHARGE itself is free.
+    pub e_act_pre_nj: f64,
+    /// Energy of one read burst, nJ.
+    pub e_read_nj: f64,
+    /// Energy of one write burst, nJ.
+    pub e_write_nj: f64,
+    /// Energy of one all-bank refresh, nJ.
+    pub e_refresh_nj: f64,
+    /// Background power while ≥ 1 bank is open (active standby), mW.
+    pub p_active_standby_mw: f64,
+    /// Background power with all banks precharged, mW.
+    pub p_precharge_standby_mw: f64,
+}
+
+impl PowerParams {
+    /// DDR2-800 x8 DIMM (8 chips) parameters.
+    pub fn ddr2_800_dimm() -> Self {
+        const CHIPS: f64 = 8.0;
+        const VDD: f64 = 1.8;
+        // Datasheet currents in mA.
+        const IDD0: f64 = 90.0;
+        const IDD2N: f64 = 35.0;
+        const IDD3N: f64 = 45.0;
+        const IDD4R: f64 = 185.0;
+        const IDD4W: f64 = 190.0;
+        const IDD5: f64 = 220.0;
+        let t = TimingParams::ddr2_800();
+        let ns = |cycles: DramCycle| cycles as f64 * 2.5;
+        PowerParams {
+            e_act_pre_nj: (IDD0 - IDD3N) * VDD * ns(t.t_rc) * 1e-3 * CHIPS,
+            e_read_nj: (IDD4R - IDD3N) * VDD * ns(t.burst_cycles()) * 1e-3 * CHIPS,
+            e_write_nj: (IDD4W - IDD3N) * VDD * ns(t.burst_cycles()) * 1e-3 * CHIPS,
+            e_refresh_nj: (IDD5 - IDD2N) * VDD * ns(t.t_rfc) * 1e-3 * CHIPS,
+            p_active_standby_mw: IDD3N * VDD * CHIPS,
+            p_precharge_standby_mw: IDD2N * VDD * CHIPS,
+        }
+    }
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        Self::ddr2_800_dimm()
+    }
+}
+
+/// Cumulative energy breakdown of one channel, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Row activations (including the implied precharges).
+    pub activate_nj: f64,
+    /// Read bursts.
+    pub read_nj: f64,
+    /// Write bursts.
+    pub write_nj: f64,
+    /// Refresh operations.
+    pub refresh_nj: f64,
+    /// Background (standby) energy.
+    pub background_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.activate_nj + self.read_nj + self.write_nj + self.refresh_nj + self.background_nj
+    }
+}
+
+/// Energy auditor for one channel.
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    params: PowerParams,
+    breakdown: EnergyBreakdown,
+    cycles: u64,
+}
+
+impl EnergyModel {
+    /// Creates an auditor with the given parameters.
+    pub fn new(params: PowerParams) -> Self {
+        EnergyModel {
+            params,
+            breakdown: EnergyBreakdown::default(),
+            cycles: 0,
+        }
+    }
+
+    /// Books the energy of one issued command.
+    pub fn observe(&mut self, cmd: &DramCommand) {
+        match cmd.kind {
+            CommandKind::Activate { .. } => self.breakdown.activate_nj += self.params.e_act_pre_nj,
+            CommandKind::Precharge => {} // booked with the ACTIVATE
+            CommandKind::Read { .. } => self.breakdown.read_nj += self.params.e_read_nj,
+            CommandKind::Write { .. } => self.breakdown.write_nj += self.params.e_write_nj,
+            CommandKind::Refresh => self.breakdown.refresh_nj += self.params.e_refresh_nj,
+        }
+    }
+
+    /// Books one all-bank refresh performed internally by the channel.
+    pub fn observe_refresh(&mut self) {
+        self.breakdown.refresh_nj += self.params.e_refresh_nj;
+    }
+
+    /// Advances one DRAM cycle (2.5 ns) of background power; `any_open`
+    /// selects active vs precharge standby.
+    pub fn tick(&mut self, any_open: bool) {
+        let p_mw = if any_open {
+            self.params.p_active_standby_mw
+        } else {
+            self.params.p_precharge_standby_mw
+        };
+        // mW × ns = pJ; /1000 → nJ.
+        self.breakdown.background_nj += p_mw * 2.5 * 1e-3;
+        self.cycles += 1;
+    }
+
+    /// The accumulated breakdown.
+    pub fn breakdown(&self) -> &EnergyBreakdown {
+        &self.breakdown
+    }
+
+    /// Average power over the observed interval, in milliwatts.
+    pub fn average_power_mw(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.breakdown.total_nj() / (self.cycles as f64 * 2.5) * 1e3
+        }
+    }
+
+    /// DRAM cycles observed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::new(PowerParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::BankId;
+
+    #[test]
+    fn derived_energies_are_plausible() {
+        let p = PowerParams::ddr2_800_dimm();
+        // ACT/PRE pair: (90−45) mA × 1.8 V × 60 ns × 8 chips ≈ 38.9 nJ.
+        assert!((p.e_act_pre_nj - 38.88).abs() < 0.1, "{}", p.e_act_pre_nj);
+        // Read burst: (185−45) × 1.8 × 10 ns × 8 ≈ 20.2 nJ.
+        assert!((p.e_read_nj - 20.16).abs() < 0.1);
+        assert!(p.e_write_nj > p.e_read_nj);
+        assert!(p.p_active_standby_mw > p.p_precharge_standby_mw);
+    }
+
+    #[test]
+    fn idle_channel_consumes_only_background() {
+        let mut e = EnergyModel::default();
+        for _ in 0..1000 {
+            e.tick(false);
+        }
+        let b = e.breakdown();
+        assert_eq!(b.activate_nj + b.read_nj + b.write_nj + b.refresh_nj, 0.0);
+        // 1000 cycles × 2.5 ns at 504 mW = 1260 nJ.
+        assert!((b.background_nj - 1260.0).abs() < 1.0);
+        // Average power equals precharge standby.
+        assert!((e.average_power_mw() - 504.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn commands_book_their_class() {
+        let mut e = EnergyModel::default();
+        e.observe(&DramCommand::activate(BankId(0), 1));
+        e.observe(&DramCommand::read(BankId(0), 1, 0));
+        e.observe(&DramCommand::write(BankId(0), 1, 1));
+        e.observe(&DramCommand::precharge(BankId(0)));
+        let b = e.breakdown();
+        assert!(b.activate_nj > 0.0 && b.read_nj > 0.0 && b.write_nj > 0.0);
+        assert_eq!(b.refresh_nj, 0.0);
+        let expected = PowerParams::default();
+        assert!((b.total_nj()
+            - (expected.e_act_pre_nj + expected.e_read_nj + expected.e_write_nj))
+            .abs()
+            < 1e-9);
+    }
+
+    #[test]
+    fn active_standby_costs_more() {
+        let mut open = EnergyModel::default();
+        let mut closed = EnergyModel::default();
+        for _ in 0..100 {
+            open.tick(true);
+            closed.tick(false);
+        }
+        assert!(open.breakdown().background_nj > closed.breakdown().background_nj);
+    }
+}

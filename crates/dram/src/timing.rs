@@ -1,0 +1,124 @@
+//! DDR2 timing parameters, expressed in DRAM clock cycles.
+//!
+//! Values follow the Micron DDR2-800 part used by the paper
+//! (MT47H128M8HQ-25: tCL = tRCD = tRP = 15 ns, BL = 8 → BL/2 = 10 ns),
+//! plus the secondary constraints the paper inherits from the JEDEC DDR2
+//! specification (tRAS, tRC, tRRD, tFAW, tWR, tWTR, tRTP, tCCD, tRFC,
+//! tREFI).
+
+use crate::DramCycle;
+
+/// DDR2 timing constraints in DRAM clock cycles (tCK = 2.5 ns at DDR2-800).
+///
+/// All fields are public by design: this is a passive parameter block in the
+/// C-struct spirit, and experiment sweeps mutate individual constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingParams {
+    /// CAS (column read) latency: READ command to first data beat.
+    pub t_cl: DramCycle,
+    /// CAS write latency: WRITE command to first data beat (tCL − 1 on DDR2).
+    pub t_cwl: DramCycle,
+    /// RAS-to-CAS delay: ACTIVATE to first READ/WRITE.
+    pub t_rcd: DramCycle,
+    /// Row precharge time: PRECHARGE to next ACTIVATE of the same bank.
+    pub t_rp: DramCycle,
+    /// Minimum row-open time: ACTIVATE to PRECHARGE of the same bank.
+    pub t_ras: DramCycle,
+    /// ACTIVATE-to-ACTIVATE delay on the same bank (tRAS + tRP).
+    pub t_rc: DramCycle,
+    /// ACTIVATE-to-ACTIVATE delay across banks of the same rank.
+    pub t_rrd: DramCycle,
+    /// Four-activate window: at most 4 ACTIVATEs per rank in this window.
+    pub t_faw: DramCycle,
+    /// Write recovery: end of write data to PRECHARGE of the same bank.
+    pub t_wr: DramCycle,
+    /// Write-to-read turnaround: end of write data to next READ (any bank).
+    pub t_wtr: DramCycle,
+    /// Read-to-precharge delay on the same bank.
+    pub t_rtp: DramCycle,
+    /// Column-to-column delay (burst gap on the data bus).
+    pub t_ccd: DramCycle,
+    /// Burst length in *data beats* (DDR: 2 beats per DRAM cycle).
+    pub burst_length: u32,
+    /// Refresh cycle time: REFRESH command to next command.
+    pub t_rfc: DramCycle,
+    /// Average refresh interval (one all-bank refresh per tREFI).
+    pub t_refi: DramCycle,
+}
+
+impl TimingParams {
+    /// Micron DDR2-800 (-25 speed grade) parameters, matching paper Table 2.
+    pub const fn ddr2_800() -> Self {
+        TimingParams {
+            t_cl: 6,   // 15 ns
+            t_cwl: 5,  // tCL − 1
+            t_rcd: 6,  // 15 ns
+            t_rp: 6,   // 15 ns
+            t_ras: 18, // 45 ns
+            t_rc: 24,  // 60 ns
+            t_rrd: 3,  // 7.5 ns
+            t_faw: 18, // 45 ns
+            t_wr: 6,   // 15 ns
+            t_wtr: 3,  // 7.5 ns
+            t_rtp: 3,  // 7.5 ns
+            t_ccd: 2,  // 5 ns
+            burst_length: 8, // BL/2 = 10 ns
+            t_rfc: 51,    // 127.5 ns
+            t_refi: 3120, // 7.8 µs
+        }
+    }
+
+    /// Number of DRAM cycles the data bus is occupied by one burst (BL/2).
+    #[inline]
+    pub const fn burst_cycles(&self) -> DramCycle {
+        (self.burst_length / 2) as DramCycle
+    }
+
+    /// Bank occupancy of a column read: tCL + BL/2.
+    #[inline]
+    pub const fn read_latency(&self) -> DramCycle {
+        self.t_cl + self.burst_cycles()
+    }
+
+    /// Bank occupancy of a column write: tCWL + BL/2.
+    #[inline]
+    pub const fn write_latency(&self) -> DramCycle {
+        self.t_cwl + self.burst_cycles()
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        Self::ddr2_800()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr2_800_matches_paper_table2() {
+        let t = TimingParams::ddr2_800();
+        // Paper Table 2: tCL = tRCD = tRP = 15 ns, BL/2 = 10 ns. One DRAM
+        // cycle is 2.5 ns, so 6, 6, 6, and 4 cycles respectively.
+        assert_eq!(t.t_cl, 6);
+        assert_eq!(t.t_rcd, 6);
+        assert_eq!(t.t_rp, 6);
+        assert_eq!(t.burst_cycles(), 4);
+    }
+
+    #[test]
+    fn trc_is_tras_plus_trp() {
+        let t = TimingParams::ddr2_800();
+        assert_eq!(t.t_rc, t.t_ras + t.t_rp);
+    }
+
+    #[test]
+    fn derived_latencies() {
+        let t = TimingParams::ddr2_800();
+        assert_eq!(t.read_latency(), 10); // 25 ns
+        assert_eq!(t.write_latency(), 9);
+        assert_eq!(t.t_cwl, t.t_cl - 1);
+    }
+}

@@ -1,0 +1,951 @@
+//! The DRAM memory controller and the multi-channel memory system.
+
+use crate::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
+use crate::request::{AccessKind, Request, RequestId, RequestState, ThreadId};
+use crate::stats::{SystemStats, ThreadStats};
+use stfm_dram::{
+    dram_to_cpu, AccessCategory, AddressMapping, Channel, ChannelId, CpuCycle, DramCommand,
+    DramConfig, DramCycle, EnergyBreakdown, EnergyModel, PhysAddr, TimingChecker,
+};
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowPolicy {
+    /// Leave rows open after column accesses (the paper's baseline,
+    /// Table 2: "FR-FCFS/open-page policy"). Exploits row-buffer locality;
+    /// row conflicts pay the full precharge + activate penalty.
+    #[default]
+    OpenPage,
+    /// Auto-precharge each column access unless another queued request
+    /// targets the same row. Trades away locality for conflict-free
+    /// reopening — the classic alternative for low-locality workloads.
+    ClosedPage,
+}
+
+/// Controller capacity and write-drain parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControllerConfig {
+    /// Request-buffer entries available to reads, per channel
+    /// (paper Table 2: 128).
+    pub read_capacity: usize,
+    /// Write data-buffer entries, per channel (paper Table 2: 32).
+    pub write_capacity: usize,
+    /// Queued-write count that switches the channel into drain mode.
+    pub drain_high: usize,
+    /// Queued-write count at which drain mode ends.
+    pub drain_low: usize,
+    /// Row-buffer management policy.
+    pub row_policy: RowPolicy,
+}
+
+impl ControllerConfig {
+    /// Paper Table 2 defaults.
+    pub const fn paper_baseline() -> Self {
+        ControllerConfig {
+            read_capacity: 128,
+            write_capacity: 32,
+            drain_high: 24,
+            drain_low: 8,
+            row_policy: RowPolicy::OpenPage,
+        }
+    }
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+/// A serviced request handed back to the requesting core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Id assigned at enqueue time.
+    pub id: RequestId,
+    /// Requesting thread.
+    pub thread: ThreadId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// CPU cycle at which the data is available to the core.
+    pub finish_cpu: CpuCycle,
+}
+
+/// Per-channel controller state: the device plus its request buffer.
+#[derive(Debug)]
+struct ChannelCtrl {
+    channel: Channel,
+    requests: Vec<Request>,
+    drain_active: bool,
+    checker: Option<TimingChecker>,
+    energy: Option<EnergyModel>,
+}
+
+impl ChannelCtrl {
+    fn queued_count(&self, kind: AccessKind) -> usize {
+        self.requests
+            .iter()
+            .filter(|r| r.kind == kind && !r.is_completed())
+            .count()
+    }
+}
+
+/// The shared DRAM memory system: one controller per channel, driven by a
+/// single [`SchedulerPolicy`].
+///
+/// Usage per DRAM cycle: call [`MemorySystem::tick`], then reap
+/// [`MemorySystem::drain_completions`]. Requests enter through
+/// [`MemorySystem::try_enqueue`], which applies back-pressure by returning
+/// `None` when the target channel's buffer class is full.
+pub struct MemorySystem {
+    config: DramConfig,
+    ctrl_config: ControllerConfig,
+    mapping: AddressMapping,
+    channels: Vec<ChannelCtrl>,
+    policy: Box<dyn SchedulerPolicy>,
+    next_id: u64,
+    now: DramCycle,
+    completions: Vec<Completion>,
+    stats: SystemStats,
+}
+
+impl MemorySystem {
+    /// Creates a memory system for `config` scheduled by `policy`.
+    pub fn new(config: DramConfig, policy: Box<dyn SchedulerPolicy>) -> Self {
+        Self::with_controller_config(config, ControllerConfig::paper_baseline(), policy)
+    }
+
+    /// Creates a memory system with explicit controller parameters.
+    pub fn with_controller_config(
+        config: DramConfig,
+        ctrl_config: ControllerConfig,
+        policy: Box<dyn SchedulerPolicy>,
+    ) -> Self {
+        let mapping = AddressMapping::new(&config);
+        let channels = (0..config.channels)
+            .map(|_| ChannelCtrl {
+                channel: Channel::new(&config),
+                requests: Vec::with_capacity(
+                    ctrl_config.read_capacity + ctrl_config.write_capacity,
+                ),
+                drain_active: false,
+                checker: None,
+                energy: None,
+            })
+            .collect();
+        MemorySystem {
+            config,
+            ctrl_config,
+            mapping,
+            channels,
+            policy,
+            next_id: 0,
+            now: 0,
+            completions: Vec::new(),
+            stats: SystemStats::default(),
+        }
+    }
+
+    /// Enables the independent [`TimingChecker`] on every channel. All
+    /// subsequently issued commands are audited; use
+    /// [`MemorySystem::assert_timing_clean`] at the end of a run.
+    pub fn enable_timing_checker(&mut self) {
+        for c in &mut self.channels {
+            c.checker = Some(TimingChecker::new(self.config.banks, self.config.timing));
+        }
+    }
+
+    /// Enables per-channel energy accounting (Micron-power-calculator
+    /// style). Read the aggregate with [`MemorySystem::energy`].
+    pub fn enable_energy_model(&mut self) {
+        for c in &mut self.channels {
+            c.energy = Some(EnergyModel::default());
+        }
+    }
+
+    /// Aggregate energy breakdown across channels, if accounting was
+    /// enabled with [`MemorySystem::enable_energy_model`].
+    pub fn energy(&self) -> Option<EnergyBreakdown> {
+        let mut total = EnergyBreakdown::default();
+        let mut any = false;
+        for c in &self.channels {
+            if let Some(e) = &c.energy {
+                let b = e.breakdown();
+                total.activate_nj += b.activate_nj;
+                total.read_nj += b.read_nj;
+                total.write_nj += b.write_nj;
+                total.refresh_nj += b.refresh_nj;
+                total.background_nj += b.background_nj;
+                any = true;
+            }
+        }
+        any.then_some(total)
+    }
+
+    /// Asserts that no audited command violated a DDR2 constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the first recorded violation, or if the checker was
+    /// never enabled.
+    pub fn assert_timing_clean(&self) {
+        for c in &self.channels {
+            c.checker
+                .as_ref()
+                .expect("timing checker not enabled")
+                .assert_clean();
+        }
+    }
+
+    /// The DRAM configuration in force.
+    #[inline]
+    pub fn dram_config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The address mapping in force.
+    #[inline]
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// The active scheduling policy.
+    #[inline]
+    pub fn policy(&self) -> &dyn SchedulerPolicy {
+        &*self.policy
+    }
+
+    /// Mutable access to the policy (for runtime knobs such as STFM's
+    /// `α`-register writes or thread-weight updates).
+    #[inline]
+    pub fn policy_mut(&mut self) -> &mut dyn SchedulerPolicy {
+        &mut *self.policy
+    }
+
+    /// Accumulated statistics.
+    #[inline]
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// Per-thread statistics (allocated lazily on first request).
+    #[inline]
+    pub fn thread_stats(&self, thread: ThreadId) -> ThreadStats {
+        self.stats.thread(thread)
+    }
+
+    /// True if a `kind` request for `addr` can be accepted right now.
+    pub fn can_accept(&self, addr: PhysAddr, kind: AccessKind) -> bool {
+        let loc = self.mapping.decode(addr.line_aligned(self.config.line_bytes));
+        let ctrl = &self.channels[loc.channel.0 as usize];
+        let cap = match kind {
+            AccessKind::Read => self.ctrl_config.read_capacity,
+            AccessKind::Write => self.ctrl_config.write_capacity,
+        };
+        ctrl.queued_count(kind) < cap
+    }
+
+    /// Enqueues a request, or returns `None` when the target channel's
+    /// buffer class is full (back-pressure).
+    ///
+    /// `tshared` is the requesting core's cumulative memory-stall counter,
+    /// communicated to the controller with every request exactly as the
+    /// paper's STFM hardware does (Section 5.1); thread-oblivious policies
+    /// ignore it.
+    pub fn try_enqueue(
+        &mut self,
+        thread: ThreadId,
+        kind: AccessKind,
+        addr: PhysAddr,
+        now_cpu: CpuCycle,
+        tshared: u64,
+    ) -> Option<RequestId> {
+        if !self.can_accept(addr, kind) {
+            return None;
+        }
+        let line = addr.line_aligned(self.config.line_bytes);
+        let loc = self.mapping.decode(line);
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        let req = Request {
+            id,
+            thread,
+            addr: line,
+            loc,
+            kind,
+            arrival_cpu: now_cpu,
+            state: RequestState::Queued,
+            service_started: None,
+            category: None,
+        };
+        self.policy.on_enqueue(&req, tshared);
+        self.stats.record_enqueue(&req);
+        self.channels[loc.channel.0 as usize].requests.push(req);
+        Some(id)
+    }
+
+    /// Advances the memory system to DRAM cycle `now`: housekeeping, policy
+    /// cycle hook, at most one command per channel, and completion
+    /// detection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` moves backwards.
+    pub fn tick(&mut self, now: DramCycle) {
+        assert!(now >= self.now, "time went backwards: {} -> {now}", self.now);
+        self.now = now;
+
+        for ctrl in &mut self.channels {
+            if let Some((start, end)) = ctrl.channel.tick(now) {
+                if let Some(checker) = &mut ctrl.checker {
+                    checker.observe_refresh(start, end);
+                }
+                if let Some(energy) = &mut ctrl.energy {
+                    energy.observe_refresh();
+                }
+            }
+            if let Some(energy) = &mut ctrl.energy {
+                energy.tick(ctrl.channel.open_banks() > 0);
+            }
+        }
+
+        // Global per-cycle policy hook (slowdown updates, etc.).
+        let view = SystemView {
+            now,
+            channels: self
+                .channels
+                .iter()
+                .enumerate()
+                .map(|(i, c)| SchedQuery {
+                    channel_id: ChannelId(i as u32),
+                    now,
+                    channel: &c.channel,
+                    requests: &c.requests,
+                })
+                .collect(),
+        };
+        self.policy.on_dram_cycle(&view);
+        drop(view);
+
+        for (i, ctrl) in self.channels.iter_mut().enumerate() {
+            Self::update_drain(&self.ctrl_config, ctrl);
+            Self::schedule_channel(
+                ChannelId(i as u32),
+                ctrl,
+                &mut *self.policy,
+                now,
+                &mut self.stats,
+                self.ctrl_config.row_policy,
+            );
+            Self::reap_completions(
+                ctrl,
+                &mut *self.policy,
+                now,
+                self.config.controller_overhead,
+                &mut self.completions,
+                &mut self.stats,
+            );
+        }
+    }
+
+    /// Returns (and clears) the requests completed since the last call.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Number of live (not yet completed) requests across all channels.
+    pub fn outstanding(&self) -> usize {
+        self.channels
+            .iter()
+            .map(|c| c.requests.iter().filter(|r| !r.is_completed()).count())
+            .sum()
+    }
+
+    fn update_drain(cfg: &ControllerConfig, ctrl: &mut ChannelCtrl) {
+        let writes = ctrl.queued_count(AccessKind::Write);
+        if ctrl.drain_active {
+            if writes <= cfg.drain_low {
+                ctrl.drain_active = false;
+            }
+        } else if writes >= cfg.drain_high {
+            ctrl.drain_active = true;
+        }
+    }
+
+    /// Selects and issues at most one command on `ctrl`'s channel.
+    fn schedule_channel(
+        channel_id: ChannelId,
+        ctrl: &mut ChannelCtrl,
+        policy: &mut dyn SchedulerPolicy,
+        now: DramCycle,
+        stats: &mut SystemStats,
+        row_policy: RowPolicy,
+    ) {
+        let reads_pending = ctrl
+            .requests
+            .iter()
+            .any(|r| r.kind == AccessKind::Read && r.is_waiting());
+        let drain = ctrl.drain_active;
+        let eligible_kind = if drain || !reads_pending {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+
+        // Phase 1 (immutable): per-bank top request, then the globally
+        // best *ready* command.
+        let best = {
+            let q = SchedQuery {
+                channel_id,
+                now,
+                channel: &ctrl.channel,
+                requests: &ctrl.requests,
+            };
+            let banks = ctrl.channel.num_banks();
+            let mut best: Option<(usize, DramCommand)> = None;
+            let mut best_key = (Rank::MIN, 0u64);
+            for bank in 0..banks {
+                // Highest-priority waiting request for this bank. The bank
+                // scheduler drives this request's commands; while its next
+                // command is not ready (tRAS, tRP, bus...), lower-priority
+                // requests may slip in *row-hit column accesses only* —
+                // they keep the bank busy but never destroy row-buffer
+                // state against the selected request's interest. This
+                // mirrors hardware two-level schedulers that consider only
+                // ready commands (paper footnote 4).
+                let top = ctrl
+                    .requests
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| {
+                        r.loc.bank.0 == bank && r.is_waiting() && r.kind == eligible_kind
+                    })
+                    .map(|(i, r)| (i, r, policy.rank(r, &q)))
+                    .max_by_key(|(_, r, rank)| (*rank, Rank::older_first(r.id)));
+                let Some((top_idx, top_req, top_rank)) = top else {
+                    continue;
+                };
+                let top_cmd = Self::next_command(&ctrl.channel, top_req);
+                let candidate = if ctrl.channel.can_issue(&top_cmd, now) {
+                    Some((top_idx, top_cmd, top_rank, top_req.id))
+                } else {
+                    ctrl.requests
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, r)| {
+                            *i != top_idx
+                                && r.loc.bank.0 == bank
+                                && r.is_waiting()
+                                && r.kind == eligible_kind
+                                && q.is_row_hit(r)
+                        })
+                        .map(|(i, r)| (i, r, policy.rank(r, &q)))
+                        .max_by_key(|(_, r, rank)| (*rank, Rank::older_first(r.id)))
+                        .and_then(|(i, r, rank)| {
+                            let cmd = Self::next_command(&ctrl.channel, r);
+                            ctrl.channel
+                                .can_issue(&cmd, now)
+                                .then_some((i, cmd, rank, r.id))
+                        })
+                };
+                let Some((idx, cmd, rank, id)) = candidate else {
+                    continue;
+                };
+                let key = (rank, Rank::older_first(id));
+                if best.is_none() || key > best_key {
+                    best = Some((idx, cmd));
+                    best_key = key;
+                }
+            }
+            best
+        };
+
+        let Some((idx, cmd)) = best else {
+            return;
+        };
+
+        // Phase 2 (mutable): issue and update request state. Under the
+        // closed-page policy, a column access auto-precharges unless some
+        // other queued request still wants the same row.
+        let pre_open = ctrl.channel.bank(cmd.bank).open_row();
+        let auto_pre = row_policy == RowPolicy::ClosedPage
+            && cmd.is_column()
+            && !ctrl.requests.iter().enumerate().any(|(i, r)| {
+                i != idx && r.is_waiting() && r.loc.bank == cmd.bank && r.loc.row == ctrl.requests[idx].loc.row
+            });
+        let done = if auto_pre {
+            ctrl.channel.issue_auto_precharge(&cmd, now)
+        } else {
+            ctrl.channel.issue(&cmd, now)
+        };
+        if let Some(checker) = &mut ctrl.checker {
+            if auto_pre {
+                checker.observe_auto_precharge(&cmd, now);
+            } else {
+                checker.observe(&cmd, now);
+            }
+        }
+        if let Some(energy) = &mut ctrl.energy {
+            energy.observe(&cmd);
+        }
+        {
+            let req = &mut ctrl.requests[idx];
+            if req.service_started.is_none() {
+                req.service_started = Some(now);
+                req.category = Some(AccessCategory::classify(pre_open, req.loc.row));
+            }
+            if cmd.is_column() {
+                req.state = RequestState::InService { data_done: done };
+            }
+        }
+        stats.record_command(&cmd);
+        let req_copy = ctrl.requests[idx].clone();
+        let q = SchedQuery {
+            channel_id,
+            now,
+            channel: &ctrl.channel,
+            requests: &ctrl.requests,
+        };
+        policy.on_command(&cmd, &req_copy, &q);
+    }
+
+    /// Derives a request's next DRAM command from current bank state.
+    fn next_command(channel: &Channel, req: &Request) -> DramCommand {
+        let bank = req.loc.bank;
+        match channel.bank(bank).open_row() {
+            Some(open) if open == req.loc.row => match req.kind {
+                AccessKind::Read => DramCommand::read(bank, req.loc.row, req.loc.col),
+                AccessKind::Write => DramCommand::write(bank, req.loc.row, req.loc.col),
+            },
+            Some(_) => DramCommand::precharge(bank),
+            None => DramCommand::activate(bank, req.loc.row),
+        }
+    }
+
+    /// Marks finished requests completed and removes them from the buffer.
+    fn reap_completions(
+        ctrl: &mut ChannelCtrl,
+        policy: &mut dyn SchedulerPolicy,
+        now: DramCycle,
+        overhead: DramCycle,
+        out: &mut Vec<Completion>,
+        stats: &mut SystemStats,
+    ) {
+        let mut i = 0;
+        while i < ctrl.requests.len() {
+            let finished = matches!(
+                ctrl.requests[i].state,
+                RequestState::InService { data_done } if data_done <= now
+            );
+            if finished {
+                let mut req = ctrl.requests.swap_remove(i);
+                let data_done = match req.state {
+                    RequestState::InService { data_done } => data_done,
+                    _ => unreachable!(),
+                };
+                let finish_cpu = dram_to_cpu(data_done + overhead);
+                req.state = RequestState::Completed { finish_cpu };
+                stats.record_completion(&req, finish_cpu);
+                policy.on_complete(&req);
+                out.push(Completion {
+                    id: req.id,
+                    thread: req.thread,
+                    kind: req.kind,
+                    finish_cpu,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MemorySystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySystem")
+            .field("policy", &self.policy.name())
+            .field("now", &self.now)
+            .field("outstanding", &self.outstanding())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frfcfs::FrFcfs;
+    use stfm_dram::CPU_CYCLES_PER_DRAM_CYCLE;
+
+    fn no_refresh_cfg() -> DramConfig {
+        DramConfig {
+            refresh_enabled: false,
+            ..DramConfig::ddr2_800()
+        }
+    }
+
+    fn system() -> MemorySystem {
+        MemorySystem::new(no_refresh_cfg(), Box::new(FrFcfs::new()))
+    }
+
+    fn run_until_idle(sys: &mut MemorySystem, mut now: DramCycle) -> (Vec<Completion>, DramCycle) {
+        let mut done = Vec::new();
+        while sys.outstanding() > 0 {
+            sys.tick(now);
+            done.extend(sys.drain_completions());
+            now += 1;
+            assert!(now < 1_000_000, "memory system wedged");
+        }
+        (done, now)
+    }
+
+    #[test]
+    fn uncontended_round_trips_match_paper_table2() {
+        // Paper Table 2: round-trip L2 miss latency for a 64-byte line:
+        // row hit 35 ns (140 cycles), closed 50 ns (200), conflict 70 ns (280).
+        let mut sys = system();
+        sys.enable_timing_checker();
+
+        // Closed: very first access to a bank.
+        let id0 = sys
+            .try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(0), 0, 0)
+            .unwrap();
+        let (done, now) = run_until_idle(&mut sys, 0);
+        assert_eq!(done[0].id, id0);
+        assert_eq!(done[0].finish_cpu, 50 * 4); // 50 ns at 4 GHz
+
+        // Hit: same row again.
+        let t0 = now * CPU_CYCLES_PER_DRAM_CYCLE;
+        sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(64), t0, 0)
+            .unwrap();
+        let (done, now) = run_until_idle(&mut sys, now);
+        assert_eq!(done[0].finish_cpu - t0, 35 * 4); // 35 ns
+
+        // Conflict: different row, same bank. Rows of the same bank are
+        // row_bytes * banks apart *in the same XOR group*; using row+8
+        // keeps the XOR'd bank identical (8 = banks, so row bits change by
+        // 8 → low 3 row bits unchanged).
+        let cfg = sys.dram_config().clone();
+        let conflict_addr =
+            u64::from(cfg.row_bytes()) * u64::from(cfg.banks) * 8;
+        let d = sys.mapping().decode(PhysAddr(conflict_addr));
+        assert_eq!(d.bank.0, 0, "test address must collide on bank 0");
+        assert_ne!(d.row, 0);
+        let t1 = now * CPU_CYCLES_PER_DRAM_CYCLE;
+        sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(conflict_addr), t1, 0)
+            .unwrap();
+        let (done, _) = run_until_idle(&mut sys, now);
+        // Table 2 lists 70 ns, but the paper's own timing parameters sum to
+        // tRP + tRCD + tCL + BL/2 + overhead = 15+15+15+10+10 = 65 ns; we
+        // match the parameters (see EXPERIMENTS.md).
+        assert_eq!(done[0].finish_cpu - t1, 65 * 4);
+        sys.assert_timing_clean();
+    }
+
+    #[test]
+    fn back_pressure_on_full_write_buffer() {
+        let mut sys = system();
+        let mut accepted = 0;
+        for i in 0..100 {
+            if sys
+                .try_enqueue(
+                    ThreadId(0),
+                    AccessKind::Write,
+                    PhysAddr(i * 1024 * 1024),
+                    0,
+                    0,
+                )
+                .is_some()
+            {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, ControllerConfig::paper_baseline().write_capacity);
+    }
+
+    #[test]
+    fn writes_drain_when_no_reads_pending() {
+        let mut sys = system();
+        sys.try_enqueue(ThreadId(0), AccessKind::Write, PhysAddr(0), 0, 0)
+            .unwrap();
+        let (done, _) = run_until_idle(&mut sys, 0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn reads_bypass_queued_writes() {
+        let mut sys = system();
+        // A handful of writes (below the drain threshold), then a read.
+        for i in 0..4u64 {
+            sys.try_enqueue(
+                ThreadId(0),
+                AccessKind::Write,
+                PhysAddr(0x100_0000 + i * 4096 * 64),
+                0,
+                0,
+            )
+            .unwrap();
+        }
+        sys.try_enqueue(ThreadId(1), AccessKind::Read, PhysAddr(0x500_0000), 0, 0)
+            .unwrap();
+        let mut first_done = None;
+        let mut now = 0;
+        while sys.outstanding() > 0 {
+            sys.tick(now);
+            for c in sys.drain_completions() {
+                first_done.get_or_insert(c);
+            }
+            now += 1;
+        }
+        assert_eq!(first_done.unwrap().kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn all_requests_complete_exactly_once() {
+        let mut sys = system();
+        let mut ids = Vec::new();
+        let mut now = 0;
+        let mut done = Vec::new();
+        for i in 0..200u64 {
+            // Mixed strided traffic across banks and rows.
+            let addr = PhysAddr((i * 64) ^ ((i % 7) << 20));
+            if let Some(id) =
+                sys.try_enqueue(ThreadId((i % 4) as u32), AccessKind::Read, addr, now * 10, 0)
+            {
+                ids.push(id);
+            }
+            sys.tick(now);
+            done.extend(sys.drain_completions());
+            now += 1;
+        }
+        while sys.outstanding() > 0 {
+            sys.tick(now);
+            done.extend(sys.drain_completions());
+            now += 1;
+        }
+        let mut completed: Vec<_> = done.iter().map(|c| c.id).collect();
+        completed.sort();
+        completed.dedup();
+        assert_eq!(completed.len(), done.len(), "duplicate completion");
+        assert_eq!(completed.len(), ids.len(), "lost request");
+    }
+
+    #[test]
+    fn row_hit_streak_stats() {
+        let mut sys = system();
+        // 32 sequential lines: 1 closed access then 31 hits.
+        for i in 0..32u64 {
+            sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * 64), 0, 0)
+                .unwrap();
+        }
+        let (_, _) = run_until_idle(&mut sys, 0);
+        let ts = sys.thread_stats(ThreadId(0));
+        assert_eq!(ts.reads, 32);
+        assert_eq!(ts.row_hits, 31);
+        assert_eq!(ts.row_closed, 1);
+        assert_eq!(ts.row_conflicts, 0);
+        assert!(ts.row_hit_rate() > 0.96);
+    }
+}
+
+#[cfg(test)]
+mod scheduling_tests {
+    use super::*;
+    use crate::fcfs::Fcfs;
+    use stfm_dram::DramConfig;
+
+    fn no_refresh_cfg() -> DramConfig {
+        DramConfig {
+            refresh_enabled: false,
+            ..DramConfig::ddr2_800()
+        }
+    }
+
+    /// While the top-ranked request's command waits out a timing window,
+    /// lower-ranked row hits keep the bank busy (the hit-slip rule), but
+    /// the top request still gets serviced promptly afterwards.
+    #[test]
+    fn row_hits_slip_while_top_request_waits() {
+        // FCFS makes the oldest request top-ranked regardless of hits.
+        let mut sys = MemorySystem::new(no_refresh_cfg(), Box::new(Fcfs::new()));
+        let row_stride = u64::from(sys.dram_config().row_bytes()) * 8 * 8;
+
+        // Open row 0 of bank 0 first.
+        sys.try_enqueue(ThreadId(1), AccessKind::Read, PhysAddr(0), 0, 0)
+            .unwrap();
+        let mut now = 0;
+        while sys.outstanding() > 0 {
+            sys.tick(now);
+            sys.drain_completions();
+            now += 1;
+        }
+        // Old conflict request from thread 0 to a different row of bank 0
+        // (its PRECHARGE must wait out tRAS/tRTP windows)...
+        sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(row_stride), now * 10, 0)
+            .unwrap();
+        // ...immediately followed by younger row-0 hits from thread 1.
+        for i in 1..9u64 {
+            sys.try_enqueue(ThreadId(1), AccessKind::Read, PhysAddr(i * 64 * 8), now * 10, 0)
+                .unwrap();
+        }
+        let mut done = Vec::new();
+        let deadline = now + 100_000;
+        while sys.outstanding() > 0 && now < deadline {
+            sys.tick(now);
+            done.extend(sys.drain_completions());
+            now += 1;
+        }
+        assert_eq!(done.len(), 9);
+        // Some of thread 1's hits completed before the old conflict request
+        // (they slipped into its tRAS/tRP windows)...
+        let conflict_pos = done.iter().position(|c| c.thread == ThreadId(0)).unwrap();
+        assert!(conflict_pos > 0, "no hit slipped ahead");
+        // ...but FCFS still bounded the bypass: the conflict request did
+        // not finish last.
+        assert!(
+            conflict_pos < done.len() - 1,
+            "top-ranked request was starved by slipping hits"
+        );
+    }
+
+    /// Row-hit statistics survive the hit-slip rule: a pure hit stream
+    /// under FCFS still reaches a high hit rate.
+    #[test]
+    fn fcfs_still_exploits_hits_within_a_single_stream() {
+        let mut sys = MemorySystem::new(no_refresh_cfg(), Box::new(Fcfs::new()));
+        for i in 0..64u64 {
+            sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * 64), 0, 0)
+                .unwrap();
+        }
+        let mut now = 0;
+        while sys.outstanding() > 0 {
+            sys.tick(now);
+            sys.drain_completions();
+            now += 1;
+        }
+        assert!(sys.thread_stats(ThreadId(0)).row_hit_rate() > 0.9);
+    }
+
+    /// Energy accounting is exposed through the controller.
+    #[test]
+    fn energy_model_accumulates() {
+        let mut sys = MemorySystem::new(no_refresh_cfg(), Box::new(FrFcfs::new()));
+        assert!(sys.energy().is_none());
+        sys.enable_energy_model();
+        sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(0), 0, 0)
+            .unwrap();
+        for now in 0..40 {
+            sys.tick(now);
+        }
+        let e = sys.energy().unwrap();
+        assert!(e.activate_nj > 0.0, "ACT energy missing");
+        assert!(e.read_nj > 0.0, "read energy missing");
+        assert!(e.background_nj > 0.0, "background energy missing");
+    }
+
+    use crate::frfcfs::FrFcfs;
+}
+
+#[cfg(test)]
+mod row_policy_tests {
+    use super::*;
+    use crate::frfcfs::FrFcfs;
+    use stfm_dram::DramConfig;
+
+    fn system_with(policy: RowPolicy) -> MemorySystem {
+        let cfg = DramConfig {
+            refresh_enabled: false,
+            ..DramConfig::ddr2_800()
+        };
+        let mut sys = MemorySystem::with_controller_config(
+            cfg,
+            ControllerConfig {
+                row_policy: policy,
+                ..ControllerConfig::paper_baseline()
+            },
+            Box::new(FrFcfs::new()),
+        );
+        sys.enable_timing_checker();
+        sys
+    }
+
+    fn run_stream(sys: &mut MemorySystem, n: u64, stride: u64) -> (u64, f64) {
+        for i in 0..n {
+            sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * stride), 0, 0)
+                .unwrap();
+        }
+        let mut now = 0;
+        while sys.outstanding() > 0 {
+            sys.tick(now);
+            sys.drain_completions();
+            now += 1;
+            assert!(now < 1_000_000);
+        }
+        sys.assert_timing_clean();
+        (now, sys.thread_stats(ThreadId(0)).row_hit_rate())
+    }
+
+    #[test]
+    fn closed_page_kills_sequential_hit_rate() {
+        // One request in the buffer at a time would auto-precharge; here
+        // the whole burst is co-resident, so same-row requests keep the
+        // row open even under closed-page. Enqueue one by one instead.
+        let mut open_sys = system_with(RowPolicy::OpenPage);
+        let mut closed_sys = system_with(RowPolicy::ClosedPage);
+        for sys in [&mut open_sys, &mut closed_sys] {
+            let mut now = 0;
+            for i in 0..32u64 {
+                sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * 64), now * 10, 0)
+                    .unwrap();
+                while sys.outstanding() > 0 {
+                    sys.tick(now);
+                    sys.drain_completions();
+                    now += 1;
+                }
+            }
+            sys.assert_timing_clean();
+        }
+        assert!(open_sys.thread_stats(ThreadId(0)).row_hit_rate() > 0.9);
+        assert_eq!(closed_sys.thread_stats(ThreadId(0)).row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn closed_page_serves_corow_bursts_without_precharge() {
+        // A co-resident same-row burst is recognized: no auto-precharge
+        // until the last access, so hits still happen within the burst.
+        let mut sys = system_with(RowPolicy::ClosedPage);
+        let (_, hit_rate) = run_stream(&mut sys, 16, 64);
+        assert!(hit_rate > 0.8, "hit rate {hit_rate}");
+    }
+
+    #[test]
+    fn closed_page_beats_open_page_on_row_conflicts() {
+        // Alternating rows in the same bank: open-page pays precharge on
+        // the critical path every time; closed-page reopens from idle.
+        let cfg = DramConfig::ddr2_800();
+        let row_stride = u64::from(cfg.row_bytes()) * u64::from(cfg.banks) * 8;
+        let mut open_sys = system_with(RowPolicy::OpenPage);
+        let mut closed_sys = system_with(RowPolicy::ClosedPage);
+        let mut times = Vec::new();
+        for sys in [&mut open_sys, &mut closed_sys] {
+            let mut now = 0;
+            for i in 0..24u64 {
+                let addr = PhysAddr((i % 2) * row_stride);
+                sys.try_enqueue(ThreadId(0), AccessKind::Read, addr, now * 10, 0)
+                    .unwrap();
+                while sys.outstanding() > 0 {
+                    sys.tick(now);
+                    sys.drain_completions();
+                    now += 1;
+                }
+            }
+            sys.assert_timing_clean();
+            times.push(now);
+        }
+        assert!(
+            times[1] <= times[0],
+            "closed-page ({}) should not lose to open-page ({}) on conflicts",
+            times[1],
+            times[0]
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! NFQ: network-fair-queueing memory scheduling (Nesbit et al., MICRO 2006).
+//!
+//! Implements the FQ-VFTF ("virtual finish-time first") scheme the STFM
+//! paper compares against: every (thread, bank) pair carries a virtual
+//! finish time; whenever one of the thread's requests is serviced in a
+//! bank, that virtual deadline advances by the request's access latency
+//! times the number of threads sharing the system (scaled by bandwidth
+//! shares when they are unequal). The scheduler services earliest-deadline
+//! first, with Nesbit's *priority inversion prevention* optimization: row
+//! hits may bypass earlier deadlines, but only until some request in the
+//! bank has waited longer than `tRAS`.
+//!
+//! Deliberately reproduced quirks the STFM paper criticizes:
+//!
+//! * **Idleness problem** — deadlines are *not* clamped to real time, so a
+//!   thread that idles falls behind in virtual time and then captures the
+//!   DRAM when it returns, starving continuously active threads.
+//! * **Access-balance problem** — deadlines are per bank, so a thread that
+//!   concentrates its accesses on few banks accrues deadlines there much
+//!   faster than balanced threads and gets deprioritized in exactly the
+//!   banks it needs.
+
+use crate::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
+use crate::request::{Request, ThreadId};
+use std::collections::{HashMap, HashSet};
+use stfm_dram::{ChannelId, DramCycle, TimingParams};
+
+/// The NFQ (FQ-VFTF) scheduling policy.
+#[derive(Debug, Clone)]
+pub struct Nfq {
+    timing: TimingParams,
+    /// Virtual finish time per (thread, channel, bank), in scaled DRAM
+    /// cycles.
+    vft: HashMap<(ThreadId, ChannelId, u32), u64>,
+    /// Bandwidth share per thread (paper Section 7.5's "NFQ-shares").
+    shares: HashMap<ThreadId, u32>,
+    /// Threads that have issued at least one request.
+    active: HashSet<ThreadId>,
+    /// Per-bank earliest-deadline head request and the cycle it became
+    /// head, for the priority-inversion-prevention timer.
+    bank_heads: HashMap<(ChannelId, u32), (crate::request::RequestId, DramCycle)>,
+    /// Banks where hit-bypass is currently disabled by the inversion
+    /// prevention threshold; refreshed every DRAM cycle.
+    blocked_banks: HashSet<(ChannelId, u32)>,
+}
+
+impl Nfq {
+    /// Creates the policy for devices with timing `timing`.
+    pub fn new(timing: TimingParams) -> Self {
+        Nfq {
+            timing,
+            vft: HashMap::new(),
+            shares: HashMap::new(),
+            active: HashSet::new(),
+            bank_heads: HashMap::new(),
+            blocked_banks: HashSet::new(),
+        }
+    }
+
+    /// Sets `thread`'s bandwidth share (default 1). A thread with share `s`
+    /// out of a total `S` is budgeted `s/S` of the DRAM bandwidth: its
+    /// virtual deadlines advance `S/s` times the service latency.
+    pub fn set_share(&mut self, thread: ThreadId, share: u32) {
+        assert!(share > 0, "share must be positive");
+        self.shares.insert(thread, share);
+    }
+
+    /// The share configured for `thread` (default 1).
+    pub fn share(&self, thread: ThreadId) -> u32 {
+        self.shares.get(&thread).copied().unwrap_or(1)
+    }
+
+    fn total_shares(&self) -> u64 {
+        self.active
+            .iter()
+            .map(|t| u64::from(self.share(*t)))
+            .sum::<u64>()
+            .max(1)
+    }
+
+    /// Current virtual finish time of (thread, channel, bank).
+    pub fn virtual_finish_time(&self, thread: ThreadId, channel: ChannelId, bank: u32) -> u64 {
+        self.vft.get(&(thread, channel, bank)).copied().unwrap_or(0)
+    }
+}
+
+impl SchedulerPolicy for Nfq {
+    fn name(&self) -> &str {
+        "NFQ"
+    }
+
+    fn rank(&self, req: &Request, q: &SchedQuery<'_>) -> Rank {
+        let bank = req.loc.bank.0;
+        let bypass_ok = !self.blocked_banks.contains(&(q.channel_id, bank));
+        let hit = u64::from(bypass_ok && q.is_row_hit(req));
+        let deadline = self.virtual_finish_time(req.thread, q.channel_id, bank);
+        Rank([hit, u64::MAX - deadline, Rank::older_first(req.id)])
+    }
+
+    fn on_dram_cycle(&mut self, sys: &SystemView<'_>) {
+        // Priority inversion prevention (Nesbit et al., Section 3.3): row
+        // hits may bypass the earliest-virtual-deadline request of a bank
+        // only for up to tRAS; once the current head request has been head
+        // for longer, the bank falls back to strict deadline order. The
+        // timer restarts whenever the head request changes.
+        self.blocked_banks.clear();
+        let threshold: DramCycle = self.timing.t_ras;
+        for q in &sys.channels {
+            for bank in 0..q.channel.num_banks() {
+                let head = q
+                    .requests
+                    .iter()
+                    .filter(|r| r.is_waiting() && r.loc.bank.0 == bank)
+                    .min_by_key(|r| (self.virtual_finish_time(r.thread, q.channel_id, bank), r.id));
+                let key = (q.channel_id, bank);
+                match head {
+                    None => {
+                        self.bank_heads.remove(&key);
+                    }
+                    Some(r) => {
+                        let since = match self.bank_heads.get(&key) {
+                            Some(&(id, since)) if id == r.id => since,
+                            _ => sys.now,
+                        };
+                        self.bank_heads.insert(key, (r.id, since));
+                        if sys.now.saturating_sub(since) > threshold {
+                            self.blocked_banks.insert(key);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_enqueue(&mut self, req: &Request, _tshared: u64) {
+        self.active.insert(req.thread);
+    }
+
+    fn on_complete(&mut self, req: &Request) {
+        let latency: u64 = req
+            .category
+            .map(|c| c.service_latency(&self.timing))
+            .unwrap_or_else(|| self.timing.read_latency());
+        let scale = self.total_shares() / u64::from(self.share(req.thread)).max(1);
+        let key = (req.thread, req.loc.channel, req.loc.bank.0);
+        *self.vft.entry(key).or_insert(0) += latency * scale.max(1);
+    }
+
+    fn on_thread_reset(&mut self, thread: ThreadId) {
+        self.vft.retain(|(t, _, _), _| *t != thread);
+        self.active.remove(&thread);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{harness, req_to};
+    use stfm_dram::AccessCategory;
+
+    fn nfq() -> Nfq {
+        Nfq::new(TimingParams::ddr2_800())
+    }
+
+    fn complete(p: &mut Nfq, mut req: Request, cat: AccessCategory) {
+        req.category = Some(cat);
+        p.on_complete(&req);
+    }
+
+    use crate::request::Request;
+
+    #[test]
+    fn earliest_deadline_wins_when_no_hits() {
+        let (channel, _cfg) = harness::closed();
+        let mut p = nfq();
+        let a = req_to(0, ThreadId(0), 1, 0, 1);
+        let b = req_to(0, ThreadId(1), 2, 0, 2);
+        p.on_enqueue(&a, 0);
+        p.on_enqueue(&b, 0);
+        // Thread 0 already consumed service in this bank.
+        complete(&mut p, req_to(0, ThreadId(0), 1, 0, 0), AccessCategory::Hit);
+        let requests = [a.clone(), b.clone()];
+        let q = harness::query(&channel, &requests);
+        assert!(p.rank(&b, &q) > p.rank(&a, &q), "thread with lower VFT wins");
+    }
+
+    #[test]
+    fn deadline_scales_with_thread_count_and_share() {
+        let mut p = nfq();
+        for t in 0..4u32 {
+            p.on_enqueue(&req_to(0, ThreadId(t), 1, 0, u64::from(t)), 0);
+        }
+        complete(&mut p, req_to(0, ThreadId(0), 1, 0, 9), AccessCategory::Hit);
+        let lat = AccessCategory::Hit.service_latency(&TimingParams::ddr2_800());
+        assert_eq!(
+            p.virtual_finish_time(ThreadId(0), ChannelId(0), 0),
+            lat * 4,
+            "equal shares: latency × numThreads"
+        );
+
+        let mut p = nfq();
+        for t in 0..4u32 {
+            p.on_enqueue(&req_to(0, ThreadId(t), 1, 0, u64::from(t)), 0);
+        }
+        p.set_share(ThreadId(0), 16); // 16 of 19 total shares
+        complete(&mut p, req_to(0, ThreadId(0), 1, 0, 9), AccessCategory::Hit);
+        assert_eq!(
+            p.virtual_finish_time(ThreadId(0), ChannelId(0), 0),
+            lat,
+            "large share: deadline advances much more slowly"
+        );
+    }
+
+    #[test]
+    fn hit_bypass_disabled_after_head_waits_past_tras() {
+        let (channel, _cfg) = harness::open_row(0, 5);
+        let mut p = nfq();
+        let old_miss = req_to(0, ThreadId(0), 9, 0, 1);
+        let young_hit = req_to(0, ThreadId(1), 5, 0, 2);
+        let requests = [old_miss.clone(), young_hit.clone()];
+        let t_ras = TimingParams::ddr2_800().t_ras;
+
+        // Cycle N: old_miss becomes the bank head; bypass still allowed.
+        let mk = |now| SystemView {
+            now,
+            channels: vec![stfm_mc_sched_query(&channel, &requests, now)],
+        };
+        p.on_dram_cycle(&mk(harness::NOW));
+        let q = harness::query(&channel, &requests);
+        assert!(
+            p.rank(&young_hit, &q) > p.rank(&old_miss, &q),
+            "within the tRAS window hits still bypass"
+        );
+
+        // tRAS + 1 cycles later the bank must be blocked for bypass.
+        p.on_dram_cycle(&mk(harness::NOW + t_ras + 1));
+        let q = harness::query(&channel, &requests);
+        assert!(
+            p.rank(&old_miss, &q) > p.rank(&young_hit, &q),
+            "inversion prevention must stop endless hit bypass"
+        );
+    }
+
+    fn stfm_mc_sched_query<'a>(
+        channel: &'a stfm_dram::Channel,
+        requests: &'a [Request],
+        now: DramCycle,
+    ) -> crate::policy::SchedQuery<'a> {
+        crate::policy::SchedQuery {
+            channel_id: ChannelId(0),
+            now,
+            channel,
+            requests,
+        }
+    }
+
+    #[test]
+    fn idleness_problem_is_reproduced() {
+        // Thread 0 worked for a long time; thread 1 was idle. When thread 1
+        // wakes up, its deadline of 0 beats thread 0 everywhere.
+        let (channel, _cfg) = harness::closed();
+        let mut p = nfq();
+        p.on_enqueue(&req_to(0, ThreadId(0), 1, 0, 0), 0);
+        p.on_enqueue(&req_to(0, ThreadId(1), 1, 0, 1), 0);
+        for i in 0..100 {
+            complete(
+                &mut p,
+                req_to(0, ThreadId(0), 1, 0, 10 + i),
+                AccessCategory::Hit,
+            );
+        }
+        let busy = req_to(0, ThreadId(0), 1, 0, 200);
+        let woke = req_to(0, ThreadId(1), 2, 0, 201);
+        let requests = [busy.clone(), woke.clone()];
+        let q = harness::query(&channel, &requests);
+        assert!(p.rank(&woke, &q) > p.rank(&busy, &q));
+    }
+
+    #[test]
+    fn reset_clears_thread_state() {
+        let mut p = nfq();
+        p.on_enqueue(&req_to(0, ThreadId(0), 1, 0, 0), 0);
+        complete(&mut p, req_to(0, ThreadId(0), 1, 0, 1), AccessCategory::Hit);
+        assert!(p.virtual_finish_time(ThreadId(0), ChannelId(0), 0) > 0);
+        p.on_thread_reset(ThreadId(0));
+        assert_eq!(p.virtual_finish_time(ThreadId(0), ChannelId(0), 0), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! The scheduler-policy abstraction.
+//!
+//! The controller reproduces the paper's two-level scheduler (Section 2.3)
+//! functionally: for every bank it selects the highest-priority *request*
+//! according to the active [`SchedulerPolicy`], derives that request's next
+//! DRAM command from the current bank state, and — among the banks whose
+//! selected command is *ready* (issuable without violating any timing
+//! constraint) — issues the command of the globally highest-priority
+//! request. Policies therefore only rank requests; all timing legality is
+//! the controller's and the device model's problem.
+
+use crate::request::{AccessKind, Request};
+use stfm_dram::{Channel, ChannelId, DramCommand, DramCycle};
+
+/// Lexicographic priority key; **larger compares as higher priority**.
+///
+/// Conventional field usage (policies are free to deviate):
+/// `[class, primary, tiebreak]`, with the last level usually
+/// `u64::MAX - request id` to implement oldest-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rank(pub [u64; 3]);
+
+impl Rank {
+    /// The lowest possible rank.
+    pub const MIN: Rank = Rank([0; 3]);
+
+    /// Oldest-first tiebreak helper: smaller id → larger value.
+    #[inline]
+    pub fn older_first(id: crate::request::RequestId) -> u64 {
+        u64::MAX - id.0
+    }
+}
+
+/// Read-only view of one channel handed to policies while ranking.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedQuery<'a> {
+    /// Which channel is being scheduled.
+    pub channel_id: ChannelId,
+    /// Current DRAM cycle.
+    pub now: DramCycle,
+    /// Device state (bank open rows, bus occupancy, ...).
+    pub channel: &'a Channel,
+    /// All live entries of this channel's request buffer (queued,
+    /// in-service, and just-completed requests awaiting reaping).
+    pub requests: &'a [Request],
+}
+
+impl SchedQuery<'_> {
+    /// True if `req`'s next access would hit the currently open row.
+    #[inline]
+    pub fn is_row_hit(&self, req: &Request) -> bool {
+        self.channel.bank(req.loc.bank).open_row() == Some(req.loc.row)
+    }
+
+    /// The DRAM command `req` needs next, given current bank state.
+    pub fn next_command(&self, req: &Request) -> DramCommand {
+        let bank = req.loc.bank;
+        match self.channel.bank(bank).open_row() {
+            Some(open) if open == req.loc.row => match req.kind {
+                AccessKind::Read => DramCommand::read(bank, req.loc.row, req.loc.col),
+                AccessKind::Write => DramCommand::write(bank, req.loc.row, req.loc.col),
+            },
+            Some(_) => DramCommand::precharge(bank),
+            None => DramCommand::activate(bank, req.loc.row),
+        }
+    }
+
+    /// True if `req`'s next command satisfies its *bank-local* timing
+    /// constraints at `now` — the paper's "ready" notion (footnote 4),
+    /// ignoring shared-bus availability. A request blocked by its own
+    /// bank's timing shadow is not ready and would have waited even with
+    /// the thread running alone.
+    pub fn is_bank_ready(&self, req: &Request) -> bool {
+        let cmd = self.next_command(req);
+        self.channel.bank(req.loc.bank).can_issue(&cmd, self.now)
+    }
+}
+
+/// Read-only view of the whole memory system (all channels), handed to
+/// policies once per DRAM cycle for global bookkeeping such as STFM's
+/// `BankWaitingParallelism` recomputation.
+pub struct SystemView<'a> {
+    /// Current DRAM cycle.
+    pub now: DramCycle,
+    /// Per-channel (device, request-buffer) pairs, indexed by channel id.
+    pub channels: Vec<SchedQuery<'a>>,
+}
+
+/// A DRAM scheduling policy.
+///
+/// Implementations: [`crate::FrFcfs`], [`crate::Fcfs`],
+/// [`crate::FrFcfsCap`], [`crate::Nfq`], and the STFM scheduler in the
+/// `stfm-core` crate.
+pub trait SchedulerPolicy {
+    /// Short policy name for reports (e.g. `"FR-FCFS"`).
+    fn name(&self) -> &str;
+
+    /// Ranks a live request. The controller calls this for every
+    /// non-completed request each time it schedules; the highest-ranked
+    /// request per bank is driven, and the highest-ranked ready command
+    /// across banks issues.
+    fn rank(&self, req: &Request, q: &SchedQuery<'_>) -> Rank;
+
+    /// Called once per DRAM cycle, before any ranking, with a view of the
+    /// entire system. Policies update cycle-granular state here (e.g. STFM
+    /// recomputes slowdowns, NFQ refreshes its inversion-prevention sets).
+    fn on_dram_cycle(&mut self, _sys: &SystemView<'_>) {}
+
+    /// Called when a request enters the request buffer. `tshared` is the
+    /// requesting core's cumulative memory-stall-cycle counter, which the
+    /// paper communicates to the controller with every request.
+    fn on_enqueue(&mut self, _req: &Request, _tshared: u64) {}
+
+    /// Called after `cmd` (belonging to `req`) has issued at `q.now`.
+    fn on_command(&mut self, _cmd: &DramCommand, _req: &Request, _q: &SchedQuery<'_>) {}
+
+    /// Called when a request's data burst completes.
+    fn on_complete(&mut self, _req: &Request) {}
+
+    /// Called when per-thread state should be reset (context switch).
+    fn on_thread_reset(&mut self, _thread: crate::request::ThreadId) {}
+
+    /// Optional introspection hook: policies that expose internal state
+    /// (e.g. STFM's slowdown estimates) return `Some(self)` so harnesses
+    /// can downcast. Default: no introspection.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+
+    #[test]
+    fn rank_orders_lexicographically() {
+        assert!(Rank([1, 0, 0]) > Rank([0, u64::MAX, u64::MAX]));
+        assert!(Rank([1, 5, 0]) > Rank([1, 4, u64::MAX]));
+        assert!(Rank::MIN < Rank([0, 0, 1]));
+    }
+
+    #[test]
+    fn older_first_inverts_ids() {
+        assert!(Rank::older_first(RequestId(1)) > Rank::older_first(RequestId(2)));
+    }
+}

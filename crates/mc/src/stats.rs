@@ -1,0 +1,145 @@
+//! Controller-side statistics: per-thread service counts and latencies.
+
+use crate::request::{AccessKind, Request, ThreadId};
+use stfm_dram::{AccessCategory, CpuCycle, DramCommand};
+use std::collections::HashMap;
+
+/// Per-thread DRAM service statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ThreadStats {
+    /// Read requests completed.
+    pub reads: u64,
+    /// Write requests completed.
+    pub writes: u64,
+    /// Requests whose service began with the row already open.
+    pub row_hits: u64,
+    /// Requests whose service began with the bank closed.
+    pub row_closed: u64,
+    /// Requests whose service began with a different row open.
+    pub row_conflicts: u64,
+    /// Sum over completed reads of (finish − arrival) in CPU cycles.
+    pub total_read_latency_cpu: u64,
+    /// Largest single read latency observed, in CPU cycles.
+    pub max_read_latency_cpu: u64,
+}
+
+impl ThreadStats {
+    /// Fraction of serviced requests that were row-buffer hits
+    /// (the paper's "RB hit rate", Table 3).
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_closed + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference `self − earlier` (warmup exclusion).
+    pub fn minus(&self, earlier: &ThreadStats) -> ThreadStats {
+        ThreadStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            row_hits: self.row_hits - earlier.row_hits,
+            row_closed: self.row_closed - earlier.row_closed,
+            row_conflicts: self.row_conflicts - earlier.row_conflicts,
+            total_read_latency_cpu: self.total_read_latency_cpu - earlier.total_read_latency_cpu,
+            max_read_latency_cpu: self.max_read_latency_cpu,
+        }
+    }
+
+    /// Mean read round-trip latency in CPU cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.total_read_latency_cpu as f64 / self.reads as f64
+        }
+    }
+}
+
+/// Whole-memory-system statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SystemStats {
+    threads: HashMap<ThreadId, ThreadStats>,
+    /// Total DRAM commands issued, by class.
+    pub activates: u64,
+    /// PRECHARGE commands issued.
+    pub precharges: u64,
+    /// Column commands issued (reads + writes).
+    pub column_commands: u64,
+    /// Requests enqueued.
+    pub enqueued: u64,
+    /// Requests completed.
+    pub completed: u64,
+}
+
+impl SystemStats {
+    /// Statistics for `thread` (zeroed if it never issued a request).
+    pub fn thread(&self, thread: ThreadId) -> ThreadStats {
+        self.threads.get(&thread).copied().unwrap_or_default()
+    }
+
+    /// Threads observed so far.
+    pub fn threads(&self) -> impl Iterator<Item = (ThreadId, &ThreadStats)> {
+        self.threads.iter().map(|(t, s)| (*t, s))
+    }
+
+    pub(crate) fn record_enqueue(&mut self, _req: &Request) {
+        self.enqueued += 1;
+    }
+
+    pub(crate) fn record_command(&mut self, cmd: &DramCommand) {
+        use stfm_dram::CommandKind::*;
+        match cmd.kind {
+            Activate { .. } => self.activates += 1,
+            Precharge => self.precharges += 1,
+            Read { .. } | Write { .. } => self.column_commands += 1,
+            Refresh => {}
+        }
+    }
+
+    pub(crate) fn record_completion(&mut self, req: &Request, finish_cpu: CpuCycle) {
+        self.completed += 1;
+        let ts = self.threads.entry(req.thread).or_default();
+        match req.kind {
+            AccessKind::Read => {
+                ts.reads += 1;
+                let lat = finish_cpu.saturating_sub(req.arrival_cpu);
+                ts.total_read_latency_cpu += lat;
+                ts.max_read_latency_cpu = ts.max_read_latency_cpu.max(lat);
+            }
+            AccessKind::Write => ts.writes += 1,
+        }
+        match req.category {
+            Some(AccessCategory::Hit) => ts.row_hits += 1,
+            Some(AccessCategory::Closed) => ts.row_closed += 1,
+            Some(AccessCategory::Conflict) => ts.row_conflicts += 1,
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_thread_stats_are_zero() {
+        let s = SystemStats::default();
+        assert_eq!(s.thread(ThreadId(9)), ThreadStats::default());
+        assert_eq!(s.thread(ThreadId(9)).row_hit_rate(), 0.0);
+        assert_eq!(s.thread(ThreadId(9)).avg_read_latency(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let ts = ThreadStats {
+            row_hits: 3,
+            row_closed: 1,
+            row_conflicts: 0,
+            ..Default::default()
+        };
+        assert!((ts.row_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

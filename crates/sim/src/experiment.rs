@@ -1,0 +1,370 @@
+//! Experiment construction and execution.
+//!
+//! An [`Experiment`] is one multiprogrammed workload run under one
+//! scheduler: it builds the cores (one synthetic trace per profile), the
+//! shared memory system, runs every thread to its instruction budget, runs
+//! (or fetches from the [`AloneCache`]) each benchmark's alone baseline,
+//! and reduces everything to [`WorkloadMetrics`].
+
+use crate::metrics::{ThreadMetrics, WorkloadMetrics};
+use crate::scheduler_kind::SchedulerKind;
+use crate::system::System;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use stfm_core::StfmConfig;
+use stfm_cpu::{Core, CoreConfig, CoreStats, PrefetchConfig};
+use stfm_dram::DramConfig;
+use stfm_mc::{ControllerConfig, MemorySystem, RowPolicy, ThreadId};
+use stfm_workloads::{Profile, SyntheticTrace};
+
+/// Default per-thread instruction budget. Deliberately modest so whole
+/// figure sweeps finish in minutes; harness binaries raise it via
+/// [`Experiment::instructions_per_thread`].
+pub const DEFAULT_INSTRUCTIONS: u64 = 30_000;
+
+/// Cycle-cap safety factor: a run aborts (with `truncated = true`) after
+/// `insts × MAX_CPI` CPU cycles per thread.
+const MAX_CPI: u64 = 4_000;
+
+/// Memoizes alone-run baselines keyed by (benchmark, DRAM config, budget,
+/// seed). Thread-safe: the parallel runner shares one cache.
+#[derive(Debug, Default)]
+pub struct AloneCache {
+    inner: Mutex<HashMap<(String, DramConfig, u64, u64, bool), CoreStats>>,
+}
+
+impl AloneCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized baselines.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("alone-cache poisoned").len()
+    }
+
+    /// True if no baseline has been computed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get_or_run(
+        &self,
+        profile: &Profile,
+        dram: &DramConfig,
+        insts: u64,
+        seed: u64,
+        prefetch: Option<PrefetchConfig>,
+    ) -> CoreStats {
+        let key = (
+            profile.name.to_string(),
+            dram.clone(),
+            insts,
+            seed,
+            prefetch.is_some(),
+        );
+        if let Some(hit) = self.inner.lock().expect("alone-cache poisoned").get(&key) {
+            return *hit;
+        }
+        let stats = run_alone_with(profile, dram, insts, seed, prefetch);
+        self.inner
+            .lock()
+            .expect("alone-cache poisoned")
+            .insert(key, stats);
+        stats
+    }
+}
+
+/// Default warmup as a fraction of the instruction budget (cache cold
+/// misses and generator start-up are excluded from measurements).
+pub fn default_warmup(insts: u64) -> u64 {
+    insts / 4
+}
+
+/// Runs `profile` alone on `dram` under FR-FCFS (the paper's baseline for
+/// `T_alone` and `MCPI_alone`).
+pub fn run_alone(profile: &Profile, dram: &DramConfig, insts: u64, seed: u64) -> CoreStats {
+    run_alone_with(profile, dram, insts, seed, None)
+}
+
+/// [`run_alone`] with an optional per-core prefetcher.
+pub fn run_alone_with(
+    profile: &Profile,
+    dram: &DramConfig,
+    insts: u64,
+    seed: u64,
+    prefetch: Option<PrefetchConfig>,
+) -> CoreStats {
+    let mem = MemorySystem::new(
+        dram.clone(),
+        SchedulerKind::FrFcfs.build(dram.timing, &[], &[]),
+    );
+    let trace = SyntheticTrace::new(profile.clone(), dram, 0, seed);
+    let core_cfg = CoreConfig {
+        prefetch,
+        ..CoreConfig::paper_baseline()
+    };
+    let core = Core::with_config(ThreadId(0), Box::new(trace), core_cfg);
+    let mut sys = System::new(vec![core], mem);
+    let out = sys.run_with_warmup(default_warmup(insts), insts, insts.saturating_mul(MAX_CPI));
+    out.frozen[0]
+}
+
+/// One workload × scheduler run (builder style).
+///
+/// # Example
+///
+/// ```
+/// use stfm_sim::{Experiment, SchedulerKind};
+/// use stfm_workloads::spec;
+///
+/// let m = Experiment::new(vec![spec::libquantum(), spec::omnetpp()])
+///     .scheduler(SchedulerKind::Stfm)
+///     .instructions_per_thread(5_000)
+///     .run();
+/// assert_eq!(m.threads.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    profiles: Vec<Profile>,
+    scheduler: SchedulerKind,
+    dram: Option<DramConfig>,
+    insts: u64,
+    seed: u64,
+    alpha: Option<f64>,
+    weights: Vec<(u32, u32)>,
+    shares: Vec<(u32, u32)>,
+    timing_checker: bool,
+    row_policy: RowPolicy,
+    prefetch: Option<PrefetchConfig>,
+}
+
+impl Experiment {
+    /// Creates an experiment over `profiles` (core `i` runs `profiles[i]`)
+    /// with FR-FCFS scheduling and the paper's core-count-scaled DRAM
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty.
+    pub fn new(profiles: Vec<Profile>) -> Self {
+        assert!(!profiles.is_empty(), "experiment needs at least one thread");
+        Experiment {
+            profiles,
+            scheduler: SchedulerKind::FrFcfs,
+            dram: None,
+            insts: DEFAULT_INSTRUCTIONS,
+            seed: 1,
+            alpha: None,
+            weights: Vec::new(),
+            shares: Vec::new(),
+            timing_checker: false,
+            row_policy: RowPolicy::OpenPage,
+            prefetch: None,
+        }
+    }
+
+    /// Selects the scheduler.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Overrides the DRAM configuration (default:
+    /// [`DramConfig::for_cores`] of the thread count).
+    pub fn dram_config(mut self, cfg: DramConfig) -> Self {
+        self.dram = Some(cfg);
+        self
+    }
+
+    /// Sets the per-thread instruction budget.
+    pub fn instructions_per_thread(mut self, insts: u64) -> Self {
+        self.insts = insts;
+        self
+    }
+
+    /// Sets the workload seed (traces are deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets STFM's `α` (ignored by other schedulers).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Sets thread `t`'s STFM weight (ignored by other schedulers).
+    pub fn weight(mut self, thread: u32, weight: u32) -> Self {
+        self.weights.push((thread, weight));
+        self
+    }
+
+    /// Sets thread `t`'s NFQ bandwidth share (ignored by other schedulers).
+    pub fn share(mut self, thread: u32, share: u32) -> Self {
+        self.shares.push((thread, share));
+        self
+    }
+
+    /// Enables the DDR2 timing auditor for the run (panics on violation at
+    /// the end of the run).
+    pub fn timing_checker(mut self, on: bool) -> Self {
+        self.timing_checker = on;
+        self
+    }
+
+    /// Selects the controller's row-buffer policy (default: open page, the
+    /// paper's baseline).
+    pub fn row_policy(mut self, policy: RowPolicy) -> Self {
+        self.row_policy = policy;
+        self
+    }
+
+    /// Enables the per-core stream prefetcher (extension; the paper's
+    /// baseline has none). Applies to the shared run *and* the alone
+    /// baselines, which are cached separately per configuration.
+    pub fn prefetch(mut self, cfg: PrefetchConfig) -> Self {
+        self.prefetch = Some(cfg);
+        self
+    }
+
+    /// The DRAM configuration the run will use.
+    pub fn effective_dram(&self) -> DramConfig {
+        self.dram
+            .clone()
+            .unwrap_or_else(|| DramConfig::for_cores(self.profiles.len() as u32))
+    }
+
+    /// The profiles, in core order.
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+
+    fn effective_scheduler(&self) -> SchedulerKind {
+        match (self.scheduler, self.alpha) {
+            (SchedulerKind::Stfm, Some(a)) => SchedulerKind::StfmWith(StfmConfig {
+                alpha: a,
+                ..StfmConfig::default()
+            }),
+            (SchedulerKind::StfmWith(mut cfg), Some(a)) => {
+                cfg.alpha = a;
+                SchedulerKind::StfmWith(cfg)
+            }
+            (kind, _) => kind,
+        }
+    }
+
+    /// Runs the experiment with a private alone-run cache.
+    pub fn run(&self) -> WorkloadMetrics {
+        self.run_with_cache(&AloneCache::new())
+    }
+
+    /// Runs the experiment, memoizing / reusing alone baselines in
+    /// `cache`.
+    pub fn run_with_cache(&self, cache: &AloneCache) -> WorkloadMetrics {
+        let dram = self.effective_dram();
+        let kind = self.effective_scheduler();
+        let policy = kind.build(dram.timing, &self.weights, &self.shares);
+        let ctrl = ControllerConfig {
+            row_policy: self.row_policy,
+            ..ControllerConfig::paper_baseline()
+        };
+        let mut mem = MemorySystem::with_controller_config(dram.clone(), ctrl, policy);
+        if self.timing_checker {
+            mem.enable_timing_checker();
+        }
+        let core_cfg = CoreConfig {
+            prefetch: self.prefetch,
+            ..CoreConfig::paper_baseline()
+        };
+        let cores: Vec<Core> = self
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let trace = SyntheticTrace::new(p.clone(), &dram, i as u32, self.seed);
+                Core::with_config(ThreadId(i as u32), Box::new(trace), core_cfg)
+            })
+            .collect();
+        let mut sys = System::new(cores, mem);
+        let out = sys.run_with_warmup(
+            default_warmup(self.insts),
+            self.insts,
+            self.insts.saturating_mul(MAX_CPI),
+        );
+        if self.timing_checker {
+            sys.memory().assert_timing_clean();
+        }
+        debug_assert!(!out.truncated, "run truncated: raise MAX_CPI?");
+
+        let threads = self
+            .profiles
+            .iter()
+            .zip(&out.frozen)
+            .map(|(p, shared)| ThreadMetrics {
+                name: p.name.to_string(),
+                shared: *shared,
+                alone: cache.get_or_run(p, &dram, self.insts, self.seed, self.prefetch),
+            })
+            .collect();
+        WorkloadMetrics {
+            scheduler: kind.name().to_string(),
+            threads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stfm_workloads::spec;
+
+    #[test]
+    fn alone_cache_hits() {
+        let cache = AloneCache::new();
+        let e = Experiment::new(vec![spec::libquantum(), spec::libquantum()])
+            .instructions_per_thread(3_000);
+        let _ = e.run_with_cache(&cache);
+        // Both threads run the same benchmark on the same config: one
+        // baseline entry.
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let e = Experiment::new(vec![spec::mcf(), spec::libquantum()])
+            .scheduler(SchedulerKind::Stfm)
+            .instructions_per_thread(4_000);
+        let a = e.run();
+        let b = e.run();
+        assert_eq!(a.unfairness(), b.unfairness());
+        assert_eq!(a.weighted_speedup(), b.weighted_speedup());
+    }
+
+    #[test]
+    fn slowdowns_exceed_one_under_contention() {
+        let m = Experiment::new(vec![spec::mcf(), spec::libquantum()])
+            .instructions_per_thread(5_000)
+            .run();
+        for t in &m.threads {
+            assert!(
+                t.mem_slowdown() > 0.9,
+                "{} slowdown {} implausible",
+                t.name,
+                t.mem_slowdown()
+            );
+        }
+        assert!(m.unfairness() >= 1.0);
+    }
+
+    #[test]
+    fn timing_checker_clean_end_to_end() {
+        let _ = Experiment::new(vec![spec::libquantum(), spec::gems_fdtd()])
+            .scheduler(SchedulerKind::Stfm)
+            .instructions_per_thread(3_000)
+            .timing_checker(true)
+            .run();
+    }
+}

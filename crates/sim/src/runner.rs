@@ -1,0 +1,80 @@
+//! Parallel experiment runner.
+//!
+//! Figure-scale sweeps run hundreds of independent experiments; this
+//! module fans them out over the host's cores with a shared alone-run
+//! cache. Results are returned in input order, and every experiment is
+//! deterministic, so parallelism never changes the numbers.
+
+use crate::experiment::{AloneCache, Experiment};
+use crate::metrics::WorkloadMetrics;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs all experiments, using up to `available_parallelism` worker
+/// threads, and returns their metrics in input order.
+pub fn run_all(experiments: &[Experiment]) -> Vec<WorkloadMetrics> {
+    run_all_with_cache(experiments, &AloneCache::new())
+}
+
+/// Like [`run_all`] but reusing an existing alone-run cache (useful when a
+/// harness runs several sweeps over the same benchmarks).
+pub fn run_all_with_cache(
+    experiments: &[Experiment],
+    cache: &AloneCache,
+) -> Vec<WorkloadMetrics> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(experiments.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<WorkloadMetrics>>> =
+        experiments.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= experiments.len() {
+                    break;
+                }
+                let m = experiments[i].run_with_cache(cache);
+                *results[i].lock().expect("result slot poisoned") = Some(m);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped an experiment")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler_kind::SchedulerKind;
+    use stfm_workloads::spec;
+
+    #[test]
+    fn parallel_results_match_serial_in_order() {
+        let experiments: Vec<Experiment> = SchedulerKind::all()
+            .iter()
+            .map(|k| {
+                Experiment::new(vec![spec::libquantum(), spec::omnetpp()])
+                    .scheduler(*k)
+                    .instructions_per_thread(2_000)
+            })
+            .collect();
+        let cache = AloneCache::new();
+        let parallel = run_all_with_cache(&experiments, &cache);
+        let serial: Vec<_> = experiments.iter().map(|e| e.run_with_cache(&cache)).collect();
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.scheduler, s.scheduler);
+            assert_eq!(p.unfairness(), s.unfairness());
+        }
+    }
+}

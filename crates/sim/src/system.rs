@@ -1,0 +1,208 @@
+//! Full-system wiring: N cores around one shared memory system.
+
+use stfm_cpu::{Core, CoreStats};
+use stfm_dram::CPU_CYCLES_PER_DRAM_CYCLE;
+use stfm_mc::{MemorySystem, ThreadId, ThreadStats};
+
+/// A complete simulated CMP: cores plus the shared DRAM memory system.
+///
+/// Time advances in DRAM cycles; each DRAM cycle the memory system ticks
+/// once and every core executes [`CPU_CYCLES_PER_DRAM_CYCLE`] CPU cycles.
+pub struct System {
+    cores: Vec<Core>,
+    mem: MemorySystem,
+    dram_cycle: u64,
+}
+
+/// Outcome of [`System::run`].
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-core statistics over the measurement window (warmup excluded;
+    /// index = core/thread id), frozen when the core crossed its budget.
+    pub frozen: Vec<CoreStats>,
+    /// Per-thread controller statistics over the same window (row-buffer
+    /// hit rates etc.).
+    pub frozen_mem: Vec<ThreadStats>,
+    /// Total CPU cycles simulated (= slowest thread's completion time).
+    pub cpu_cycles: u64,
+    /// Whether the cycle cap was hit before every thread finished.
+    pub truncated: bool,
+}
+
+impl System {
+    /// Builds a system from prepared cores and a memory system. Core `i`
+    /// must carry `ThreadId(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a core's thread id does not match its index.
+    pub fn new(cores: Vec<Core>, mem: MemorySystem) -> Self {
+        for (i, c) in cores.iter().enumerate() {
+            assert_eq!(
+                c.thread().0 as usize,
+                i,
+                "core {i} carries thread id {}",
+                c.thread().0
+            );
+        }
+        System {
+            cores,
+            mem,
+            dram_cycle: 0,
+        }
+    }
+
+    /// The shared memory system.
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Mutable access to the shared memory system (scheduler knobs).
+    pub fn memory_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// The cores.
+    pub fn cores(&self) -> &[Core] {
+        &self.cores
+    }
+
+    /// Advances the whole system by one DRAM cycle.
+    pub fn tick(&mut self) {
+        self.mem.tick(self.dram_cycle);
+        for c in self.mem.drain_completions() {
+            self.cores[c.thread.0 as usize].push_completion(c);
+        }
+        for core in &mut self.cores {
+            for _ in 0..CPU_CYCLES_PER_DRAM_CYCLE {
+                core.step(&mut self.mem);
+            }
+        }
+        self.dram_cycle += 1;
+    }
+
+    /// Runs until every core has committed `insts_per_thread` instructions
+    /// (statistics freeze per core at that point; cores keep executing to
+    /// preserve contention, per the standard multiprogrammed methodology),
+    /// or until `max_cpu_cycles` elapse.
+    pub fn run(&mut self, insts_per_thread: u64, max_cpu_cycles: u64) -> RunOutcome {
+        self.run_with_warmup(0, insts_per_thread, max_cpu_cycles)
+    }
+
+    /// Like [`System::run`], but each core first executes
+    /// `warmup_insts` instructions whose statistics (cache cold misses,
+    /// generator start-up transients) are excluded from the reported
+    /// window.
+    pub fn run_with_warmup(
+        &mut self,
+        warmup_insts: u64,
+        insts_per_thread: u64,
+        max_cpu_cycles: u64,
+    ) -> RunOutcome {
+        let n = self.cores.len();
+        let zero = CoreStats::default();
+        let mem_zero = ThreadStats::default();
+        let mut baseline: Vec<Option<(CoreStats, ThreadStats)>> =
+            vec![if warmup_insts == 0 { Some((zero, mem_zero)) } else { None }; n];
+        let mut frozen: Vec<Option<(CoreStats, ThreadStats)>> = vec![None; n];
+        let budget = warmup_insts + insts_per_thread;
+        let mut remaining = n;
+        let mut truncated = false;
+        while remaining > 0 {
+            self.tick();
+            for (i, core) in self.cores.iter().enumerate() {
+                let insts = core.stats().instructions;
+                if baseline[i].is_none() && insts >= warmup_insts {
+                    baseline[i] =
+                        Some((*core.stats(), self.mem.thread_stats(ThreadId(i as u32))));
+                }
+                if frozen[i].is_none() && insts >= budget {
+                    frozen[i] =
+                        Some((*core.stats(), self.mem.thread_stats(ThreadId(i as u32))));
+                    remaining -= 1;
+                }
+            }
+            if self.dram_cycle * CPU_CYCLES_PER_DRAM_CYCLE >= max_cpu_cycles {
+                truncated = true;
+                for (i, core) in self.cores.iter().enumerate() {
+                    if baseline[i].is_none() {
+                        baseline[i] = Some((zero, mem_zero));
+                    }
+                    if frozen[i].is_none() {
+                        frozen[i] =
+                            Some((*core.stats(), self.mem.thread_stats(ThreadId(i as u32))));
+                    }
+                }
+                break;
+            }
+        }
+        let mut frozen_core = Vec::with_capacity(n);
+        let mut frozen_mem = Vec::with_capacity(n);
+        for (f, b) in frozen.into_iter().zip(baseline) {
+            let (fc, fm) = f.expect("filled above");
+            let (bc, bm) = b.expect("baseline precedes freeze");
+            frozen_core.push(fc.minus(&bc));
+            frozen_mem.push(fm.minus(&bm));
+        }
+        RunOutcome {
+            frozen: frozen_core,
+            frozen_mem,
+            cpu_cycles: self.dram_cycle * CPU_CYCLES_PER_DRAM_CYCLE,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stfm_cpu::TraceOp;
+    use stfm_cpu::VecTrace;
+    use stfm_dram::DramConfig;
+    use stfm_mc::{FrFcfs, ThreadId};
+
+    fn tiny_system(n: usize) -> System {
+        let cfg = DramConfig::for_cores(n as u32);
+        let mem = MemorySystem::new(cfg, Box::new(FrFcfs::new()));
+        let cores = (0..n)
+            .map(|i| {
+                let ops: Vec<_> = (0..64u64)
+                    .map(|k| TraceOp::load(((i as u64) << 28) | (k * 64 * 131), 6))
+                    .collect();
+                Core::new(ThreadId(i as u32), Box::new(VecTrace::new(format!("t{i}"), ops)))
+            })
+            .collect();
+        System::new(cores, mem)
+    }
+
+    #[test]
+    fn run_freezes_stats_at_budget() {
+        let mut sys = tiny_system(2);
+        let out = sys.run(2_000, 50_000_000);
+        assert!(!out.truncated);
+        for f in &out.frozen {
+            assert!(f.instructions >= 2_000);
+            // Frozen close to the budget, not at the end of the whole run.
+            assert!(f.instructions < 2_000 + 10 * CPU_CYCLES_PER_DRAM_CYCLE);
+        }
+    }
+
+    #[test]
+    fn truncation_reports() {
+        let mut sys = tiny_system(2);
+        let out = sys.run(u64::MAX, 10_000);
+        assert!(out.truncated);
+    }
+
+    #[test]
+    #[should_panic(expected = "carries thread id")]
+    fn mismatched_thread_ids_rejected() {
+        let cfg = DramConfig::for_cores(1);
+        let mem = MemorySystem::new(cfg, Box::new(FrFcfs::new()));
+        let core = Core::new(
+            ThreadId(5),
+            Box::new(VecTrace::new("x", vec![TraceOp::load(0, 1)])),
+        );
+        let _ = System::new(vec![core], mem);
+    }
+}

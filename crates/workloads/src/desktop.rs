@@ -1,0 +1,61 @@
+//! The Windows desktop applications of paper Table 4 (Section 7.4).
+//!
+//! Two memory-intensive background threads (an XML parser searching a file
+//! database and Matlab convolving two images) run alongside two foreground
+//! threads the user interacts with (Internet Explorer and an instant
+//! messenger). The paper notes the foreground threads' accesses are
+//! concentrated on only two and three banks respectively, which is why NFQ
+//! penalizes them.
+
+use crate::profile::{Category, Profile};
+
+/// Matlab performing convolution on two images: intensive streaming.
+pub fn matlab() -> Profile {
+    Profile::base("matlab", Category::IntensiveHighRb, 11.06, 60.26, 0.978).with_writes(0.35)
+}
+
+/// XML parser searching a file database: intensive streaming.
+pub fn xml_parser() -> Profile {
+    Profile::base("xml-parser", Category::IntensiveHighRb, 8.56, 53.46, 0.958)
+}
+
+/// Instant messenger: non-intensive, bursty, three-bank footprint.
+pub fn instant_messenger() -> Profile {
+    Profile::base(
+        "instant-messenger",
+        Category::NotIntensiveLowRb,
+        1.56,
+        7.72,
+        0.228,
+    )
+    .with_burst(15_000, 45_000)
+    .with_bank_skew(3)
+}
+
+/// Internet Explorer: non-intensive, bursty, two-bank footprint.
+pub fn iexplorer() -> Profile {
+    Profile::base("iexplorer", Category::NotIntensiveLowRb, 0.55, 3.55, 0.414)
+        .with_burst(15_000, 45_000)
+        .with_bank_skew(2)
+}
+
+/// The Figure 13 desktop workload in core order.
+pub fn workload() -> Vec<Profile> {
+    vec![xml_parser(), matlab(), iexplorer(), instant_messenger()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_characterization() {
+        let w = workload();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].name, "xml-parser");
+        assert!(matlab().targets.mpki > 60.0);
+        assert_eq!(iexplorer().bank_skew, Some(2));
+        assert_eq!(instant_messenger().bank_skew, Some(3));
+        assert!(iexplorer().burst.is_some());
+    }
+}

@@ -1,0 +1,120 @@
+//! Controlled microbenchmarks: pure access patterns for unit studies.
+//!
+//! Unlike the calibrated SPEC profiles, these expose one memory behavior
+//! each, which makes them ideal for controlled scheduler experiments and
+//! for the adversarial scenarios of the paper's Sections 2.5 and 4:
+//!
+//! * [`stream`] — the perfect row-buffer-locality aggressor of Section 2.5
+//!   (the "256 row-hit requests" example): maximal intensity, sequential.
+//! * [`random`] — the row-locality victim: every access a different row.
+//! * [`chase`] — a pure pointer chaser: one outstanding miss at a time.
+//! * [`bursty`] — the NFQ idleness-problem trigger of Figure 3.
+//! * [`bank_hog`] — all accesses concentrated on one bank (extreme access
+//!   imbalance).
+
+use crate::profile::{Category, Profile};
+
+/// Maximal-intensity sequential streaming (the paper's Section 2.5
+/// aggressor).
+pub fn stream() -> Profile {
+    Profile {
+        hot_ops_per_miss: 0,
+        ..Profile::base("µ-stream", Category::IntensiveHighRb, 9.0, 60.0, 0.995)
+    }
+}
+
+/// Maximal-intensity uniform-random accesses: near-zero row locality.
+pub fn random() -> Profile {
+    Profile {
+        hot_ops_per_miss: 0,
+        ..Profile::base("µ-random", Category::IntensiveLowRb, 6.0, 40.0, 0.0)
+    }
+}
+
+/// Pure pointer chase: fully dependent misses, minimal MLP.
+pub fn chase() -> Profile {
+    Profile::base("µ-chase", Category::IntensiveLowRb, 10.0, 50.0, 0.1).with_dependent(1.0)
+}
+
+/// Bursty requester: intense phases separated by long idle phases
+/// (the Figure 3 idleness scenario).
+pub fn bursty() -> Profile {
+    Profile::base("µ-bursty", Category::NotIntensiveHighRb, 1.0, 8.0, 0.8)
+        .with_burst(10_000, 70_000)
+}
+
+/// All misses to a single bank: the extreme of the access-balance problem.
+pub fn bank_hog() -> Profile {
+    Profile::base("µ-bankhog", Category::NotIntensiveLowRb, 2.0, 10.0, 0.3).with_bank_skew(1)
+}
+
+/// The four-thread idleness scenario of the paper's Figure 3: one
+/// continuous thread and three staggered bursty ones.
+pub fn figure3_scenario() -> Vec<Profile> {
+    vec![
+        stream(),
+        bursty(),
+        Profile {
+            name: "µ-bursty2",
+            ..bursty()
+        },
+        Profile {
+            name: "µ-bursty3",
+            ..bursty()
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticTrace;
+    use stfm_cpu::TraceSource;
+    use stfm_dram::{AddressMapping, DramConfig};
+
+    #[test]
+    fn profiles_have_the_advertised_characters() {
+        assert!(stream().stream_prob > 0.99);
+        assert!(random().stream_prob == 0.0);
+        assert_eq!(chase().dependent_frac, 1.0);
+        assert!(bursty().burst.is_some());
+        assert_eq!(bank_hog().bank_skew, Some(1));
+        assert_eq!(figure3_scenario().len(), 4);
+    }
+
+    #[test]
+    fn bank_hog_hits_exactly_one_bank() {
+        let cfg = DramConfig::ddr2_800();
+        let mapping = AddressMapping::new(&cfg);
+        let mut t = SyntheticTrace::new(bank_hog(), &cfg, 0, 3);
+        let hot_base = bank_hog().footprint_lines * 64;
+        let mut banks = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            let op = t.next_op();
+            if op.addr.0 < hot_base {
+                banks.insert(mapping.decode(op.addr).bank.0);
+            }
+        }
+        assert_eq!(banks.len(), 1, "bank hog leaked to {banks:?}");
+    }
+
+    #[test]
+    fn stream_is_sequential() {
+        let cfg = DramConfig::ddr2_800();
+        let mut t = SyntheticTrace::new(stream(), &cfg, 0, 3);
+        let mut prev = None;
+        let mut sequential = 0;
+        let mut total = 0;
+        for _ in 0..3_000 {
+            let op = t.next_op();
+            if let Some(p) = prev {
+                total += 1;
+                if op.addr.0 == p + 64 {
+                    sequential += 1;
+                }
+            }
+            prev = Some(op.addr.0);
+        }
+        assert!(sequential as f64 / total as f64 > 0.95);
+    }
+}

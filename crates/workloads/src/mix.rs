@@ -1,0 +1,221 @@
+//! Workload mixes: the multiprogrammed combinations the paper evaluates.
+
+use crate::profile::{Category, Profile};
+use crate::spec;
+
+/// The 4-core workload of Figure 1 (left).
+pub fn fig1_four_core() -> Vec<Profile> {
+    vec![
+        spec::hmmer(),
+        spec::libquantum(),
+        spec::h264ref(),
+        spec::omnetpp(),
+    ]
+}
+
+/// The 8-core workload of Figure 1 (right).
+pub fn fig1_eight_core() -> Vec<Profile> {
+    vec![
+        spec::mcf(),
+        spec::hmmer(),
+        spec::gems_fdtd(),
+        spec::libquantum(),
+        spec::omnetpp(),
+        spec::astar(),
+        spec::sphinx3(),
+        spec::deal_ii(),
+    ]
+}
+
+/// Case study I (Figure 6): memory-intensive workload — 3 intensive + 1
+/// non-intensive.
+pub fn case_study_intensive() -> Vec<Profile> {
+    vec![
+        spec::mcf(),
+        spec::libquantum(),
+        spec::gems_fdtd(),
+        spec::astar(),
+    ]
+}
+
+/// Case study II (Figure 7): mixed workload from all four categories.
+pub fn case_study_mixed() -> Vec<Profile> {
+    vec![
+        spec::mcf(),
+        spec::leslie3d(),
+        spec::h264ref(),
+        spec::bzip2(),
+    ]
+}
+
+/// Case study III (Figure 8): non-memory-intensive workload.
+pub fn case_study_non_intensive() -> Vec<Profile> {
+    vec![
+        spec::libquantum(),
+        spec::omnetpp(),
+        spec::hmmer(),
+        spec::h264ref(),
+    ]
+}
+
+/// The 8-core non-intensive case study of Figure 10 (1 intensive + 7
+/// non-intensive).
+pub fn fig10_eight_core() -> Vec<Profile> {
+    vec![
+        spec::mcf(),
+        spec::h264ref(),
+        spec::bzip2(),
+        spec::gromacs(),
+        spec::gobmk(),
+        spec::deal_ii(),
+        spec::wrf(),
+        spec::namd(),
+    ]
+}
+
+/// The thread-weight workload of Figure 14.
+pub fn fig14_weights() -> Vec<Profile> {
+    vec![
+        spec::libquantum(),
+        spec::cactus_adm(),
+        spec::astar(),
+        spec::omnetpp(),
+    ]
+}
+
+/// All `cores`-sized combinations of benchmark *categories*
+/// (`4^cores` tuples for 4 cores = the paper's 256 4-core combinations),
+/// each instantiated with a concrete benchmark from the category chosen
+/// round-robin so every benchmark participates.
+pub fn category_combinations(cores: usize) -> Vec<Vec<Profile>> {
+    let per_cat: Vec<Vec<Profile>> = (0..4)
+        .map(|c| spec::by_category(Category::from_index(c)))
+        .collect();
+    let total = 4usize.pow(cores as u32);
+    let mut picks = [0usize; 4]; // round-robin cursor per category
+    let mut out = Vec::with_capacity(total);
+    for combo in 0..total {
+        let mut mix = Vec::with_capacity(cores);
+        let mut x = combo;
+        for _ in 0..cores {
+            let cat = x % 4;
+            x /= 4;
+            let pool = &per_cat[cat];
+            let p = pool[picks[cat] % pool.len()].clone();
+            picks[cat] += 1;
+            mix.push(p);
+        }
+        out.push(mix);
+    }
+    out
+}
+
+/// The paper's Figure 11 evaluates 32 diverse 8-core combinations; this
+/// returns 32 deterministic mixes spanning the category space.
+pub fn eight_core_mixes() -> Vec<Vec<Profile>> {
+    let per_cat: Vec<Vec<Profile>> = (0..4)
+        .map(|c| spec::by_category(Category::from_index(c)))
+        .collect();
+    let mut picks = [0usize; 4];
+    (0..32usize)
+        .map(|i| {
+            // Intensity composition sweeps from all-non-intensive to
+            // all-intensive across the 32 mixes; benchmarks rotate within
+            // each category so the whole suite participates.
+            let intensive_slots = i % 9; // 0..=8
+            (0..8usize)
+                .map(|slot| {
+                    let cat = if slot < intensive_slots {
+                        2 + (slot + i) % 2 // categories 2 and 3
+                    } else {
+                        (slot + i) % 2 // categories 0 and 1
+                    };
+                    let pool = &per_cat[cat];
+                    let p = pool[picks[cat] % pool.len()].clone();
+                    picks[cat] += 1;
+                    p
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The three 16-core workloads of Figure 12: the 16 most intensive
+/// benchmarks, the 8 most + 8 least intensive, and the 16 least intensive.
+pub fn sixteen_core_mixes() -> Vec<(String, Vec<Profile>)> {
+    let all = spec::all(); // intensity-ordered
+    let high16 = all[..16].to_vec();
+    let mut high8_low8 = all[..8].to_vec();
+    high8_low8.extend_from_slice(&all[all.len() - 8..]);
+    let low16 = all[all.len() - 16..].to_vec();
+    vec![
+        ("high16".to_string(), high16),
+        ("high8+low8".to_string(), high8_low8),
+        ("low16".to_string(), low16),
+    ]
+}
+
+/// 2-core pairs of Figure 5: mcf together with every other benchmark.
+pub fn mcf_pairs() -> Vec<Vec<Profile>> {
+    spec::all()
+        .into_iter()
+        .filter(|p| p.name != "mcf")
+        .map(|other| vec![spec::mcf(), other])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_studies_have_the_right_benchmarks() {
+        assert_eq!(
+            case_study_intensive()
+                .iter()
+                .map(|p| p.name)
+                .collect::<Vec<_>>(),
+            ["mcf", "libquantum", "GemsFDTD", "astar"]
+        );
+        assert_eq!(fig1_eight_core().len(), 8);
+        assert_eq!(fig10_eight_core().len(), 8);
+    }
+
+    #[test]
+    fn combination_counts_match_paper() {
+        assert_eq!(category_combinations(4).len(), 256);
+        assert_eq!(eight_core_mixes().len(), 32);
+        assert_eq!(sixteen_core_mixes().len(), 3);
+        assert_eq!(mcf_pairs().len(), 25);
+    }
+
+    #[test]
+    fn sixteen_core_mixes_are_sixteen_wide() {
+        for (name, mix) in sixteen_core_mixes() {
+            assert_eq!(mix.len(), 16, "{name}");
+        }
+    }
+
+    #[test]
+    fn combinations_are_deterministic() {
+        let a = category_combinations(4);
+        let b = category_combinations(4);
+        for (x, y) in a.iter().zip(&b) {
+            let xn: Vec<_> = x.iter().map(|p| p.name).collect();
+            let yn: Vec<_> = y.iter().map(|p| p.name).collect();
+            assert_eq!(xn, yn);
+        }
+    }
+
+    #[test]
+    fn eight_core_mixes_are_diverse() {
+        let mixes = eight_core_mixes();
+        let intensive_counts: Vec<usize> = mixes
+            .iter()
+            .map(|m| m.iter().filter(|p| p.category.is_intensive()).count())
+            .collect();
+        let min = intensive_counts.iter().min().unwrap();
+        let max = intensive_counts.iter().max().unwrap();
+        assert!(max > min, "mixes must vary in intensity: {intensive_counts:?}");
+    }
+}

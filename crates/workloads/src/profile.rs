@@ -1,0 +1,203 @@
+//! Workload profiles: the knobs that characterize a synthetic benchmark.
+//!
+//! The paper's evaluation (Table 3 / Table 4) characterizes every benchmark
+//! by the properties its analysis shows are *causal* for scheduler behavior:
+//! memory intensity (L2 MPKI), row-buffer locality (RB hit rate), bank
+//! access balance, burstiness, and memory-level parallelism. A [`Profile`]
+//! pins those properties; `crates/workloads/src/synthetic.rs` turns a
+//! profile into an endless instruction trace.
+
+/// Paper benchmark category (Table 3): memory intensiveness × row-buffer
+/// locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Category 0: not intensive, low row-buffer hit rate.
+    NotIntensiveLowRb,
+    /// Category 1: not intensive, high row-buffer hit rate.
+    NotIntensiveHighRb,
+    /// Category 2: intensive, low row-buffer hit rate.
+    IntensiveLowRb,
+    /// Category 3: intensive, high row-buffer hit rate.
+    IntensiveHighRb,
+}
+
+impl Category {
+    /// Paper numbering 0–3.
+    pub fn index(self) -> u8 {
+        match self {
+            Category::NotIntensiveLowRb => 0,
+            Category::NotIntensiveHighRb => 1,
+            Category::IntensiveLowRb => 2,
+            Category::IntensiveHighRb => 3,
+        }
+    }
+
+    /// Category from the paper's 0–3 numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx > 3`.
+    pub fn from_index(idx: u8) -> Self {
+        match idx {
+            0 => Category::NotIntensiveLowRb,
+            1 => Category::NotIntensiveHighRb,
+            2 => Category::IntensiveLowRb,
+            3 => Category::IntensiveHighRb,
+            _ => panic!("category index {idx} out of range"),
+        }
+    }
+
+    /// Memory-intensive categories (2 and 3).
+    pub fn is_intensive(self) -> bool {
+        matches!(self, Category::IntensiveLowRb | Category::IntensiveHighRb)
+    }
+}
+
+/// Duty-cycled request generation: `on_insts` of normal behavior followed
+/// by `off_insts` of pure compute (no DRAM traffic). Models the bursty
+/// applications behind NFQ's idleness problem (paper Section 4, Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstSpec {
+    /// Instructions per active phase.
+    pub on_insts: u64,
+    /// Instructions per idle phase.
+    pub off_insts: u64,
+}
+
+impl BurstSpec {
+    /// Fraction of time the workload generates memory traffic.
+    pub fn duty(&self) -> f64 {
+        self.on_insts as f64 / (self.on_insts + self.off_insts) as f64
+    }
+}
+
+/// Characterization targets from the paper, kept for reporting and
+/// calibration tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperTargets {
+    /// Memory (stall) cycles per instruction when run alone.
+    pub mcpi: f64,
+    /// L2 misses per 1000 instructions.
+    pub mpki: f64,
+    /// Row-buffer hit rate when run alone.
+    pub rb_hit: f64,
+}
+
+/// A synthetic benchmark: name, category, paper targets, and generator
+/// knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Benchmark name (e.g. `"mcf"`).
+    pub name: &'static str,
+    /// Paper category.
+    pub category: Category,
+    /// Paper Table 3/4 characterization, for calibration and reports.
+    pub targets: PaperTargets,
+    /// Probability that the next miss continues the current sequential
+    /// stream (≈ alone row-buffer hit rate).
+    pub stream_prob: f64,
+    /// Fraction of misses that are stores (writebacks follow organically).
+    pub write_frac: f64,
+    /// Fraction of miss loads that depend on the previous access
+    /// (pointer chasing → low memory-level parallelism).
+    pub dependent_frac: f64,
+    /// Cache-resident (hot-set) loads interleaved per miss, exercising the
+    /// L1/L2 without DRAM traffic.
+    pub hot_ops_per_miss: u32,
+    /// Restrict misses to this many banks (`None` = all banks) — the poor
+    /// bank-access-balance behavior of dealII/astar (paper footnote 16).
+    pub bank_skew: Option<u32>,
+    /// Duty-cycled generation (bursty apps); `None` = continuous.
+    pub burst: Option<BurstSpec>,
+    /// Footprint of the miss stream in cache lines (must exceed the L2).
+    pub footprint_lines: u64,
+}
+
+impl Profile {
+    /// A continuous, unskewed profile with the given characterization; the
+    /// named constructors in [`crate::spec`] / [`crate::desktop`] build on
+    /// this.
+    pub fn base(
+        name: &'static str,
+        category: Category,
+        mcpi: f64,
+        mpki: f64,
+        rb_hit: f64,
+    ) -> Self {
+        Profile {
+            name,
+            category,
+            targets: PaperTargets { mcpi, mpki, rb_hit },
+            stream_prob: rb_hit,
+            write_frac: 0.25,
+            dependent_frac: 0.0,
+            hot_ops_per_miss: 2,
+            bank_skew: None,
+            burst: None,
+            footprint_lines: 1 << 18, // 16 MiB ≫ 512 KiB L2
+        }
+    }
+
+    /// Builder: set the dependent-load fraction.
+    pub fn with_dependent(mut self, frac: f64) -> Self {
+        self.dependent_frac = frac;
+        self
+    }
+
+    /// Builder: set the store fraction.
+    pub fn with_writes(mut self, frac: f64) -> Self {
+        self.write_frac = frac;
+        self
+    }
+
+    /// Builder: concentrate misses on `banks` banks.
+    pub fn with_bank_skew(mut self, banks: u32) -> Self {
+        self.bank_skew = Some(banks);
+        self
+    }
+
+    /// Builder: duty-cycle the generation.
+    pub fn with_burst(mut self, on_insts: u64, off_insts: u64) -> Self {
+        self.burst = Some(BurstSpec { on_insts, off_insts });
+        self
+    }
+
+    /// Average instructions per L2 miss implied by the MPKI target
+    /// (during active phases, compensated for the idle duty cycle).
+    pub fn insts_per_miss(&self) -> f64 {
+        let duty = self.burst.map(|b| b.duty()).unwrap_or(1.0);
+        (1000.0 / self.targets.mpki) * duty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_round_trip() {
+        for i in 0..4u8 {
+            assert_eq!(Category::from_index(i).index(), i);
+        }
+        assert!(Category::IntensiveHighRb.is_intensive());
+        assert!(!Category::NotIntensiveLowRb.is_intensive());
+    }
+
+    #[test]
+    fn burst_duty() {
+        let b = BurstSpec {
+            on_insts: 1000,
+            off_insts: 3000,
+        };
+        assert!((b.duty() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insts_per_miss_compensates_for_idle_phases() {
+        let continuous = Profile::base("x", Category::IntensiveHighRb, 5.0, 50.0, 0.9);
+        assert!((continuous.insts_per_miss() - 20.0).abs() < 1e-9);
+        let bursty = continuous.clone().with_burst(1000, 1000);
+        // Same average MPKI with half the duty → twice as intense while on.
+        assert!((bursty.insts_per_miss() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,234 @@
+//! The 26 SPEC CPU2006 benchmark profiles of paper Table 3.
+//!
+//! Each constructor pins the benchmark's measured characterization (MCPI,
+//! L2 MPKI, row-buffer hit rate, category) and the qualitative properties
+//! the paper's analysis attributes to it: *mcf*'s pointer chasing (low
+//! MLP), *libquantum*'s relentless streaming, *dealII*'s and *astar*'s
+//! skewed bank usage (footnote 16 and the case studies), *lbm*'s write
+//! traffic, and the bursty access patterns of the non-intensive codes.
+
+use crate::profile::{Category, Profile};
+
+use Category::{IntensiveHighRb as C3, IntensiveLowRb as C2, NotIntensiveHighRb as C1, NotIntensiveLowRb as C0};
+
+/// 429.mcf — most memory-intensive; pointer chasing, moderate locality.
+pub fn mcf() -> Profile {
+    Profile::base("mcf", C2, 10.02, 101.06, 0.419).with_dependent(0.55)
+}
+
+/// 462.libquantum — intense streaming with near-perfect row locality.
+pub fn libquantum() -> Profile {
+    Profile::base("libquantum", C3, 9.10, 50.00, 0.984).with_writes(0.30)
+}
+
+/// 437.leslie3d — intensive, high locality, mildly bursty.
+pub fn leslie3d() -> Profile {
+    Profile::base("leslie3d", C3, 7.82, 36.21, 0.825).with_burst(60_000, 20_000)
+}
+
+/// 450.soplex — intensive, good locality.
+pub fn soplex() -> Profile {
+    Profile::base("soplex", C3, 7.48, 45.66, 0.639)
+}
+
+/// 433.milc — intensive streaming.
+pub fn milc() -> Profile {
+    Profile::base("milc", C3, 6.74, 51.05, 0.9177).with_writes(0.35)
+}
+
+/// 470.lbm — intensive, write-heavy stencil streams.
+pub fn lbm() -> Profile {
+    Profile::base("lbm", C3, 6.44, 43.46, 0.546).with_writes(0.45)
+}
+
+/// 482.sphinx3 — intensive, moderate locality.
+pub fn sphinx3() -> Profile {
+    Profile::base("sphinx3", C3, 5.49, 24.97, 0.578)
+}
+
+/// 459.GemsFDTD — intensive with essentially no row locality; bursty.
+pub fn gems_fdtd() -> Profile {
+    Profile::base("GemsFDTD", C2, 3.87, 17.62, 0.002).with_burst(50_000, 30_000)
+}
+
+/// 436.cactusADM — intensive, very low locality.
+pub fn cactus_adm() -> Profile {
+    Profile::base("cactusADM", C2, 3.53, 14.66, 0.020)
+}
+
+/// 483.xalancbmk — intensive, mixed locality.
+pub fn xalancbmk() -> Profile {
+    Profile::base("xalancbmk", C3, 3.18, 21.66, 0.548).with_dependent(0.55)
+}
+
+/// 473.astar — non-intensive, dependent accesses concentrated on 2 banks.
+pub fn astar() -> Profile {
+    Profile::base("astar", C0, 2.02, 9.25, 0.448)
+        .with_dependent(0.85)
+        .with_bank_skew(2)
+        .with_burst(50_000, 30_000)
+}
+
+/// 471.omnetpp — non-intensive pointer chasing, poor locality.
+pub fn omnetpp() -> Profile {
+    Profile::base("omnetpp", C0, 1.78, 13.83, 0.219).with_dependent(0.6)
+}
+
+/// 456.hmmer — non-intensive, modest locality.
+pub fn hmmer() -> Profile {
+    Profile::base("hmmer", C0, 1.52, 5.82, 0.327).with_burst(40_000, 20_000)
+}
+
+/// 464.h264ref — non-intensive and strongly bursty.
+pub fn h264ref() -> Profile {
+    Profile::base("h264ref", C1, 0.71, 3.22, 0.653).with_burst(20_000, 60_000)
+}
+
+/// 401.bzip2 — non-intensive.
+pub fn bzip2() -> Profile {
+    Profile::base("bzip2", C0, 0.55, 3.55, 0.414)
+}
+
+/// 435.gromacs — non-intensive.
+pub fn gromacs() -> Profile {
+    Profile::base("gromacs", C1, 0.37, 1.26, 0.410)
+}
+
+/// 445.gobmk — non-intensive, bursty.
+pub fn gobmk() -> Profile {
+    Profile::base("gobmk", C1, 0.19, 0.94, 0.568).with_burst(20_000, 40_000)
+}
+
+/// 447.dealII — non-intensive, high locality, accesses skewed to 2 banks
+/// (paper footnote 16).
+pub fn deal_ii() -> Profile {
+    Profile::base("dealII", C1, 0.16, 0.86, 0.902).with_bank_skew(2)
+}
+
+/// 481.wrf — non-intensive.
+pub fn wrf() -> Profile {
+    Profile::base("wrf", C1, 0.14, 0.77, 0.769)
+}
+
+/// 458.sjeng — non-intensive, low locality.
+pub fn sjeng() -> Profile {
+    Profile::base("sjeng", C0, 0.12, 0.51, 0.234).with_burst(20_000, 40_000)
+}
+
+/// 444.namd — non-intensive.
+pub fn namd() -> Profile {
+    Profile::base("namd", C1, 0.11, 0.54, 0.726)
+}
+
+/// 465.tonto — non-intensive, low locality.
+pub fn tonto() -> Profile {
+    Profile::base("tonto", C0, 0.07, 0.39, 0.345)
+}
+
+/// 403.gcc — non-intensive.
+pub fn gcc() -> Profile {
+    Profile::base("gcc", C1, 0.07, 0.42, 0.586).with_burst(20_000, 40_000)
+}
+
+/// 454.calculix — non-intensive.
+pub fn calculix() -> Profile {
+    Profile::base("calculix", C1, 0.05, 0.29, 0.718)
+}
+
+/// 400.perlbench — non-intensive.
+pub fn perlbench() -> Profile {
+    Profile::base("perlbench", C1, 0.03, 0.20, 0.698).with_burst(20_000, 40_000)
+}
+
+/// 453.povray — barely touches memory.
+pub fn povray() -> Profile {
+    Profile::base("povray", C1, 0.01, 0.09, 0.766)
+}
+
+/// All 26 profiles in the paper's order (most memory-intensive first).
+pub fn all() -> Vec<Profile> {
+    vec![
+        mcf(),
+        libquantum(),
+        leslie3d(),
+        soplex(),
+        milc(),
+        lbm(),
+        sphinx3(),
+        gems_fdtd(),
+        cactus_adm(),
+        xalancbmk(),
+        astar(),
+        omnetpp(),
+        hmmer(),
+        h264ref(),
+        bzip2(),
+        gromacs(),
+        gobmk(),
+        deal_ii(),
+        wrf(),
+        sjeng(),
+        namd(),
+        tonto(),
+        gcc(),
+        calculix(),
+        perlbench(),
+        povray(),
+    ]
+}
+
+/// Looks a profile up by benchmark name.
+pub fn by_name(name: &str) -> Option<Profile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+/// Profiles of one category, in intensity order.
+pub fn by_category(cat: Category) -> Vec<Profile> {
+    all().into_iter().filter(|p| p.category == cat).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_six_profiles_ordered_by_mcpi() {
+        let a = all();
+        assert_eq!(a.len(), 26);
+        for w in a.windows(2) {
+            assert!(
+                w[0].targets.mcpi >= w[1].targets.mcpi,
+                "{} before {}",
+                w[0].name,
+                w[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        assert_eq!(by_name("mcf").unwrap().targets.mpki, 101.06);
+        assert!(by_name("nonesuch").is_none());
+        // Table 3 category counts: 7×cat0? Recount: categories per table.
+        let c3 = by_category(Category::IntensiveHighRb);
+        assert!(c3.iter().any(|p| p.name == "libquantum"));
+        for c in [
+            Category::NotIntensiveLowRb,
+            Category::NotIntensiveHighRb,
+            Category::IntensiveLowRb,
+            Category::IntensiveHighRb,
+        ] {
+            assert!(!by_category(c).is_empty(), "category {c:?} empty");
+        }
+    }
+
+    #[test]
+    fn qualitative_properties() {
+        assert!(mcf().dependent_frac >= 0.5, "mcf must pointer-chase");
+        assert!(libquantum().stream_prob > 0.95);
+        assert_eq!(deal_ii().bank_skew, Some(2));
+        assert_eq!(astar().bank_skew, Some(2));
+        assert!(h264ref().burst.is_some());
+        assert!(mcf().burst.is_none(), "mcf is continuous");
+    }
+}

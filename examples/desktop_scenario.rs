@@ -1,0 +1,59 @@
+//! The paper's desktop scenario (Section 7.4 / Figure 13): two
+//! memory-hungry background jobs (an XML indexer and a Matlab convolution)
+//! running alongside the two applications the user is actually looking at
+//! (a browser and an instant messenger).
+//!
+//! Under throughput-oriented FR-FCFS the streaming background jobs
+//! monopolize the DRAM and the foreground apps — whose few accesses are
+//! concentrated on two or three banks — feel multi-fold slowdowns. STFM
+//! restores balance without giving up throughput.
+//!
+//! ```sh
+//! cargo run --release --example desktop_scenario
+//! ```
+
+use stfm_repro::sim::{AloneCache, Experiment, SchedulerKind, Table};
+use stfm_repro::workloads::desktop;
+
+fn main() {
+    let profiles = desktop::workload();
+    let cache = AloneCache::new();
+
+    println!("Cores: xml-parser + matlab (background), iexplorer + instant-messenger (foreground)\n");
+    let mut t = Table::new([
+        "scheduler",
+        "xml-parser",
+        "matlab",
+        "iexplorer",
+        "messenger",
+        "unfairness",
+        "w-speedup",
+    ]);
+    for kind in SchedulerKind::all() {
+        let m = Experiment::new(profiles.clone())
+            .scheduler(kind)
+            .instructions_per_thread(60_000)
+            .run_with_cache(&cache);
+        let mut row = vec![m.scheduler.clone()];
+        row.extend(m.threads.iter().map(|x| format!("{:.2}", x.mem_slowdown())));
+        row.push(format!("{:.2}", m.unfairness()));
+        row.push(format!("{:.2}", m.weighted_speedup()));
+        t.row(row);
+    }
+    println!("{t}");
+
+    // And the interactive-priority configuration: the user cares about the
+    // foreground apps, so the OS gives them weight 8.
+    println!("With OS-assigned weights (foreground apps weight 8):\n");
+    let m = Experiment::new(profiles.clone())
+        .scheduler(SchedulerKind::Stfm)
+        .weight(2, 8)
+        .weight(3, 8)
+        .instructions_per_thread(60_000)
+        .run_with_cache(&cache);
+    let mut t = Table::new(["thread", "memory slowdown"]);
+    for x in &m.threads {
+        t.row([x.name.clone(), format!("{:.2}", x.mem_slowdown())]);
+    }
+    println!("{t}");
+}

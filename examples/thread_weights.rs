@@ -1,0 +1,63 @@
+//! System-software control of STFM (paper Section 3.3 / Figure 14).
+//!
+//! Demonstrates the two knobs the OS can set: thread weights (STFM scales
+//! a weight-W thread's measured slowdown as `1 + (S−1)·W`, so it is
+//! prioritized sooner) and the maximum-tolerable-unfairness threshold `α`.
+//!
+//! ```sh
+//! cargo run --release --example thread_weights
+//! ```
+
+use stfm_repro::sim::{AloneCache, Experiment, SchedulerKind, Table};
+use stfm_repro::workloads::mix;
+
+fn main() {
+    let profiles = mix::fig14_weights(); // libquantum cactusADM astar omnetpp
+    let cache = AloneCache::new();
+    let insts = 60_000;
+
+    println!("Thread weights: cactusADM is the user's important thread.\n");
+    let mut t = Table::new([
+        "configuration",
+        "libquantum",
+        "cactusADM",
+        "astar",
+        "omnetpp",
+    ]);
+    for (label, weights) in [
+        ("equal weights", vec![]),
+        ("cactusADM weight 4", vec![(1u32, 4u32)]),
+        ("cactusADM weight 16", vec![(1, 16)]),
+    ] {
+        let mut e = Experiment::new(profiles.clone())
+            .scheduler(SchedulerKind::Stfm)
+            .instructions_per_thread(insts);
+        for (thread, w) in weights {
+            e = e.weight(thread, w);
+        }
+        let m = e.run_with_cache(&cache);
+        let mut row = vec![label.to_string()];
+        row.extend(m.threads.iter().map(|x| format!("{:.2}", x.mem_slowdown())));
+        t.row(row);
+    }
+    println!("{t}");
+    println!("Higher weight → smaller slowdown for the weighted thread, while");
+    println!("the equal-weight threads keep being slowed down equally.\n");
+
+    println!("α controls how much unfairness the hardware tolerates:\n");
+    let mut t = Table::new(["alpha", "unfairness", "weighted speedup"]);
+    for alpha in [1.05, 1.5, 20.0] {
+        let m = Experiment::new(profiles.clone())
+            .scheduler(SchedulerKind::Stfm)
+            .alpha(alpha)
+            .instructions_per_thread(insts)
+            .run_with_cache(&cache);
+        t.row([
+            format!("{alpha}"),
+            format!("{:.2}", m.unfairness()),
+            format!("{:.2}", m.weighted_speedup()),
+        ]);
+    }
+    println!("{t}");
+    println!("A huge α disables fairness enforcement: STFM degenerates to FR-FCFS.");
+}
