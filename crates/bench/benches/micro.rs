@@ -1,103 +1,114 @@
-//! Criterion micro-benchmarks of the simulator's hot paths: per-policy
+//! Micro-benchmarks of the simulator's hot paths: per-policy
 //! command-selection throughput, device state-machine throughput, cache
 //! accesses, trace generation, and whole-system simulation speed.
+//!
+//! Self-contained timing harness (`harness = false`, no external
+//! benchmark framework) so the workspace builds offline. Each benchmark
+//! is warmed up, then timed over enough iterations to smooth scheduler
+//! noise; results print as ns/op. Run with `cargo bench -p stfm-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use stfm_cpu::{Cache, Core, TraceSource};
 use stfm_dram::{BankId, Channel, DramCommand, DramConfig, PhysAddr};
 use stfm_mc::{AccessKind, MemorySystem, ThreadId};
 use stfm_sim::{SchedulerKind, System};
 use stfm_workloads::{spec, SyntheticTrace};
 
-fn bench_dram_tick(c: &mut Criterion) {
+/// Times `f` over `iters` iterations after `warmup` untimed ones and
+/// prints mean ns/op. Returns the mean so callers could assert on it.
+fn bench<R>(name: &str, warmup: u64, iters: u64, mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let ns_per_op = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<48} {ns_per_op:>14.1} ns/op   ({iters} iters)");
+    ns_per_op
+}
+
+fn bench_dram_tick() {
     let cfg = DramConfig {
         refresh_enabled: false,
         ..DramConfig::ddr2_800()
     };
-    c.bench_function("dram_channel_activate_read_precharge", |b| {
-        b.iter(|| {
-            let mut ch = Channel::new(&cfg);
-            let t = cfg.timing;
-            let mut now = 0;
-            for i in 0..64u32 {
-                let bank = BankId(i % 8);
-                ch.issue(&DramCommand::activate(bank, i), now);
-                now += t.t_rcd;
-                ch.issue(&DramCommand::read(bank, i, 0), now);
-                now += t.t_ras;
-                ch.issue(&DramCommand::precharge(bank), now);
-                now += t.t_rp;
-            }
-            std::hint::black_box(ch.stats().reads)
-        })
+    bench("dram_channel_activate_read_precharge", 20, 2_000, || {
+        let mut ch = Channel::new(&cfg);
+        let t = cfg.timing;
+        let mut now = 0;
+        for i in 0..64u32 {
+            let bank = BankId(i % 8);
+            ch.issue(&DramCommand::activate(bank, i), now);
+            now += t.t_rcd;
+            ch.issue(&DramCommand::read(bank, i, 0), now);
+            now += t.t_ras;
+            ch.issue(&DramCommand::precharge(bank), now);
+            now += t.t_rp;
+        }
+        ch.stats().reads
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache_access_l2_512k", |b| {
-        let mut l2 = Cache::l2_paper();
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x1040);
-            let addr = PhysAddr(i % (1 << 24));
-            if l2.access(addr, false) == stfm_cpu::CacheAccess::Miss {
-                l2.install(addr, false);
-            }
-            std::hint::black_box(l2.hits)
-        })
+fn bench_cache() {
+    let mut l2 = Cache::l2_paper();
+    let mut i = 0u64;
+    bench("cache_access_l2_512k", 1_000, 2_000_000, || {
+        i = i.wrapping_add(0x1040);
+        let addr = PhysAddr(i % (1 << 24));
+        if l2.access(addr, false) == stfm_cpu::CacheAccess::Miss {
+            l2.install(addr, false);
+        }
+        l2.hits
     });
 }
 
-fn bench_trace_gen(c: &mut Criterion) {
-    c.bench_function("synthetic_trace_next_op", |b| {
-        let cfg = DramConfig::ddr2_800();
-        let mut t = SyntheticTrace::new(spec::mcf(), &cfg, 0, 1);
-        b.iter(|| std::hint::black_box(t.next_op()))
-    });
+fn bench_trace_gen() {
+    let cfg = DramConfig::ddr2_800();
+    let mut t = SyntheticTrace::new(spec::mcf(), &cfg, 0, 1);
+    bench("synthetic_trace_next_op", 1_000, 2_000_000, || t.next_op());
 }
 
-fn bench_scheduler_decision(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mem_system_tick_64_queued");
+fn bench_scheduler_decision() {
     for kind in SchedulerKind::all() {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            let cfg = DramConfig {
-                refresh_enabled: false,
-                ..DramConfig::ddr2_800()
-            };
-            b.iter_batched(
-                || {
-                    let mut mem =
-                        MemorySystem::new(cfg.clone(), kind.build(cfg.timing, &[], &[]));
-                    for i in 0..64u64 {
-                        mem.try_enqueue(
-                            ThreadId((i % 4) as u32),
-                            AccessKind::Read,
-                            PhysAddr((i * 64) ^ ((i % 13) << 20)),
-                            0,
-                            0,
-                        );
-                    }
-                    mem
-                },
-                |mut mem| {
-                    for now in 0..32 {
-                        mem.tick(now);
-                    }
-                    std::hint::black_box(mem.outstanding())
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        let cfg = DramConfig {
+            refresh_enabled: false,
+            ..DramConfig::ddr2_800()
+        };
+        bench(
+            &format!("mem_system_tick_64_queued/{}", kind.name()),
+            5,
+            500,
+            || {
+                let mut mem = MemorySystem::new(cfg.clone(), kind.build(cfg.timing, &[], &[]));
+                for i in 0..64u64 {
+                    mem.try_enqueue(
+                        ThreadId((i % 4) as u32),
+                        AccessKind::Read,
+                        PhysAddr((i * 64) ^ ((i % 13) << 20)),
+                        0,
+                        0,
+                    );
+                }
+                for now in 0..32 {
+                    mem.tick(now);
+                }
+                mem.outstanding()
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end_4core_2k_insts");
-    g.sample_size(10);
+fn bench_end_to_end() {
     for kind in [SchedulerKind::FrFcfs, SchedulerKind::Stfm] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            b.iter(|| {
+        bench(
+            &format!("end_to_end_4core_2k_insts/{}", kind.name()),
+            1,
+            10,
+            || {
                 let profiles = stfm_workloads::mix::case_study_intensive();
                 let dram = DramConfig::for_cores(4);
                 let mem = MemorySystem::new(dram.clone(), kind.build(dram.timing, &[], &[]));
@@ -111,19 +122,18 @@ fn bench_end_to_end(c: &mut Criterion) {
                     .collect();
                 let mut sys = System::new(cores, mem);
                 let out = sys.run(2_000, 100_000_000);
-                std::hint::black_box(out.cpu_cycles)
-            })
-        });
+                out.cpu_cycles
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_dram_tick,
-    bench_cache,
-    bench_trace_gen,
-    bench_scheduler_decision,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench`/`cargo test` pass harness flags (--bench, --test,
+    // filters); this harness runs everything regardless.
+    bench_dram_tick();
+    bench_cache();
+    bench_trace_gen();
+    bench_scheduler_decision();
+    bench_end_to_end();
+}

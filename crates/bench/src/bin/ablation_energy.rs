@@ -44,8 +44,7 @@ fn main() {
             .map(|c| c.stats().cycles)
             .max()
             .unwrap_or(1);
-        let avg_power_mw = e.total_nj() / (cycles as f64 * 0.25) * 1e3
-            / f64::from(dram.channels);
+        let avg_power_mw = e.total_nj() / (cycles as f64 * 0.25) * 1e3 / f64::from(dram.channels);
         t.row([
             kind.name().to_string(),
             format!("{:.1}", e.activate_nj / 1e3),

@@ -25,10 +25,7 @@ fn run_one(passive: bool, args: &Args) {
     } else {
         SchedulerKind::Stfm
     };
-    let mem = MemorySystem::new(
-        dram.clone(),
-        kind.build(dram.timing, &[], &[]),
-    );
+    let mem = MemorySystem::new(dram.clone(), kind.build(dram.timing, &[], &[]));
     let cores: Vec<Core> = profiles
         .iter()
         .enumerate()
@@ -67,12 +64,17 @@ fn run_one(passive: bool, args: &Args) {
             format!("{estimate:.2}"),
             format!("{:+.1}", (estimate / measured - 1.0) * 100.0),
             regs.map(|r| r.tshared().to_string()).unwrap_or_default(),
-            regs.map(|r| r.tinterference.to_string()).unwrap_or_default(),
+            regs.map(|r| r.tinterference.to_string())
+                .unwrap_or_default(),
         ]);
     }
     println!(
         "== Ablation: STFM slowdown-estimate accuracy ({}) ==\n\n{t}",
-        if passive { "open loop, fairness rule off" } else { "closed loop" }
+        if passive {
+            "open loop, fairness rule off"
+        } else {
+            "closed loop"
+        }
     );
     let [bus, bank, own] = stfm.charge_totals();
     println!("charge totals: bus {bus}, bank {bank}, own {own}\n");

@@ -11,7 +11,10 @@ fn main() {
     let args = Args::parse(150_000);
     let cache = AloneCache::new();
     let mut t = Table::new(["estimator", "unfairness", "w-speedup", "hmean"]);
-    for (label, on) in [("with parallelism (paper)", true), ("naive (no parallelism)", false)] {
+    for (label, on) in [
+        ("with parallelism (paper)", true),
+        ("naive (no parallelism)", false),
+    ] {
         let cfg = StfmConfig {
             use_parallelism: on,
             ..StfmConfig::default()

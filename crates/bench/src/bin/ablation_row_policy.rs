@@ -13,7 +13,12 @@ fn main() {
         ("high locality: case study I", mix::case_study_intensive()),
         (
             "low locality: 4 random-access threads",
-            vec![micro::random(), micro::random(), micro::chase(), micro::random()],
+            vec![
+                micro::random(),
+                micro::random(),
+                micro::chase(),
+                micro::random(),
+            ],
         ),
     ] {
         let cache = AloneCache::new();

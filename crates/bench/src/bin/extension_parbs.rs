@@ -18,7 +18,10 @@ fn main() {
     for (title, profiles) in [
         ("case study I (intensive)", mix::case_study_intensive()),
         ("case study II (mixed)", mix::case_study_mixed()),
-        ("case study III (non-intensive)", mix::case_study_non_intensive()),
+        (
+            "case study III (non-intensive)",
+            mix::case_study_non_intensive(),
+        ),
     ] {
         report::compare_schedulers(
             &format!("Extension: PAR-BS vs STFM — {title}"),

@@ -16,7 +16,11 @@ fn run_weighted(weights: [u32; 4], args: &Args, cache: &AloneCache) {
         "omnetpp",
         "unfairness(equal-pri)",
     ]);
-    for kind in [SchedulerKind::FrFcfs, SchedulerKind::Nfq, SchedulerKind::Stfm] {
+    for kind in [
+        SchedulerKind::FrFcfs,
+        SchedulerKind::Nfq,
+        SchedulerKind::Stfm,
+    ] {
         let mut e = Experiment::new(profiles.clone())
             .scheduler(kind)
             .instructions_per_thread(args.insts)
@@ -40,8 +44,14 @@ fn run_weighted(weights: [u32; 4], args: &Args, cache: &AloneCache) {
         let unfair = equal.iter().cloned().fold(f64::MIN, f64::max)
             / equal.iter().cloned().fold(f64::MAX, f64::min);
         let label = match kind {
-            SchedulerKind::Nfq => format!("NFQ-shares-{}-{}-{}-{}", weights[0], weights[1], weights[2], weights[3]),
-            SchedulerKind::Stfm => format!("STFM-weights-{}-{}-{}-{}", weights[0], weights[1], weights[2], weights[3]),
+            SchedulerKind::Nfq => format!(
+                "NFQ-shares-{}-{}-{}-{}",
+                weights[0], weights[1], weights[2], weights[3]
+            ),
+            SchedulerKind::Stfm => format!(
+                "STFM-weights-{}-{}-{}-{}",
+                weights[0], weights[1], weights[2], weights[3]
+            ),
             _ => "FR-FCFS".to_string(),
         };
         let mut row = vec![label];

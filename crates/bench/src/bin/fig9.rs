@@ -33,5 +33,8 @@ fn main() {
     }
 
     let averages = report::averaged_sweep(&mixes, &SchedulerKind::all(), args.insts, args.seed);
-    report::print_averages("Figure 9 (right): geometric means over all mixes", &averages);
+    report::print_averages(
+        "Figure 9 (right): geometric means over all mixes",
+        &averages,
+    );
 }

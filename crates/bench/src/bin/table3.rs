@@ -3,17 +3,20 @@
 //! against the paper's targets.
 
 use stfm_bench::Args;
-use stfm_sim::{run_alone, SchedulerKind, System, Table};
+use stfm_cpu::Core;
 use stfm_dram::DramConfig;
 use stfm_mc::{MemorySystem, ThreadId};
-use stfm_cpu::Core;
+use stfm_sim::{run_alone, SchedulerKind, System, Table};
 use stfm_workloads::{desktop, spec, Profile, SyntheticTrace};
 
 /// Measured alone-run characterization, including the controller-side
 /// row-buffer hit rate.
 fn characterize(p: &Profile, insts: u64, seed: u64) -> (f64, f64, f64) {
     let dram = DramConfig::for_cores(1);
-    let mem = MemorySystem::new(dram.clone(), SchedulerKind::FrFcfs.build(dram.timing, &[], &[]));
+    let mem = MemorySystem::new(
+        dram.clone(),
+        SchedulerKind::FrFcfs.build(dram.timing, &[], &[]),
+    );
     let trace = SyntheticTrace::new(p.clone(), &dram, 0, seed);
     let core = Core::new(ThreadId(0), Box::new(trace));
     let mut sys = System::new(vec![core], mem);

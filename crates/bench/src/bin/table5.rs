@@ -4,8 +4,8 @@
 //! mixes; pass `--full` for all 32.
 
 use stfm_bench::Args;
-use stfm_sim::{gmean, AloneCache, Experiment, SchedulerKind, Table};
 use stfm_dram::DramConfig;
+use stfm_sim::{gmean, AloneCache, Experiment, SchedulerKind, Table};
 use stfm_workloads::mix;
 
 fn sweep(
@@ -75,11 +75,23 @@ fn main() {
     ]);
     for banks in [4u32, 8, 16] {
         let dram = DramConfig::for_cores(8).with_banks(banks);
-        sweep(format!("{banks} banks / 2KB row"), dram, &mixes, &args, &mut t);
+        sweep(
+            format!("{banks} banks / 2KB row"),
+            dram,
+            &mixes,
+            &args,
+            &mut t,
+        );
     }
     for row_kb in [1u32, 2, 4] {
         let dram = DramConfig::for_cores(8).with_row_buffer_bytes_per_chip(row_kb * 1024);
-        sweep(format!("8 banks / {row_kb}KB row"), dram, &mixes, &args, &mut t);
+        sweep(
+            format!("8 banks / {row_kb}KB row"),
+            dram,
+            &mixes,
+            &args,
+            &mut t,
+        );
     }
     println!("{t}");
 }

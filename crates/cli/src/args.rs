@@ -28,9 +28,7 @@ impl Flags {
             if SWITCHES.contains(&key) {
                 f.switches.push(key.to_string());
             } else {
-                let v = it
-                    .next()
-                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                 f.values.insert(key.to_string(), v.clone());
             }
         }
@@ -51,7 +49,9 @@ impl Flags {
     pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: '{v}'")),
         }
     }
 

@@ -1,11 +1,17 @@
 //! Subcommand implementations.
 
 use crate::args::Flags;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::Path;
 use stfm_core::StfmConfig;
 use stfm_cpu::{trace_io, Core, FileTrace};
 use stfm_dram::DramConfig;
-use stfm_mc::{MemorySystem, ThreadId};
-use stfm_sim::{AloneCache, Experiment, SchedulerKind, System, Table, ThreadMetrics, WorkloadMetrics};
+use stfm_mc::{MemorySystem, ThreadId, DEFAULT_SAMPLE_INTERVAL};
+use stfm_sim::{
+    AloneCache, Experiment, SchedulerKind, System, Table, ThreadMetrics, WorkloadMetrics,
+};
+use stfm_telemetry::{EpochConfig, EpochSampler, JsonLinesSink, Sink, TeeSink};
 use stfm_workloads::{desktop, spec, Profile, SyntheticTrace};
 
 /// Top-level usage text.
@@ -16,10 +22,19 @@ USAGE:
   stfm run --workload <b1,b2,...> [--scheduler frfcfs|fcfs|cap|nfq|stfm|all]
            [--insts N] [--seed N] [--alpha X] [--weights w1,w2,...]
            [--banks N] [--row-kb N] [--check] [--energy]
+  stfm trace --workload <b1,b2,...> [--scheduler frfcfs|fcfs|cap|nfq|stfm]
+           [--insts N] [--seed N] [--epoch N] [--sample N] [--out-dir DIR]
   stfm list
   stfm capture --benchmark <name> --ops N --out <file> [--seed N] [--cores N]
   stfm replay --traces <f1,f2,...> [--scheduler ...] [--insts N]
   stfm help
+
+`trace` runs one workload under one scheduler (default: stfm) with the
+telemetry sink attached and writes <out-dir>/events.jsonl (full event
+stream) and <out-dir>/epochs.csv (fixed-width time series: per-thread
+estimated slowdowns, bandwidth, row-hit rate, bus utilization, queue
+depth). --epoch sets the CSV row width and --sample the scheduler
+snapshot spacing, both in DRAM cycles.
 
 Benchmark names come from `stfm list` (the paper's Table 3 + Table 4).
 ";
@@ -62,10 +77,7 @@ fn print_metrics(profile_names: &[String], results: &[WorkloadMetrics]) {
 pub fn run(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;
     let names = f.list("workload")?;
-    let profiles: Vec<Profile> = names
-        .iter()
-        .map(|n| lookup(n))
-        .collect::<Result<_, _>>()?;
+    let profiles: Vec<Profile> = names.iter().map(|n| lookup(n)).collect::<Result<_, _>>()?;
     let kinds = parse_scheduler(f.get("scheduler").unwrap_or("all"))?;
     let insts: u64 = f.num("insts", 100_000)?;
     let seed: u64 = f.num("seed", 1)?;
@@ -124,9 +136,88 @@ pub fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `stfm trace`: one traced run, dumping `events.jsonl` + `epochs.csv`.
+pub fn trace(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let names = f.list("workload")?;
+    let profiles: Vec<Profile> = names.iter().map(|n| lookup(n)).collect::<Result<_, _>>()?;
+    let kinds = parse_scheduler(f.get("scheduler").unwrap_or("stfm"))?;
+    let [kind] = kinds[..] else {
+        return Err("trace takes a single scheduler, not 'all'".into());
+    };
+    let insts: u64 = f.num("insts", 100_000)?;
+    let seed: u64 = f.num("seed", 1)?;
+    let epoch_len: u64 = f.num("epoch", 10_000)?;
+    let sample: u64 = f.num("sample", DEFAULT_SAMPLE_INTERVAL)?;
+    let out_dir = f.get("out-dir").unwrap_or("trace-out");
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("{out_dir}: {e}"))?;
+
+    let dram = DramConfig::for_cores(profiles.len() as u32);
+    let events_path = Path::new(out_dir).join("events.jsonl");
+    let epochs_path = Path::new(out_dir).join("epochs.csv");
+    let events_file =
+        File::create(&events_path).map_err(|e| format!("{}: {e}", events_path.display()))?;
+    let sampler = EpochSampler::new(EpochConfig {
+        epoch_len,
+        threads: profiles.len(),
+        cas_data_cycles: dram.timing.burst_cycles(),
+        line_bytes: u64::from(dram.line_bytes),
+    });
+    let tee: TeeSink<JsonLinesSink<BufWriter<File>>, EpochSampler> =
+        TeeSink::new(JsonLinesSink::new(BufWriter::new(events_file)), sampler);
+
+    let experiment = Experiment::new(profiles)
+        .scheduler(kind)
+        .dram_config(dram)
+        .instructions_per_thread(insts)
+        .seed(seed)
+        .sample_interval(sample);
+    let mut run = experiment.run_traced(&AloneCache::new(), Box::new(tee));
+
+    let tee = run
+        .sink
+        .as_any_mut()
+        .downcast_mut::<TeeSink<JsonLinesSink<BufWriter<File>>, EpochSampler>>()
+        .expect("run_traced returns the sink it was given");
+    tee.first
+        .flush()
+        .map_err(|e| format!("events.jsonl: {e}"))?;
+    let events = tee.first.lines_written();
+    tee.second.finish(run.final_dram_cycle);
+    let epochs_file =
+        File::create(&epochs_path).map_err(|e| format!("{}: {e}", epochs_path.display()))?;
+    tee.second
+        .write_csv(BufWriter::new(epochs_file))
+        .map_err(|e| format!("epochs.csv: {e}"))?;
+
+    if !f.has("quiet") {
+        println!(
+            "workload {:?} under {}, {insts} instructions/thread, seed {seed}",
+            names,
+            kind.name()
+        );
+        println!(
+            "{}: {events} events\n{}: {} epochs of {epoch_len} DRAM cycles",
+            events_path.display(),
+            epochs_path.display(),
+            tee.second.rows().len()
+        );
+        print_metrics(&names, std::slice::from_ref(&run.metrics));
+    }
+    Ok(())
+}
+
 /// `stfm list`.
 pub fn list(_args: &[String]) -> Result<(), String> {
-    let mut t = Table::new(["benchmark", "suite", "cat", "MCPI", "MPKI", "RB hit", "traits"]);
+    let mut t = Table::new([
+        "benchmark",
+        "suite",
+        "cat",
+        "MCPI",
+        "MPKI",
+        "RB hit",
+        "traits",
+    ]);
     let traits = |p: &Profile| {
         let mut v = Vec::new();
         if p.dependent_frac > 0.0 {

@@ -3,6 +3,7 @@
 //! ```text
 //! stfm run --workload mcf,libquantum,GemsFDTD,astar --scheduler stfm
 //! stfm run --workload mcf,libquantum --scheduler all --insts 100000
+//! stfm trace --workload mcf,libquantum --out-dir trace-out
 //! stfm list
 //! stfm capture --benchmark mcf --ops 50000 --out mcf.trace
 //! stfm replay --traces a.trace,b.trace --scheduler stfm
@@ -17,6 +18,7 @@ fn main() {
         // `cargo bench --workspace` invokes binaries with --bench.
         Some("--bench") => Ok(()),
         Some("run") => commands::run(&argv[1..]),
+        Some("trace") => commands::trace(&argv[1..]),
         Some("list") => commands::list(&argv[1..]),
         Some("capture") => commands::capture(&argv[1..]),
         Some("replay") => commands::replay(&argv[1..]),

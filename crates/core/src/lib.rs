@@ -43,4 +43,6 @@ pub mod stfm;
 
 pub use fixed::Fx8;
 pub use registers::{state_bits, weighted_slowdown, RegisterFile, ThreadRegs};
-pub use stfm::{DampingKey, EstimatorKind, Stfm, StfmConfig, DEFAULT_ALPHA, DEFAULT_INTERVAL_LENGTH};
+pub use stfm::{
+    DampingKey, EstimatorKind, Stfm, StfmConfig, DEFAULT_ALPHA, DEFAULT_INTERVAL_LENGTH,
+};

@@ -321,8 +321,7 @@ impl Stfm {
             }
         }
         for (thread, regs) in self.regs.threads_mut() {
-            regs.bank_waiting_parallelism =
-                waiting.get(&thread).copied().unwrap_or(0).count_ones();
+            regs.bank_waiting_parallelism = waiting.get(&thread).copied().unwrap_or(0).count_ones();
             regs.bank_access_parallelism =
                 accessing.get(&thread).copied().unwrap_or(0).count_ones();
             regs.waiting_requests = depths.get(&thread).copied().unwrap_or(0);
@@ -417,8 +416,7 @@ impl Stfm {
             }
             if delayed {
                 let regs = self.regs.thread_mut(thread);
-                let delta = (cycle_cpu * i64::from(regs.stall_rate.raw()))
-                    >> Fx8::FRAC_BITS;
+                let delta = (cycle_cpu * i64::from(regs.stall_rate.raw())) >> Fx8::FRAC_BITS;
                 regs.tinterference += delta;
                 self.charge_totals[1] += delta;
             }
@@ -488,8 +486,7 @@ impl Stfm {
     /// Applies the Section 3.2.2 interference updates after `cmd` issued
     /// for `req`.
     fn update_interference(&mut self, cmd: &DramCommand, req: &Request, q: &SchedQuery<'_>) {
-        let latency_cpu =
-            dram_to_cpu(stfm_dram::command_bank_latency(cmd, &self.timing));
+        let latency_cpu = dram_to_cpu(stfm_dram::command_bank_latency(cmd, &self.timing));
         let tbus_cpu = dram_to_cpu(self.timing.burst_cycles());
         let is_column = cmd.is_column();
 
@@ -732,6 +729,26 @@ impl SchedulerPolicy for Stfm {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn static_name(&self) -> &'static str {
+        "STFM"
+    }
+
+    fn record_interval(&self, now: DramCycle, sink: &mut dyn stfm_telemetry::Sink) {
+        let mut slowdowns: Vec<(u32, f64)> = self
+            .regs
+            .threads()
+            .map(|(thread, regs)| (thread.0, regs.slowdown.to_f64()))
+            .collect();
+        slowdowns.sort_unstable_by_key(|&(thread, _)| thread);
+        sink.record(&stfm_telemetry::Event::SchedulerIntervalUpdate {
+            dram_cycle: now,
+            scheduler: "STFM",
+            slowdowns,
+            unfairness: Some(self.unfairness_estimate()),
+            fairness_rule_active: Some(self.fairness_rule_active()),
+        });
+    }
 }
 
 impl std::fmt::Debug for Stfm {
@@ -842,7 +859,11 @@ mod tests {
         p.on_enqueue(&victim_bus, 0);
         p.on_enqueue(&culprit, 0);
 
-        let requests = [victim_same_bank.clone(), victim_bus.clone(), culprit.clone()];
+        let requests = [
+            victim_same_bank.clone(),
+            victim_bus.clone(),
+            culprit.clone(),
+        ];
         let q = harness::query(&channel, &requests);
         p.on_dram_cycle(&sys_view(q));
 
@@ -870,10 +891,7 @@ mod tests {
         assert_eq!(p.registers().thread(ThreadId(2)).unwrap().tinterference, 0);
         // Culprit itself: row hit both shared and alone-after-this-access →
         // only the LastRowAddress update.
-        assert_eq!(
-            p.registers().last_row.get(&(ThreadId(0), 0, 0)),
-            Some(&5)
-        );
+        assert_eq!(p.registers().last_row.get(&(ThreadId(0), 0, 0)), Some(&5));
     }
 
     #[test]
@@ -1037,7 +1055,10 @@ mod estimator_config_tests {
         let none = run(DampingKey::None);
         let rate = run(DampingKey::Rate);
         assert!(rate < none, "rate damping must halve slack-victim charges");
-        assert!((none - rate * 2).unsigned_abs() <= 1, "expected ~half: {rate} vs {none}");
+        assert!(
+            (none - rate * 2).unsigned_abs() <= 1,
+            "expected ~half: {rate} vs {none}"
+        );
     }
 
     #[test]

@@ -420,14 +420,16 @@ impl Core {
         match self.l1.access(op.addr, is_store) {
             CacheAccess::Hit => {
                 if !is_store {
-                    self.local_done.push(Reverse((self.now + self.cfg.l1_latency, id)));
+                    self.local_done
+                        .push(Reverse((self.now + self.cfg.l1_latency, id)));
                 }
             }
             CacheAccess::Miss => match self.l2.access(op.addr, false) {
                 CacheAccess::Hit => {
                     self.fill_l1(op.addr, is_store);
                     if !is_store {
-                        self.local_done.push(Reverse((self.now + self.cfg.l2_latency, id)));
+                        self.local_done
+                            .push(Reverse((self.now + self.cfg.l2_latency, id)));
                     }
                 }
                 CacheAccess::Miss => {
@@ -523,7 +525,10 @@ impl Core {
         if fill.prefetch && !fill.waiters.is_empty() {
             self.stats.prefetch_hits += 1;
         }
-        if let Some(ev) = self.l2.install_with(line, fill.any_store, untouched_prefetch) {
+        if let Some(ev) = self
+            .l2
+            .install_with(line, fill.any_store, untouched_prefetch)
+        {
             if ev.dirty {
                 self.stats.writebacks += 1;
                 self.pending_writebacks.push_back(ev.addr);
@@ -624,13 +629,19 @@ mod tests {
     fn streaming_misses_go_to_dram_and_stall() {
         // Pointer-chase-like: every access a new line, zero bubbles →
         // every load is an L2 miss and the core stalls on DRAM.
-        let ops: Vec<_> = (0..4096u64).map(|i| TraceOp::load(i * 64 * 97, 0)).collect();
+        let ops: Vec<_> = (0..4096u64)
+            .map(|i| TraceOp::load(i * 64 * 97, 0))
+            .collect();
         let mut core = Core::new(ThreadId(0), Box::new(VecTrace::new("strm", ops)));
         let mut m = mem();
         run(&mut core, &mut m, 20_000);
         let s = core.stats();
         assert!(s.l2_misses > 50, "misses = {}", s.l2_misses);
-        assert!(s.mem_stall_cycles > s.cycles / 4, "stalls = {}", s.mem_stall_cycles);
+        assert!(
+            s.mem_stall_cycles > s.cycles / 4,
+            "stalls = {}",
+            s.mem_stall_cycles
+        );
         assert!(s.mcpi() > 1.0, "mcpi = {}", s.mcpi());
     }
 
@@ -649,7 +660,9 @@ mod tests {
     #[test]
     fn mlp_is_bounded_by_window_and_mshrs() {
         // Independent misses: the window (128) lets many misses overlap.
-        let ops: Vec<_> = (0..4096u64).map(|i| TraceOp::load(i * 64 * 97, 30)).collect();
+        let ops: Vec<_> = (0..4096u64)
+            .map(|i| TraceOp::load(i * 64 * 97, 30))
+            .collect();
         let mut core = Core::new(ThreadId(0), Box::new(VecTrace::new("mlp", ops)));
         let mut m = mem();
         run(&mut core, &mut m, 30_000);
@@ -669,9 +682,7 @@ mod tests {
     fn writebacks_are_generated_by_dirty_evictions() {
         // Store-stream larger than L2: lines become dirty, get evicted,
         // and must be written back.
-        let ops: Vec<_> = (0..40_000u64)
-            .map(|i| TraceOp::store(i * 64, 0))
-            .collect();
+        let ops: Vec<_> = (0..40_000u64).map(|i| TraceOp::store(i * 64, 0)).collect();
         let mut core = Core::new(ThreadId(0), Box::new(VecTrace::new("wb", ops)));
         let mut m = mem();
         run(&mut core, &mut m, 400_000);
@@ -718,7 +729,9 @@ mod dependence_tests {
 
     #[test]
     fn dependent_chain_is_much_slower_than_independent_misses() {
-        let independent: Vec<_> = (0..4096u64).map(|i| TraceOp::load(i * 64 * 97, 4)).collect();
+        let independent: Vec<_> = (0..4096u64)
+            .map(|i| TraceOp::load(i * 64 * 97, 4))
+            .collect();
         let dependent: Vec<_> = (0..4096u64)
             .map(|i| TraceOp::load(i * 64 * 97, 4).dependent())
             .collect();
@@ -756,7 +769,7 @@ mod prefetch_integration_tests {
         );
         let mut cycle = 0u64;
         while core.stats().instructions < budget {
-            if cycle % 10 == 0 {
+            if cycle.is_multiple_of(10) {
                 mem.tick(cycle / 10);
                 for c in mem.drain_completions() {
                     core.push_completion(c);
@@ -796,7 +809,7 @@ mod prefetch_integration_tests {
     #[test]
     fn prefetcher_stays_quiet_on_random_traffic() {
         let ops: Vec<_> = (0..50_000u64)
-            .map(|i| TraceOp::load((i.wrapping_mul(2654435761)) % (1 << 30) & !63, 10))
+            .map(|i| TraceOp::load(((i.wrapping_mul(2654435761)) % (1 << 30)) & !63, 10))
             .collect();
         let on = run_core(Some(PrefetchConfig::default()), ops, 30_000);
         // A handful of accidental stride pairs are fine; a flood is not.

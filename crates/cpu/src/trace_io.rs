@@ -89,7 +89,10 @@ fn parse_line(line: &str, lineno: usize) -> Result<TraceOp, ParseTraceError> {
         None => return Err(err("missing access kind".into())),
     };
     let addr_str = parts.next().ok_or_else(|| err("missing address".into()))?;
-    let addr = if let Some(hex) = addr_str.strip_prefix("0x").or_else(|| addr_str.strip_prefix("0X")) {
+    let addr = if let Some(hex) = addr_str
+        .strip_prefix("0x")
+        .or_else(|| addr_str.strip_prefix("0X"))
+    {
         u64::from_str_radix(hex, 16).map_err(|e| err(format!("bad hex address: {e}")))?
     } else {
         addr_str
@@ -142,7 +145,10 @@ impl FileTrace {
     /// # Errors
     ///
     /// Same conditions as [`FileTrace::open`].
-    pub fn from_reader(reader: impl BufRead, label: impl Into<String>) -> Result<FileTrace, TraceIoError> {
+    pub fn from_reader(
+        reader: impl BufRead,
+        label: impl Into<String>,
+    ) -> Result<FileTrace, TraceIoError> {
         let mut ops = Vec::new();
         for (i, line) in reader.lines().enumerate() {
             let line = line?;
@@ -251,7 +257,14 @@ mod tests {
 
     #[test]
     fn rejects_malformed_lines() {
-        for bad in ["R 0x1000", "5 X 0x1000", "5 R", "5 R zz", "5 R 1 D extra", "5 R 1 Q"] {
+        for bad in [
+            "R 0x1000",
+            "5 X 0x1000",
+            "5 R",
+            "5 R zz",
+            "5 R 1 D extra",
+            "5 R 1 Q",
+        ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
     }

@@ -217,7 +217,11 @@ mod tests {
         let m = mapping();
         for addr in [0u64, 64, 4096, 0x1234_5640, 0x7fff_ffc0] {
             let d = m.decode(PhysAddr(addr));
-            assert_eq!(m.encode(d), PhysAddr(addr), "round trip failed for {addr:#x}");
+            assert_eq!(
+                m.encode(d),
+                PhysAddr(addr),
+                "round trip failed for {addr:#x}"
+            );
         }
     }
 
@@ -228,30 +232,42 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SmallRng;
 
-    proptest! {
-        /// decode → encode is the identity on line-aligned in-range addresses.
-        #[test]
-        fn round_trip_any_address(raw in 0u64..(2u64 << 30), banks_log in 2u32..5, xor in any::<bool>()) {
+    /// decode → encode is the identity on line-aligned in-range addresses.
+    #[test]
+    fn round_trip_any_address() {
+        let mut rng = SmallRng::seed_from_u64(0xADD2_0001);
+        for _ in 0..2_000 {
+            let raw = rng.random_range(0u64..(2u64 << 30));
+            let banks_log = rng.random_range(2u32..5);
+            let xor = rng.random_bool(0.5);
             let cfg = DramConfig::ddr2_800().with_banks(1 << banks_log);
             let m = AddressMapping::with_xor(&cfg, xor);
             let addr = PhysAddr(raw & !(63) & ((1u64 << m.address_bits()) - 1));
             let d = m.decode(addr);
-            prop_assert!(d.bank.0 < cfg.banks);
-            prop_assert!(d.row < cfg.rows);
-            prop_assert!(d.col < cfg.columns());
-            prop_assert_eq!(m.encode(d), addr);
+            assert!(d.bank.0 < cfg.banks);
+            assert!(d.row < cfg.rows);
+            assert!(d.col < cfg.columns());
+            assert_eq!(m.encode(d), addr);
         }
+    }
 
-        /// encode → decode is the identity on valid coordinates.
-        #[test]
-        fn round_trip_any_coords(bank in 0u32..8, row in 0u32..(1 << 14), col in 0u32..256) {
-            let m = AddressMapping::new(&DramConfig::ddr2_800());
-            let d = DecodedAddr { channel: ChannelId(0), bank: BankId(bank), row, col };
-            prop_assert_eq!(m.decode(m.encode(d)), d);
+    /// encode → decode is the identity on valid coordinates.
+    #[test]
+    fn round_trip_any_coords() {
+        let mut rng = SmallRng::seed_from_u64(0xADD2_0002);
+        let m = AddressMapping::new(&DramConfig::ddr2_800());
+        for _ in 0..2_000 {
+            let d = DecodedAddr {
+                channel: ChannelId(0),
+                bank: BankId(rng.random_range(0u32..8)),
+                row: rng.random_range(0u32..(1 << 14)),
+                col: rng.random_range(0u32..256),
+            };
+            assert_eq!(m.decode(m.encode(d)), d);
         }
     }
 }

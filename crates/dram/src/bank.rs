@@ -119,9 +119,7 @@ impl Bank {
                 self.next_read = self.next_read.max(now + t.t_ccd);
                 self.next_write = self.next_write.max(now + t.t_ccd);
                 // Write recovery: data end + tWR before precharge.
-                self.next_precharge = self
-                    .next_precharge
-                    .max(now + t.write_latency() + t.t_wr);
+                self.next_precharge = self.next_precharge.max(now + t.write_latency() + t.t_wr);
                 now + t.write_latency()
             }
             CommandKind::Refresh => {
@@ -148,7 +146,10 @@ impl Bank {
         now: DramCycle,
         t: &TimingParams,
     ) -> DramCycle {
-        debug_assert!(cmd.kind.is_column(), "auto-precharge needs a column command");
+        debug_assert!(
+            cmd.kind.is_column(),
+            "auto-precharge needs a column command"
+        );
         let done = self.issue(cmd, now, t);
         // Internal precharge at the earliest point tRTP / write recovery
         // allows; the row is no longer usable for further column accesses.

@@ -360,10 +360,7 @@ mod tests {
         let t = TimingParams::ddr2_800();
         let mut c = checker();
         for b in 0..4u32 {
-            c.observe(
-                &DramCommand::activate(BankId(b), 1),
-                u64::from(b) * t.t_rrd,
-            );
+            c.observe(&DramCommand::activate(BankId(b), 1), u64::from(b) * t.t_rrd);
         }
         // Fifth ACT only 4·tRRD after the first: inside the tFAW window.
         c.observe(&DramCommand::activate(BankId(4), 1), 4 * t.t_rrd);

@@ -86,7 +86,10 @@ impl DramConfig {
     /// Returns a copy with a different per-chip row-buffer size (Table 5
     /// sweep: 1 KB / 2 KB / 4 KB).
     pub fn with_row_buffer_bytes_per_chip(mut self, bytes: u32) -> Self {
-        assert!(bytes.is_power_of_two(), "row-buffer size must be a power of two");
+        assert!(
+            bytes.is_power_of_two(),
+            "row-buffer size must be a power of two"
+        );
         self.row_buffer_bytes_per_chip = bytes;
         self
     }

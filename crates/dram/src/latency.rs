@@ -77,7 +77,10 @@ mod tests {
     #[test]
     fn classification() {
         assert_eq!(AccessCategory::classify(Some(4), 4), AccessCategory::Hit);
-        assert_eq!(AccessCategory::classify(Some(5), 4), AccessCategory::Conflict);
+        assert_eq!(
+            AccessCategory::classify(Some(5), 4),
+            AccessCategory::Conflict
+        );
         assert_eq!(AccessCategory::classify(None, 4), AccessCategory::Closed);
     }
 

@@ -44,6 +44,7 @@ pub mod config;
 pub mod latency;
 pub mod power;
 pub mod refresh;
+pub mod rng;
 pub mod timing;
 
 pub use address::{AddressMapping, DecodedAddr, PhysAddr};

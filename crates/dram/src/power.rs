@@ -204,10 +204,11 @@ mod tests {
         assert!(b.activate_nj > 0.0 && b.read_nj > 0.0 && b.write_nj > 0.0);
         assert_eq!(b.refresh_nj, 0.0);
         let expected = PowerParams::default();
-        assert!((b.total_nj()
-            - (expected.e_act_pre_nj + expected.e_read_nj + expected.e_write_nj))
-            .abs()
-            < 1e-9);
+        assert!(
+            (b.total_nj() - (expected.e_act_pre_nj + expected.e_read_nj + expected.e_write_nj))
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -50,21 +50,21 @@ impl TimingParams {
     /// Micron DDR2-800 (-25 speed grade) parameters, matching paper Table 2.
     pub const fn ddr2_800() -> Self {
         TimingParams {
-            t_cl: 6,   // 15 ns
-            t_cwl: 5,  // tCL − 1
-            t_rcd: 6,  // 15 ns
-            t_rp: 6,   // 15 ns
-            t_ras: 18, // 45 ns
-            t_rc: 24,  // 60 ns
-            t_rrd: 3,  // 7.5 ns
-            t_faw: 18, // 45 ns
-            t_wr: 6,   // 15 ns
-            t_wtr: 3,  // 7.5 ns
-            t_rtp: 3,  // 7.5 ns
-            t_ccd: 2,  // 5 ns
+            t_cl: 6,         // 15 ns
+            t_cwl: 5,        // tCL − 1
+            t_rcd: 6,        // 15 ns
+            t_rp: 6,         // 15 ns
+            t_ras: 18,       // 45 ns
+            t_rc: 24,        // 60 ns
+            t_rrd: 3,        // 7.5 ns
+            t_faw: 18,       // 45 ns
+            t_wr: 6,         // 15 ns
+            t_wtr: 3,        // 7.5 ns
+            t_rtp: 3,        // 7.5 ns
+            t_ccd: 2,        // 5 ns
             burst_length: 8, // BL/2 = 10 ns
-            t_rfc: 51,    // 127.5 ns
-            t_refi: 3120, // 7.8 µs
+            t_rfc: 51,       // 127.5 ns
+            t_refi: 3120,    // 7.8 µs
         }
     }
 

@@ -7,6 +7,13 @@ use stfm_dram::{
     dram_to_cpu, AccessCategory, AddressMapping, Channel, ChannelId, CpuCycle, DramCommand,
     DramConfig, DramCycle, EnergyBreakdown, EnergyModel, PhysAddr, TimingChecker,
 };
+use stfm_telemetry::{Event, NullSink, Sink};
+
+/// Default spacing of [`Event::SchedulerIntervalUpdate`] emissions, in
+/// DRAM cycles, when a trace sink is attached (~5 µs of DDR2-800 time —
+/// fine enough to watch STFM's interval rule react, coarse enough to
+/// keep traces small).
+pub const DEFAULT_SAMPLE_INTERVAL: DramCycle = 2_000;
 
 /// Row-buffer management policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -106,6 +113,9 @@ pub struct MemorySystem {
     now: DramCycle,
     completions: Vec<Completion>,
     stats: SystemStats,
+    sink: Box<dyn Sink>,
+    sample_interval: DramCycle,
+    next_sample: DramCycle,
 }
 
 impl MemorySystem {
@@ -142,7 +152,36 @@ impl MemorySystem {
             now: 0,
             completions: Vec::new(),
             stats: SystemStats::default(),
+            sink: Box::new(NullSink),
+            sample_interval: DEFAULT_SAMPLE_INTERVAL,
+            next_sample: 0,
         }
+    }
+
+    /// Attaches a telemetry sink, replacing the previous one (the
+    /// default is a [`NullSink`], under which all emission sites are
+    /// no-ops). Sinks only observe; simulation results are bit-identical
+    /// with any sink attached.
+    pub fn set_sink(&mut self, sink: Box<dyn Sink>) {
+        self.sink = sink;
+    }
+
+    /// The attached telemetry sink.
+    pub fn sink_mut(&mut self) -> &mut dyn Sink {
+        &mut *self.sink
+    }
+
+    /// Detaches and returns the telemetry sink (a [`NullSink`] takes its
+    /// place), so callers can downcast and extract recorded data.
+    pub fn take_sink(&mut self) -> Box<dyn Sink> {
+        std::mem::replace(&mut self.sink, Box::new(NullSink))
+    }
+
+    /// Sets the spacing of scheduler interval-update events in DRAM
+    /// cycles (default [`DEFAULT_SAMPLE_INTERVAL`]). Values below 1 are
+    /// clamped to 1.
+    pub fn set_sample_interval(&mut self, interval: DramCycle) {
+        self.sample_interval = interval.max(1);
     }
 
     /// Enables the independent [`TimingChecker`] on every channel. All
@@ -233,9 +272,18 @@ impl MemorySystem {
         self.stats.thread(thread)
     }
 
+    /// Clears `thread`'s running max-read-latency counter at a
+    /// measurement-window boundary (see
+    /// [`crate::stats::SystemStats::reset_max_read_latency`]).
+    pub fn reset_max_read_latency(&mut self, thread: ThreadId) {
+        self.stats.reset_max_read_latency(thread);
+    }
+
     /// True if a `kind` request for `addr` can be accepted right now.
     pub fn can_accept(&self, addr: PhysAddr, kind: AccessKind) -> bool {
-        let loc = self.mapping.decode(addr.line_aligned(self.config.line_bytes));
+        let loc = self
+            .mapping
+            .decode(addr.line_aligned(self.config.line_bytes));
         let ctrl = &self.channels[loc.channel.0 as usize];
         let cap = match kind {
             AccessKind::Read => self.ctrl_config.read_capacity,
@@ -279,6 +327,17 @@ impl MemorySystem {
         };
         self.policy.on_enqueue(&req, tshared);
         self.stats.record_enqueue(&req);
+        if self.sink.is_enabled() {
+            self.sink.record(&Event::RequestEnqueued {
+                dram_cycle: self.now,
+                cpu_cycle: now_cpu,
+                channel: loc.channel.0,
+                bank: loc.bank.0,
+                thread: thread.0,
+                request: id.0,
+                is_write: kind == AccessKind::Write,
+            });
+        }
         self.channels[loc.channel.0 as usize].requests.push(req);
         Some(id)
     }
@@ -291,16 +350,27 @@ impl MemorySystem {
     ///
     /// Panics if `now` moves backwards.
     pub fn tick(&mut self, now: DramCycle) {
-        assert!(now >= self.now, "time went backwards: {} -> {now}", self.now);
+        assert!(
+            now >= self.now,
+            "time went backwards: {} -> {now}",
+            self.now
+        );
         self.now = now;
 
-        for ctrl in &mut self.channels {
+        for (i, ctrl) in self.channels.iter_mut().enumerate() {
             if let Some((start, end)) = ctrl.channel.tick(now) {
                 if let Some(checker) = &mut ctrl.checker {
                     checker.observe_refresh(start, end);
                 }
                 if let Some(energy) = &mut ctrl.energy {
                     energy.observe_refresh();
+                }
+                if self.sink.is_enabled() {
+                    self.sink.record(&Event::RefreshIssued {
+                        dram_cycle: start,
+                        channel: i as u32,
+                        end_cycle: end,
+                    });
                 }
             }
             if let Some(energy) = &mut ctrl.energy {
@@ -326,8 +396,14 @@ impl MemorySystem {
         self.policy.on_dram_cycle(&view);
         drop(view);
 
+        // Periodic scheduler snapshot for attached trace sinks.
+        if self.sink.is_enabled() && now >= self.next_sample {
+            self.policy.record_interval(now, &mut *self.sink);
+            self.next_sample = now + self.sample_interval;
+        }
+
         for (i, ctrl) in self.channels.iter_mut().enumerate() {
-            Self::update_drain(&self.ctrl_config, ctrl);
+            Self::update_drain(&self.ctrl_config, ctrl, i as u32, now, &mut *self.sink);
             Self::schedule_channel(
                 ChannelId(i as u32),
                 ctrl,
@@ -335,14 +411,17 @@ impl MemorySystem {
                 now,
                 &mut self.stats,
                 self.ctrl_config.row_policy,
+                &mut *self.sink,
             );
             Self::reap_completions(
                 ctrl,
+                i as u32,
                 &mut *self.policy,
                 now,
                 self.config.controller_overhead,
                 &mut self.completions,
                 &mut self.stats,
+                &mut *self.sink,
             );
         }
     }
@@ -360,14 +439,34 @@ impl MemorySystem {
             .sum()
     }
 
-    fn update_drain(cfg: &ControllerConfig, ctrl: &mut ChannelCtrl) {
+    fn update_drain(
+        cfg: &ControllerConfig,
+        ctrl: &mut ChannelCtrl,
+        channel: u32,
+        now: DramCycle,
+        sink: &mut dyn Sink,
+    ) {
         let writes = ctrl.queued_count(AccessKind::Write);
         if ctrl.drain_active {
             if writes <= cfg.drain_low {
                 ctrl.drain_active = false;
+                if sink.is_enabled() {
+                    sink.record(&Event::WriteDrainEnd {
+                        dram_cycle: now,
+                        channel,
+                        queued_writes: writes as u32,
+                    });
+                }
             }
         } else if writes >= cfg.drain_high {
             ctrl.drain_active = true;
+            if sink.is_enabled() {
+                sink.record(&Event::WriteDrainStart {
+                    dram_cycle: now,
+                    channel,
+                    queued_writes: writes as u32,
+                });
+            }
         }
     }
 
@@ -379,6 +478,7 @@ impl MemorySystem {
         now: DramCycle,
         stats: &mut SystemStats,
         row_policy: RowPolicy,
+        sink: &mut dyn Sink,
     ) {
         let reads_pending = ctrl
             .requests
@@ -470,12 +570,18 @@ impl MemorySystem {
         let auto_pre = row_policy == RowPolicy::ClosedPage
             && cmd.is_column()
             && !ctrl.requests.iter().enumerate().any(|(i, r)| {
-                i != idx && r.is_waiting() && r.loc.bank == cmd.bank && r.loc.row == ctrl.requests[idx].loc.row
+                i != idx
+                    && r.is_waiting()
+                    && r.loc.bank == cmd.bank
+                    && r.loc.row == ctrl.requests[idx].loc.row
             });
+        let thread = Some(ctrl.requests[idx].thread.0);
         let done = if auto_pre {
-            ctrl.channel.issue_auto_precharge(&cmd, now)
+            ctrl.channel
+                .issue_auto_precharge_traced(&cmd, now, channel_id.0, thread, sink)
         } else {
-            ctrl.channel.issue(&cmd, now)
+            ctrl.channel
+                .issue_traced(&cmd, now, channel_id.0, thread, sink)
         };
         if let Some(checker) = &mut ctrl.checker {
             if auto_pre {
@@ -522,13 +628,16 @@ impl MemorySystem {
     }
 
     /// Marks finished requests completed and removes them from the buffer.
+    #[allow(clippy::too_many_arguments)]
     fn reap_completions(
         ctrl: &mut ChannelCtrl,
+        channel: u32,
         policy: &mut dyn SchedulerPolicy,
         now: DramCycle,
         overhead: DramCycle,
         out: &mut Vec<Completion>,
         stats: &mut SystemStats,
+        sink: &mut dyn Sink,
     ) {
         let mut i = 0;
         while i < ctrl.requests.len() {
@@ -546,6 +655,18 @@ impl MemorySystem {
                 req.state = RequestState::Completed { finish_cpu };
                 stats.record_completion(&req, finish_cpu);
                 policy.on_complete(&req);
+                if sink.is_enabled() {
+                    sink.record(&Event::RequestServiced {
+                        dram_cycle: now,
+                        cpu_cycle: finish_cpu,
+                        channel,
+                        bank: req.loc.bank.0,
+                        thread: req.thread.0,
+                        request: req.id.0,
+                        is_write: req.kind == AccessKind::Write,
+                        latency_cpu: finish_cpu.saturating_sub(req.arrival_cpu),
+                    });
+                }
                 out.push(Completion {
                     id: req.id,
                     thread: req.thread,
@@ -624,14 +745,19 @@ mod tests {
         // keeps the XOR'd bank identical (8 = banks, so row bits change by
         // 8 → low 3 row bits unchanged).
         let cfg = sys.dram_config().clone();
-        let conflict_addr =
-            u64::from(cfg.row_bytes()) * u64::from(cfg.banks) * 8;
+        let conflict_addr = u64::from(cfg.row_bytes()) * u64::from(cfg.banks) * 8;
         let d = sys.mapping().decode(PhysAddr(conflict_addr));
         assert_eq!(d.bank.0, 0, "test address must collide on bank 0");
         assert_ne!(d.row, 0);
         let t1 = now * CPU_CYCLES_PER_DRAM_CYCLE;
-        sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(conflict_addr), t1, 0)
-            .unwrap();
+        sys.try_enqueue(
+            ThreadId(0),
+            AccessKind::Read,
+            PhysAddr(conflict_addr),
+            t1,
+            0,
+        )
+        .unwrap();
         let (done, _) = run_until_idle(&mut sys, now);
         // Table 2 lists 70 ns, but the paper's own timing parameters sum to
         // tRP + tRCD + tCL + BL/2 + overhead = 15+15+15+10+10 = 65 ns; we
@@ -708,9 +834,13 @@ mod tests {
         for i in 0..200u64 {
             // Mixed strided traffic across banks and rows.
             let addr = PhysAddr((i * 64) ^ ((i % 7) << 20));
-            if let Some(id) =
-                sys.try_enqueue(ThreadId((i % 4) as u32), AccessKind::Read, addr, now * 10, 0)
-            {
+            if let Some(id) = sys.try_enqueue(
+                ThreadId((i % 4) as u32),
+                AccessKind::Read,
+                addr,
+                now * 10,
+                0,
+            ) {
                 ids.push(id);
             }
             sys.tick(now);
@@ -780,12 +910,24 @@ mod scheduling_tests {
         }
         // Old conflict request from thread 0 to a different row of bank 0
         // (its PRECHARGE must wait out tRAS/tRTP windows)...
-        sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(row_stride), now * 10, 0)
-            .unwrap();
+        sys.try_enqueue(
+            ThreadId(0),
+            AccessKind::Read,
+            PhysAddr(row_stride),
+            now * 10,
+            0,
+        )
+        .unwrap();
         // ...immediately followed by younger row-0 hits from thread 1.
         for i in 1..9u64 {
-            sys.try_enqueue(ThreadId(1), AccessKind::Read, PhysAddr(i * 64 * 8), now * 10, 0)
-                .unwrap();
+            sys.try_enqueue(
+                ThreadId(1),
+                AccessKind::Read,
+                PhysAddr(i * 64 * 8),
+                now * 10,
+                0,
+            )
+            .unwrap();
         }
         let mut done = Vec::new();
         let deadline = now + 100_000;

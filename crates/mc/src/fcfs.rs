@@ -24,6 +24,10 @@ impl SchedulerPolicy for Fcfs {
         "FCFS"
     }
 
+    fn static_name(&self) -> &'static str {
+        "FCFS"
+    }
+
     fn rank(&self, req: &Request, _q: &SchedQuery<'_>) -> Rank {
         Rank([Rank::older_first(req.id), 0, 0])
     }

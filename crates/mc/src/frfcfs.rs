@@ -32,6 +32,10 @@ impl SchedulerPolicy for FrFcfs {
         "FR-FCFS"
     }
 
+    fn static_name(&self) -> &'static str {
+        "FR-FCFS"
+    }
+
     fn rank(&self, req: &Request, q: &SchedQuery<'_>) -> Rank {
         Self::base_rank(req, q)
     }
@@ -40,8 +44,8 @@ impl SchedulerPolicy for FrFcfs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_util::{harness, req_to};
     use crate::request::ThreadId;
+    use crate::test_util::{harness, req_to};
 
     #[test]
     fn row_hits_beat_older_row_misses() {

@@ -66,6 +66,10 @@ impl SchedulerPolicy for FrFcfsCap {
         "FRFCFS+Cap"
     }
 
+    fn static_name(&self) -> &'static str {
+        "FRFCFS+Cap"
+    }
+
     fn rank(&self, req: &Request, q: &SchedQuery<'_>) -> Rank {
         if self.bank_capped(q.channel_id, req.loc.bank.0) {
             // Cap reached: FCFS within the bank. The leading 1 also lets the
@@ -84,9 +88,10 @@ impl SchedulerPolicy for FrFcfsCap {
             for bank in 0..q.channel.num_banks() {
                 let entry = self.banks.entry((q.channel_id, bank)).or_default();
                 if let Some(victim) = entry.victim {
-                    let still_waiting = q.requests.iter().any(|r| {
-                        r.id == victim && r.is_waiting() && !q.is_row_hit(r)
-                    });
+                    let still_waiting = q
+                        .requests
+                        .iter()
+                        .any(|r| r.id == victim && r.is_waiting() && !q.is_row_hit(r));
                     if !still_waiting {
                         *entry = BankCap::default();
                     }

@@ -40,7 +40,9 @@ pub mod request;
 pub mod stats;
 pub mod test_util;
 
-pub use controller::{Completion, ControllerConfig, MemorySystem, RowPolicy};
+pub use controller::{
+    Completion, ControllerConfig, MemorySystem, RowPolicy, DEFAULT_SAMPLE_INTERVAL,
+};
 pub use fcfs::Fcfs;
 pub use frfcfs::FrFcfs;
 pub use frfcfs_cap::FrFcfsCap;

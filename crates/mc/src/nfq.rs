@@ -89,6 +89,10 @@ impl SchedulerPolicy for Nfq {
         "NFQ"
     }
 
+    fn static_name(&self) -> &'static str {
+        "NFQ"
+    }
+
     fn rank(&self, req: &Request, q: &SchedQuery<'_>) -> Rank {
         let bank = req.loc.bank.0;
         let bypass_ok = !self.blocked_banks.contains(&(q.channel_id, bank));
@@ -181,7 +185,10 @@ mod tests {
         complete(&mut p, req_to(0, ThreadId(0), 1, 0, 0), AccessCategory::Hit);
         let requests = [a.clone(), b.clone()];
         let q = harness::query(&channel, &requests);
-        assert!(p.rank(&b, &q) > p.rank(&a, &q), "thread with lower VFT wins");
+        assert!(
+            p.rank(&b, &q) > p.rank(&a, &q),
+            "thread with lower VFT wins"
+        );
     }
 
     #[test]

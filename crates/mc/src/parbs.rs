@@ -111,6 +111,10 @@ impl SchedulerPolicy for ParBs {
         "PAR-BS"
     }
 
+    fn static_name(&self) -> &'static str {
+        "PAR-BS"
+    }
+
     fn rank(&self, req: &Request, q: &SchedQuery<'_>) -> Rank {
         let marked = u64::from(self.marked.contains(&req.id));
         let hit = u64::from(q.is_row_hit(req));

@@ -11,6 +11,7 @@
 
 use crate::request::{AccessKind, Request};
 use stfm_dram::{Channel, ChannelId, DramCommand, DramCycle};
+use stfm_telemetry::{Event, Sink};
 
 /// Lexicographic priority key; **larger compares as higher priority**.
 ///
@@ -125,6 +126,32 @@ pub trait SchedulerPolicy {
     /// can downcast. Default: no introspection.
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
+    }
+
+    /// Telemetry hook, called by the controller once per sampling
+    /// interval when a trace sink is attached. The default reports only
+    /// the policy name; policies with per-thread estimates (STFM's
+    /// slowdowns and fairness-rule state) override this to fill in the
+    /// [`Event::SchedulerIntervalUpdate`] payload.
+    ///
+    /// Implementations must treat `self` as read-only in spirit: the
+    /// event reflects state, never changes it, so attaching a sink
+    /// cannot perturb scheduling decisions.
+    fn record_interval(&self, now: DramCycle, sink: &mut dyn Sink) {
+        sink.record(&Event::SchedulerIntervalUpdate {
+            dram_cycle: now,
+            scheduler: self.static_name(),
+            slowdowns: Vec::new(),
+            unfairness: None,
+            fairness_rule_active: None,
+        });
+    }
+
+    /// The policy name as a `'static` string for telemetry events.
+    /// Policies whose [`SchedulerPolicy::name`] is already static
+    /// should return it; the default is a generic placeholder.
+    fn static_name(&self) -> &'static str {
+        "scheduler"
     }
 }
 

@@ -1,8 +1,8 @@
 //! Controller-side statistics: per-thread service counts and latencies.
 
 use crate::request::{AccessKind, Request, ThreadId};
-use stfm_dram::{AccessCategory, CpuCycle, DramCommand};
 use std::collections::HashMap;
+use stfm_dram::{AccessCategory, CpuCycle, DramCommand};
 
 /// Per-thread DRAM service statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -36,6 +36,13 @@ impl ThreadStats {
     }
 
     /// Counter-wise difference `self − earlier` (warmup exclusion).
+    ///
+    /// `max_read_latency_cpu` is a running maximum, not a counter, so it
+    /// cannot be differenced; it is taken from `self`, which is only a
+    /// valid windowed maximum if [`SystemStats::reset_max_read_latency`]
+    /// was called when the window opened (the system runner does this at
+    /// each thread's warmup boundary — otherwise a warmup latency spike
+    /// would leak into every later window).
     pub fn minus(&self, earlier: &ThreadStats) -> ThreadStats {
         ThreadStats {
             reads: self.reads - earlier.reads,
@@ -85,6 +92,14 @@ impl SystemStats {
         self.threads.iter().map(|(t, s)| (*t, s))
     }
 
+    /// Clears `thread`'s running max-read-latency so a new measurement
+    /// window starts fresh (see [`ThreadStats::minus`]).
+    pub fn reset_max_read_latency(&mut self, thread: ThreadId) {
+        if let Some(ts) = self.threads.get_mut(&thread) {
+            ts.max_read_latency_cpu = 0;
+        }
+    }
+
     pub(crate) fn record_enqueue(&mut self, _req: &Request) {
         self.enqueued += 1;
     }
@@ -130,6 +145,42 @@ mod tests {
         assert_eq!(s.thread(ThreadId(9)), ThreadStats::default());
         assert_eq!(s.thread(ThreadId(9)).row_hit_rate(), 0.0);
         assert_eq!(s.thread(ThreadId(9)).avg_read_latency(), 0.0);
+    }
+
+    #[test]
+    fn windowed_max_latency_excludes_earlier_spikes() {
+        use crate::request::{Request, RequestId, RequestState};
+        use stfm_dram::{BankId, ChannelId, DecodedAddr, PhysAddr};
+        let req = |arrival: u64| Request {
+            id: RequestId(0),
+            thread: ThreadId(0),
+            addr: PhysAddr(0),
+            loc: DecodedAddr {
+                channel: ChannelId(0),
+                bank: BankId(0),
+                row: 0,
+                col: 0,
+            },
+            kind: AccessKind::Read,
+            arrival_cpu: arrival,
+            state: RequestState::Queued,
+            service_started: None,
+            category: None,
+        };
+        let mut sys = SystemStats::default();
+        // Warmup: one pathological 10_000-cycle read.
+        sys.record_completion(&req(0), 10_000);
+        let baseline = sys.thread(ThreadId(0));
+        sys.reset_max_read_latency(ThreadId(0));
+        // Measurement window: a 100-cycle read.
+        sys.record_completion(&req(20_000), 20_100);
+        let window = sys.thread(ThreadId(0)).minus(&baseline);
+        assert_eq!(window.reads, 1);
+        assert_eq!(window.total_read_latency_cpu, 100);
+        // Without the reset this would report the warmup spike (10_000).
+        assert_eq!(window.max_read_latency_cpu, 100);
+        // Resetting an unknown thread is a no-op.
+        sys.reset_max_read_latency(ThreadId(42));
     }
 
     #[test]

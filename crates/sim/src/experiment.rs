@@ -13,8 +13,9 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use stfm_core::StfmConfig;
 use stfm_cpu::{Core, CoreConfig, CoreStats, PrefetchConfig};
-use stfm_dram::DramConfig;
+use stfm_dram::{DramConfig, CPU_CYCLES_PER_DRAM_CYCLE};
 use stfm_mc::{ControllerConfig, MemorySystem, RowPolicy, ThreadId};
+use stfm_telemetry::Sink;
 use stfm_workloads::{Profile, SyntheticTrace};
 
 /// Default per-thread instruction budget. Deliberately modest so whole
@@ -26,11 +27,15 @@ pub const DEFAULT_INSTRUCTIONS: u64 = 30_000;
 /// `insts × MAX_CPI` CPU cycles per thread.
 const MAX_CPI: u64 = 4_000;
 
+/// Alone-run cache key: benchmark name, DRAM configuration, instruction
+/// budget, workload seed, and whether a prefetcher was enabled.
+type AloneKey = (String, DramConfig, u64, u64, bool);
+
 /// Memoizes alone-run baselines keyed by (benchmark, DRAM config, budget,
 /// seed). Thread-safe: the parallel runner shares one cache.
 #[derive(Debug, Default)]
 pub struct AloneCache {
-    inner: Mutex<HashMap<(String, DramConfig, u64, u64, bool), CoreStats>>,
+    inner: Mutex<HashMap<AloneKey, CoreStats>>,
 }
 
 impl AloneCache {
@@ -138,6 +143,21 @@ pub struct Experiment {
     timing_checker: bool,
     row_policy: RowPolicy,
     prefetch: Option<PrefetchConfig>,
+    sample_interval: Option<u64>,
+}
+
+/// Result of [`Experiment::run_traced`]: the usual metrics plus the sink
+/// that observed the run, handed back so callers can downcast and extract
+/// what it recorded.
+pub struct TracedRun {
+    /// The run's reduced metrics, identical to what [`Experiment::run`]
+    /// would have produced (sinks only observe).
+    pub metrics: WorkloadMetrics,
+    /// The telemetry sink, detached from the memory system after the run.
+    pub sink: Box<dyn Sink>,
+    /// The last DRAM cycle simulated; pass to
+    /// [`stfm_telemetry::EpochSampler::finish`] to close the final epoch.
+    pub final_dram_cycle: u64,
 }
 
 impl Experiment {
@@ -162,6 +182,7 @@ impl Experiment {
             timing_checker: false,
             row_policy: RowPolicy::OpenPage,
             prefetch: None,
+            sample_interval: None,
         }
     }
 
@@ -230,6 +251,14 @@ impl Experiment {
         self
     }
 
+    /// Sets the spacing, in DRAM cycles, of scheduler interval-update
+    /// telemetry events (only observable via [`Experiment::run_traced`];
+    /// default: the controller's [`stfm_mc::DEFAULT_SAMPLE_INTERVAL`]).
+    pub fn sample_interval(mut self, dram_cycles: u64) -> Self {
+        self.sample_interval = Some(dram_cycles);
+        self
+    }
+
     /// The DRAM configuration the run will use.
     pub fn effective_dram(&self) -> DramConfig {
         self.dram
@@ -264,6 +293,18 @@ impl Experiment {
     /// Runs the experiment, memoizing / reusing alone baselines in
     /// `cache`.
     pub fn run_with_cache(&self, cache: &AloneCache) -> WorkloadMetrics {
+        self.run_inner(cache, None).metrics
+    }
+
+    /// Runs the experiment with `sink` attached to the shared memory
+    /// system, recording the full event stream. Alone baselines stay
+    /// untraced (they are cached and shared across runs). The metrics are
+    /// bit-identical to an untraced run: sinks only observe.
+    pub fn run_traced(&self, cache: &AloneCache, sink: Box<dyn Sink>) -> TracedRun {
+        self.run_inner(cache, Some(sink))
+    }
+
+    fn run_inner(&self, cache: &AloneCache, sink: Option<Box<dyn Sink>>) -> TracedRun {
         let dram = self.effective_dram();
         let kind = self.effective_scheduler();
         let policy = kind.build(dram.timing, &self.weights, &self.shares);
@@ -272,6 +313,12 @@ impl Experiment {
             ..ControllerConfig::paper_baseline()
         };
         let mut mem = MemorySystem::with_controller_config(dram.clone(), ctrl, policy);
+        if let Some(sink) = sink {
+            mem.set_sink(sink);
+        }
+        if let Some(interval) = self.sample_interval {
+            mem.set_sample_interval(interval);
+        }
         if self.timing_checker {
             mem.enable_timing_checker();
         }
@@ -309,9 +356,13 @@ impl Experiment {
                 alone: cache.get_or_run(p, &dram, self.insts, self.seed, self.prefetch),
             })
             .collect();
-        WorkloadMetrics {
-            scheduler: kind.name().to_string(),
-            threads,
+        TracedRun {
+            metrics: WorkloadMetrics {
+                scheduler: kind.name().to_string(),
+                threads,
+            },
+            sink: sys.memory_mut().take_sink(),
+            final_dram_cycle: out.cpu_cycles / CPU_CYCLES_PER_DRAM_CYCLE,
         }
     }
 }

@@ -30,8 +30,10 @@ pub mod scheduler_kind;
 pub mod system;
 pub mod table;
 
-pub use experiment::{run_alone, run_alone_with, AloneCache, Experiment, DEFAULT_INSTRUCTIONS};
-pub use metrics::{gmean, ThreadMetrics, WorkloadMetrics};
+pub use experiment::{
+    run_alone, run_alone_with, AloneCache, Experiment, TracedRun, DEFAULT_INSTRUCTIONS,
+};
+pub use metrics::{gmean, unfairness_from_slowdowns, ThreadMetrics, WorkloadMetrics};
 pub use runner::{run_all, run_all_with_cache};
 pub use scheduler_kind::SchedulerKind;
 pub use stfm_mc::RowPolicy;

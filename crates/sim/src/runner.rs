@@ -18,10 +18,7 @@ pub fn run_all(experiments: &[Experiment]) -> Vec<WorkloadMetrics> {
 
 /// Like [`run_all`] but reusing an existing alone-run cache (useful when a
 /// harness runs several sweeps over the same benchmarks).
-pub fn run_all_with_cache(
-    experiments: &[Experiment],
-    cache: &AloneCache,
-) -> Vec<WorkloadMetrics> {
+pub fn run_all_with_cache(experiments: &[Experiment], cache: &AloneCache) -> Vec<WorkloadMetrics> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -71,7 +68,10 @@ mod tests {
             .collect();
         let cache = AloneCache::new();
         let parallel = run_all_with_cache(&experiments, &cache);
-        let serial: Vec<_> = experiments.iter().map(|e| e.run_with_cache(&cache)).collect();
+        let serial: Vec<_> = experiments
+            .iter()
+            .map(|e| e.run_with_cache(&cache))
+            .collect();
         for (p, s) in parallel.iter().zip(&serial) {
             assert_eq!(p.scheduler, s.scheduler);
             assert_eq!(p.unfairness(), s.unfairness());

@@ -71,9 +71,7 @@ impl SchedulerKind {
                 }
                 Box::new(n)
             }
-            SchedulerKind::Stfm => {
-                Self::build_stfm(Stfm::new(timing), weights)
-            }
+            SchedulerKind::Stfm => Self::build_stfm(Stfm::new(timing), weights),
             SchedulerKind::StfmWith(cfg) => {
                 Self::build_stfm(Stfm::with_config(timing, cfg), weights)
             }

@@ -102,8 +102,14 @@ impl System {
         let n = self.cores.len();
         let zero = CoreStats::default();
         let mem_zero = ThreadStats::default();
-        let mut baseline: Vec<Option<(CoreStats, ThreadStats)>> =
-            vec![if warmup_insts == 0 { Some((zero, mem_zero)) } else { None }; n];
+        let mut baseline: Vec<Option<(CoreStats, ThreadStats)>> = vec![
+            if warmup_insts == 0 {
+                Some((zero, mem_zero))
+            } else {
+                None
+            };
+            n
+        ];
         let mut frozen: Vec<Option<(CoreStats, ThreadStats)>> = vec![None; n];
         let budget = warmup_insts + insts_per_thread;
         let mut remaining = n;
@@ -113,12 +119,14 @@ impl System {
             for (i, core) in self.cores.iter().enumerate() {
                 let insts = core.stats().instructions;
                 if baseline[i].is_none() && insts >= warmup_insts {
-                    baseline[i] =
-                        Some((*core.stats(), self.mem.thread_stats(ThreadId(i as u32))));
+                    baseline[i] = Some((*core.stats(), self.mem.thread_stats(ThreadId(i as u32))));
+                    // Max latency is not differenceable: restart it at the
+                    // window boundary so warmup spikes don't leak into the
+                    // measured window (ThreadStats::minus).
+                    self.mem.reset_max_read_latency(ThreadId(i as u32));
                 }
                 if frozen[i].is_none() && insts >= budget {
-                    frozen[i] =
-                        Some((*core.stats(), self.mem.thread_stats(ThreadId(i as u32))));
+                    frozen[i] = Some((*core.stats(), self.mem.thread_stats(ThreadId(i as u32))));
                     remaining -= 1;
                 }
             }
@@ -169,7 +177,10 @@ mod tests {
                 let ops: Vec<_> = (0..64u64)
                     .map(|k| TraceOp::load(((i as u64) << 28) | (k * 64 * 131), 6))
                     .collect();
-                Core::new(ThreadId(i as u32), Box::new(VecTrace::new(format!("t{i}"), ops)))
+                Core::new(
+                    ThreadId(i as u32),
+                    Box::new(VecTrace::new(format!("t{i}"), ops)),
+                )
             })
             .collect();
         System::new(cores, mem)

@@ -1,0 +1,538 @@
+//! The typed event vocabulary and its hand-rolled JSON/CSV encodings.
+
+use std::fmt::Write as _;
+
+/// The kind of DRAM command an [`Event::DramCommandIssued`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmdKind {
+    /// Row activate (RAS).
+    Activate,
+    /// Row precharge.
+    Precharge,
+    /// Column read (CAS).
+    Read,
+    /// Column write (CAS).
+    Write,
+    /// All-bank auto refresh.
+    Refresh,
+}
+
+impl CmdKind {
+    /// Stable lowercase name used in JSON and CSV output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmdKind::Activate => "activate",
+            CmdKind::Precharge => "precharge",
+            CmdKind::Read => "read",
+            CmdKind::Write => "write",
+            CmdKind::Refresh => "refresh",
+        }
+    }
+
+    /// True for column (CAS) commands, which occupy the data bus.
+    pub fn is_cas(self) -> bool {
+        matches!(self, CmdKind::Read | CmdKind::Write)
+    }
+}
+
+/// One simulator occurrence, stamped with the cycle it happened on.
+///
+/// Identifiers are primitives (channel/bank/thread as `u32`, request ids
+/// as `u64`, cycles as `u64`) because this crate sits below `stfm-dram`
+/// and cannot name the simulator's newtypes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The controller issued a DRAM command on a channel's command bus.
+    DramCommandIssued {
+        /// DRAM cycle of issue.
+        dram_cycle: u64,
+        /// Channel index.
+        channel: u32,
+        /// Bank index within the channel.
+        bank: u32,
+        /// Command kind.
+        cmd: CmdKind,
+        /// Target row for activates and CAS commands.
+        row: Option<u32>,
+        /// Owning thread of the serviced request, when attributable.
+        thread: Option<u32>,
+        /// True when a CAS carried an auto-precharge (closed-row policy).
+        auto_precharge: bool,
+    },
+    /// A request entered a controller request buffer.
+    RequestEnqueued {
+        /// DRAM cycle of arrival at the controller.
+        dram_cycle: u64,
+        /// CPU cycle of arrival.
+        cpu_cycle: u64,
+        /// Channel index.
+        channel: u32,
+        /// Bank index within the channel.
+        bank: u32,
+        /// Owning thread.
+        thread: u32,
+        /// Controller-assigned request id.
+        request: u64,
+        /// True for writes.
+        is_write: bool,
+    },
+    /// A request finished service (data transferred, latency known).
+    RequestServiced {
+        /// DRAM cycle of completion.
+        dram_cycle: u64,
+        /// CPU cycle of completion.
+        cpu_cycle: u64,
+        /// Channel index.
+        channel: u32,
+        /// Bank index within the channel.
+        bank: u32,
+        /// Owning thread.
+        thread: u32,
+        /// Controller-assigned request id.
+        request: u64,
+        /// True for writes.
+        is_write: bool,
+        /// Arrival-to-completion latency in CPU cycles.
+        latency_cpu: u64,
+    },
+    /// Periodic scheduler-state snapshot (per sampling interval).
+    SchedulerIntervalUpdate {
+        /// DRAM cycle of the snapshot.
+        dram_cycle: u64,
+        /// Scheduler name (`SchedulerPolicy::name`).
+        scheduler: &'static str,
+        /// Per-thread estimated slowdowns, `(thread, slowdown)` pairs.
+        /// Empty for schedulers that do not estimate slowdowns.
+        slowdowns: Vec<(u32, f64)>,
+        /// Estimated unfairness (max/min slowdown), when the scheduler
+        /// tracks it.
+        unfairness: Option<f64>,
+        /// Whether the fairness rule currently overrides the baseline
+        /// ranking (STFM's `S_max/S_min > alpha` condition).
+        fairness_rule_active: Option<bool>,
+    },
+    /// A channel entered write-drain mode.
+    WriteDrainStart {
+        /// DRAM cycle the drain began.
+        dram_cycle: u64,
+        /// Channel index.
+        channel: u32,
+        /// Writes queued when the drain began.
+        queued_writes: u32,
+    },
+    /// A channel left write-drain mode.
+    WriteDrainEnd {
+        /// DRAM cycle the drain ended.
+        dram_cycle: u64,
+        /// Channel index.
+        channel: u32,
+        /// Writes still queued when the drain ended.
+        queued_writes: u32,
+    },
+    /// An all-bank auto refresh began on a channel.
+    RefreshIssued {
+        /// DRAM cycle the refresh began.
+        dram_cycle: u64,
+        /// Channel index.
+        channel: u32,
+        /// DRAM cycle the channel becomes usable again.
+        end_cycle: u64,
+    },
+}
+
+impl Event {
+    /// Stable snake_case event name used in JSON and CSV output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::DramCommandIssued { .. } => "dram_command_issued",
+            Event::RequestEnqueued { .. } => "request_enqueued",
+            Event::RequestServiced { .. } => "request_serviced",
+            Event::SchedulerIntervalUpdate { .. } => "scheduler_interval_update",
+            Event::WriteDrainStart { .. } => "write_drain_start",
+            Event::WriteDrainEnd { .. } => "write_drain_end",
+            Event::RefreshIssued { .. } => "refresh_issued",
+        }
+    }
+
+    /// The DRAM cycle the event is stamped with.
+    pub fn dram_cycle(&self) -> u64 {
+        match *self {
+            Event::DramCommandIssued { dram_cycle, .. }
+            | Event::RequestEnqueued { dram_cycle, .. }
+            | Event::RequestServiced { dram_cycle, .. }
+            | Event::SchedulerIntervalUpdate { dram_cycle, .. }
+            | Event::WriteDrainStart { dram_cycle, .. }
+            | Event::WriteDrainEnd { dram_cycle, .. }
+            | Event::RefreshIssued { dram_cycle, .. } => dram_cycle,
+        }
+    }
+
+    /// One-line JSON object encoding (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push('{');
+        push_str_field(&mut s, "event", self.name());
+        match self {
+            Event::DramCommandIssued {
+                dram_cycle,
+                channel,
+                bank,
+                cmd,
+                row,
+                thread,
+                auto_precharge,
+            } => {
+                push_u64_field(&mut s, "dram_cycle", *dram_cycle);
+                push_u64_field(&mut s, "channel", u64::from(*channel));
+                push_u64_field(&mut s, "bank", u64::from(*bank));
+                push_str_field(&mut s, "cmd", cmd.as_str());
+                if let Some(row) = row {
+                    push_u64_field(&mut s, "row", u64::from(*row));
+                }
+                if let Some(thread) = thread {
+                    push_u64_field(&mut s, "thread", u64::from(*thread));
+                }
+                if *auto_precharge {
+                    let _ = write!(s, "\"auto_precharge\":true,");
+                }
+            }
+            Event::RequestEnqueued {
+                dram_cycle,
+                cpu_cycle,
+                channel,
+                bank,
+                thread,
+                request,
+                is_write,
+            } => {
+                push_u64_field(&mut s, "dram_cycle", *dram_cycle);
+                push_u64_field(&mut s, "cpu_cycle", *cpu_cycle);
+                push_u64_field(&mut s, "channel", u64::from(*channel));
+                push_u64_field(&mut s, "bank", u64::from(*bank));
+                push_u64_field(&mut s, "thread", u64::from(*thread));
+                push_u64_field(&mut s, "request", *request);
+                push_str_field(&mut s, "op", if *is_write { "write" } else { "read" });
+            }
+            Event::RequestServiced {
+                dram_cycle,
+                cpu_cycle,
+                channel,
+                bank,
+                thread,
+                request,
+                is_write,
+                latency_cpu,
+            } => {
+                push_u64_field(&mut s, "dram_cycle", *dram_cycle);
+                push_u64_field(&mut s, "cpu_cycle", *cpu_cycle);
+                push_u64_field(&mut s, "channel", u64::from(*channel));
+                push_u64_field(&mut s, "bank", u64::from(*bank));
+                push_u64_field(&mut s, "thread", u64::from(*thread));
+                push_u64_field(&mut s, "request", *request);
+                push_str_field(&mut s, "op", if *is_write { "write" } else { "read" });
+                push_u64_field(&mut s, "latency_cpu", *latency_cpu);
+            }
+            Event::SchedulerIntervalUpdate {
+                dram_cycle,
+                scheduler,
+                slowdowns,
+                unfairness,
+                fairness_rule_active,
+            } => {
+                push_u64_field(&mut s, "dram_cycle", *dram_cycle);
+                push_str_field(&mut s, "scheduler", scheduler);
+                s.push_str("\"slowdowns\":{");
+                for (i, (thread, slowdown)) in slowdowns.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "\"{thread}\":");
+                    push_f64(&mut s, *slowdown);
+                }
+                s.push_str("},");
+                if let Some(u) = unfairness {
+                    s.push_str("\"unfairness\":");
+                    push_f64(&mut s, *u);
+                    s.push(',');
+                }
+                if let Some(active) = fairness_rule_active {
+                    let _ = write!(s, "\"fairness_rule_active\":{active},");
+                }
+            }
+            Event::WriteDrainStart {
+                dram_cycle,
+                channel,
+                queued_writes,
+            }
+            | Event::WriteDrainEnd {
+                dram_cycle,
+                channel,
+                queued_writes,
+            } => {
+                push_u64_field(&mut s, "dram_cycle", *dram_cycle);
+                push_u64_field(&mut s, "channel", u64::from(*channel));
+                push_u64_field(&mut s, "queued_writes", u64::from(*queued_writes));
+            }
+            Event::RefreshIssued {
+                dram_cycle,
+                channel,
+                end_cycle,
+            } => {
+                push_u64_field(&mut s, "dram_cycle", *dram_cycle);
+                push_u64_field(&mut s, "channel", u64::from(*channel));
+                push_u64_field(&mut s, "end_cycle", *end_cycle);
+            }
+        }
+        // Every field-push leaves a trailing comma; replace the last one.
+        debug_assert!(s.ends_with(','));
+        s.pop();
+        s.push('}');
+        s
+    }
+
+    /// Header line for the flat per-event CSV encoding.
+    pub fn csv_header() -> &'static str {
+        "event,dram_cycle,cpu_cycle,channel,bank,thread,request,cmd,op,\
+         latency_cpu,queued_writes,end_cycle,scheduler,unfairness,\
+         fairness_rule_active,slowdowns"
+    }
+
+    /// One CSV row (no trailing newline) matching [`Event::csv_header`].
+    /// Inapplicable columns are left empty; the per-thread slowdown map
+    /// is packed into the final column as `t0:1.23;t1:1.04`.
+    pub fn to_csv_row(&self) -> String {
+        // Column order: event, dram_cycle, cpu_cycle, channel, bank,
+        // thread, request, cmd, op, latency_cpu, queued_writes,
+        // end_cycle, scheduler, unfairness, fairness_rule_active,
+        // slowdowns.
+        let mut c: [String; 16] = Default::default();
+        c[0] = self.name().to_string();
+        c[1] = self.dram_cycle().to_string();
+        match self {
+            Event::DramCommandIssued {
+                channel,
+                bank,
+                cmd,
+                thread,
+                ..
+            } => {
+                c[3] = channel.to_string();
+                c[4] = bank.to_string();
+                if let Some(thread) = thread {
+                    c[5] = thread.to_string();
+                }
+                c[7] = cmd.as_str().to_string();
+            }
+            Event::RequestEnqueued {
+                cpu_cycle,
+                channel,
+                bank,
+                thread,
+                request,
+                is_write,
+                ..
+            } => {
+                c[2] = cpu_cycle.to_string();
+                c[3] = channel.to_string();
+                c[4] = bank.to_string();
+                c[5] = thread.to_string();
+                c[6] = request.to_string();
+                c[8] = if *is_write { "write" } else { "read" }.to_string();
+            }
+            Event::RequestServiced {
+                cpu_cycle,
+                channel,
+                bank,
+                thread,
+                request,
+                is_write,
+                latency_cpu,
+                ..
+            } => {
+                c[2] = cpu_cycle.to_string();
+                c[3] = channel.to_string();
+                c[4] = bank.to_string();
+                c[5] = thread.to_string();
+                c[6] = request.to_string();
+                c[8] = if *is_write { "write" } else { "read" }.to_string();
+                c[9] = latency_cpu.to_string();
+            }
+            Event::SchedulerIntervalUpdate {
+                scheduler,
+                slowdowns,
+                unfairness,
+                fairness_rule_active,
+                ..
+            } => {
+                c[12] = (*scheduler).to_string();
+                if let Some(u) = unfairness {
+                    c[13] = fmt_f64(*u);
+                }
+                if let Some(active) = fairness_rule_active {
+                    c[14] = active.to_string();
+                }
+                c[15] = slowdowns
+                    .iter()
+                    .map(|(t, s)| format!("t{t}:{}", fmt_f64(*s)))
+                    .collect::<Vec<_>>()
+                    .join(";");
+            }
+            Event::WriteDrainStart {
+                channel,
+                queued_writes,
+                ..
+            }
+            | Event::WriteDrainEnd {
+                channel,
+                queued_writes,
+                ..
+            } => {
+                c[3] = channel.to_string();
+                c[10] = queued_writes.to_string();
+            }
+            Event::RefreshIssued {
+                channel, end_cycle, ..
+            } => {
+                c[3] = channel.to_string();
+                c[11] = end_cycle.to_string();
+            }
+        }
+        c.join(",")
+    }
+}
+
+fn push_str_field(s: &mut String, key: &str, value: &str) {
+    let _ = write!(s, "\"{key}\":\"");
+    for ch in value.chars() {
+        match ch {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push_str("\",");
+}
+
+fn push_u64_field(s: &mut String, key: &str, value: u64) {
+    let _ = write!(s, "\"{key}\":{value},");
+}
+
+/// JSON has no NaN/Infinity literals; encode non-finite values as null.
+fn push_f64(s: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(s, "{value}");
+    } else {
+        s.push_str("null");
+    }
+}
+
+fn fmt_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shapes_are_wellformed() {
+        let events = vec![
+            Event::DramCommandIssued {
+                dram_cycle: 10,
+                channel: 0,
+                bank: 3,
+                cmd: CmdKind::Activate,
+                row: Some(42),
+                thread: Some(1),
+                auto_precharge: false,
+            },
+            Event::RequestEnqueued {
+                dram_cycle: 5,
+                cpu_cycle: 50,
+                channel: 1,
+                bank: 0,
+                thread: 0,
+                request: 7,
+                is_write: true,
+            },
+            Event::SchedulerIntervalUpdate {
+                dram_cycle: 100,
+                scheduler: "stfm",
+                slowdowns: vec![(0, 1.25), (1, f64::NAN)],
+                unfairness: Some(1.9),
+                fairness_rule_active: Some(true),
+            },
+            Event::RefreshIssued {
+                dram_cycle: 7800,
+                channel: 0,
+                end_cycle: 7905,
+            },
+        ];
+        for e in &events {
+            let j = e.to_json();
+            assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+            assert!(j.contains(&format!("\"event\":\"{}\"", e.name())), "{j}");
+            assert!(!j.contains(",}"), "dangling comma in {j}");
+            assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+        }
+        let j = events[2].to_json();
+        assert!(j.contains("\"slowdowns\":{\"0\":1.25,\"1\":null}"), "{j}");
+        assert!(j.contains("\"fairness_rule_active\":true"), "{j}");
+    }
+
+    #[test]
+    fn csv_rows_match_header_width() {
+        let header_cols = Event::csv_header().split(',').count();
+        let events = vec![
+            Event::WriteDrainStart {
+                dram_cycle: 1,
+                channel: 0,
+                queued_writes: 24,
+            },
+            Event::WriteDrainEnd {
+                dram_cycle: 90,
+                channel: 0,
+                queued_writes: 8,
+            },
+            Event::RequestServiced {
+                dram_cycle: 60,
+                cpu_cycle: 600,
+                channel: 0,
+                bank: 2,
+                thread: 3,
+                request: 11,
+                is_write: false,
+                latency_cpu: 540,
+            },
+            Event::SchedulerIntervalUpdate {
+                dram_cycle: 100,
+                scheduler: "fr-fcfs",
+                slowdowns: vec![],
+                unfairness: None,
+                fairness_rule_active: None,
+            },
+        ];
+        for e in &events {
+            assert_eq!(e.to_csv_row().split(',').count(), header_cols, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn dram_cycle_accessor_covers_all_variants() {
+        let e = Event::WriteDrainEnd {
+            dram_cycle: 77,
+            channel: 2,
+            queued_writes: 0,
+        };
+        assert_eq!(e.dram_cycle(), 77);
+        assert_eq!(e.name(), "write_drain_end");
+    }
+}

@@ -216,6 +216,9 @@ mod tests {
             .collect();
         let min = intensive_counts.iter().min().unwrap();
         let max = intensive_counts.iter().max().unwrap();
-        assert!(max > min, "mixes must vary in intensity: {intensive_counts:?}");
+        assert!(
+            max > min,
+            "mixes must vary in intensity: {intensive_counts:?}"
+        );
     }
 }

@@ -117,13 +117,7 @@ impl Profile {
     /// A continuous, unskewed profile with the given characterization; the
     /// named constructors in [`crate::spec`] / [`crate::desktop`] build on
     /// this.
-    pub fn base(
-        name: &'static str,
-        category: Category,
-        mcpi: f64,
-        mpki: f64,
-        rb_hit: f64,
-    ) -> Self {
+    pub fn base(name: &'static str, category: Category, mcpi: f64, mpki: f64, rb_hit: f64) -> Self {
         Profile {
             name,
             category,
@@ -158,7 +152,10 @@ impl Profile {
 
     /// Builder: duty-cycle the generation.
     pub fn with_burst(mut self, on_insts: u64, off_insts: u64) -> Self {
-        self.burst = Some(BurstSpec { on_insts, off_insts });
+        self.burst = Some(BurstSpec {
+            on_insts,
+            off_insts,
+        });
         self
     }
 

@@ -9,7 +9,9 @@
 
 use crate::profile::{Category, Profile};
 
-use Category::{IntensiveHighRb as C3, IntensiveLowRb as C2, NotIntensiveHighRb as C1, NotIntensiveLowRb as C0};
+use Category::{
+    IntensiveHighRb as C3, IntensiveLowRb as C2, NotIntensiveHighRb as C1, NotIntensiveLowRb as C0,
+};
 
 /// 429.mcf — most memory-intensive; pointer chasing, moderate locality.
 pub fn mcf() -> Profile {

@@ -19,7 +19,9 @@ fn main() {
     let profiles = desktop::workload();
     let cache = AloneCache::new();
 
-    println!("Cores: xml-parser + matlab (background), iexplorer + instant-messenger (foreground)\n");
+    println!(
+        "Cores: xml-parser + matlab (background), iexplorer + instant-messenger (foreground)\n"
+    );
     let mut t = Table::new([
         "scheduler",
         "xml-parser",

@@ -19,16 +19,32 @@ fn main() {
         ..DramConfig::ddr2_800()
     };
     let t = cfg.timing;
-    println!("DDR2-800, {} banks, {} B rows (DIMM level), tCK = 2.5 ns", cfg.banks, cfg.row_bytes());
-    println!("tCL={} tRCD={} tRP={} tRAS={} BL/2={} (DRAM cycles)\n",
-        t.t_cl, t.t_rcd, t.t_rp, t.t_ras, t.burst_cycles());
+    println!(
+        "DDR2-800, {} banks, {} B rows (DIMM level), tCK = 2.5 ns",
+        cfg.banks,
+        cfg.row_bytes()
+    );
+    println!(
+        "tCL={} tRCD={} tRP={} tRAS={} BL/2={} (DRAM cycles)\n",
+        t.t_cl,
+        t.t_rcd,
+        t.t_rp,
+        t.t_ras,
+        t.burst_cycles()
+    );
 
     // Where do addresses land?
     let mapping = AddressMapping::new(&cfg);
     println!("address mapping (line-interleaved, XOR-permuted banks):");
     for addr in [0u64, 64, 16 * 1024, 16 * 1024 * 8, 16 * 1024 * 8 * 2] {
         let d = mapping.decode(PhysAddr(addr));
-        println!("  {:>10} -> bank {} row {:>4} col {:>3}", format!("{addr:#x}"), d.bank.0, d.row, d.col);
+        println!(
+            "  {:>10} -> bank {} row {:>4} col {:>3}",
+            format!("{addr:#x}"),
+            d.bank.0,
+            d.row,
+            d.col
+        );
     }
 
     // Hand-issue a row cycle and audit it.
@@ -48,7 +64,10 @@ fn main() {
 
     println!("\na full row cycle on bank 0:");
     let b = BankId(0);
-    println!("  category before open: {:?}", AccessCategory::classify(ch.bank(b).open_row(), 7));
+    println!(
+        "  category before open: {:?}",
+        AccessCategory::classify(ch.bank(b).open_row(), 7)
+    );
     issue(&mut ch, &mut checker, DramCommand::activate(b, 7), &mut now);
     let done = issue(&mut ch, &mut checker, DramCommand::read(b, 7, 0), &mut now);
     println!(

@@ -11,9 +11,7 @@ use stfm_repro::sim::{AloneCache, Experiment, SchedulerKind, Table};
 use stfm_repro::workloads::{desktop, mix, spec, Profile};
 
 fn lookup(name: &str) -> Option<Profile> {
-    spec::by_name(name).or_else(|| {
-        desktop::workload().into_iter().find(|p| p.name == name)
-    })
+    spec::by_name(name).or_else(|| desktop::workload().into_iter().find(|p| p.name == name))
 }
 
 fn main() {

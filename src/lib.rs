@@ -14,6 +14,7 @@
 //! * [`cpu`] — trace-driven cores with L1/L2 caches and MSHRs.
 //! * [`workloads`] — synthetic SPEC CPU2006 / desktop workload generators.
 //! * [`sim`] — full-system simulator, metrics, and the experiment runner.
+//! * [`telemetry`] — event model, trace sinks, and the epoch sampler.
 //!
 //! # Quickstart
 //!
@@ -33,4 +34,5 @@ pub use stfm_cpu as cpu;
 pub use stfm_dram as dram;
 pub use stfm_mc as mc;
 pub use stfm_sim as sim;
+pub use stfm_telemetry as telemetry;
 pub use stfm_workloads as workloads;

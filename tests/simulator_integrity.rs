@@ -96,7 +96,12 @@ fn memory_system_conserves_requests() {
             guard += 1;
             assert!(guard < 2_000_000, "{}: wedged", kind.name());
         }
-        assert_eq!(accepted, completed, "{}: lost/duplicated requests", kind.name());
+        assert_eq!(
+            accepted,
+            completed,
+            "{}: lost/duplicated requests",
+            kind.name()
+        );
         mem.assert_timing_clean();
     }
 }
