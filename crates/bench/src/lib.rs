@@ -10,6 +10,9 @@
 //!
 //! Criterion micro-benchmarks live in `benches/micro.rs`.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod cli;
 pub mod report;
 

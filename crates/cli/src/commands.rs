@@ -148,7 +148,7 @@ pub fn trace(args: &[String]) -> Result<(), String> {
     let insts: u64 = f.num("insts", 100_000)?;
     let seed: u64 = f.num("seed", 1)?;
     let epoch_len: u64 = f.num("epoch", 10_000)?;
-    let sample: u64 = f.num("sample", DEFAULT_SAMPLE_INTERVAL)?;
+    let sample: u64 = f.num("sample", DEFAULT_SAMPLE_INTERVAL.get())?;
     let out_dir = f.get("out-dir").unwrap_or("trace-out");
     std::fs::create_dir_all(out_dir).map_err(|e| format!("{out_dir}: {e}"))?;
 
@@ -160,7 +160,7 @@ pub fn trace(args: &[String]) -> Result<(), String> {
     let sampler = EpochSampler::new(EpochConfig {
         epoch_len,
         threads: profiles.len(),
-        cas_data_cycles: dram.timing.burst_cycles(),
+        cas_data_cycles: dram.timing.burst_cycles().get(),
         line_bytes: u64::from(dram.line_bytes),
     });
     let tee: TeeSink<JsonLinesSink<BufWriter<File>>, EpochSampler> =
@@ -174,11 +174,13 @@ pub fn trace(args: &[String]) -> Result<(), String> {
         .sample_interval(sample);
     let mut run = experiment.run_traced(&AloneCache::new(), Box::new(tee));
 
-    let tee = run
+    let Some(tee) = run
         .sink
         .as_any_mut()
         .downcast_mut::<TeeSink<JsonLinesSink<BufWriter<File>>, EpochSampler>>()
-        .expect("run_traced returns the sink it was given");
+    else {
+        return Err("internal error: run_traced returned a different sink type".into());
+    };
     tee.first
         .flush()
         .map_err(|e| format!("events.jsonl: {e}"))?;

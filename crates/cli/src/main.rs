@@ -9,6 +9,9 @@
 //! stfm replay --traces a.trace,b.trace --scheduler stfm
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 mod args;
 mod commands;
 

@@ -8,6 +8,7 @@
 
 use crate::fixed::Fx8;
 use std::collections::HashMap;
+use stfm_dram::CpuCycle;
 use stfm_mc::ThreadId;
 
 /// Per-thread slowdown-estimation registers.
@@ -43,7 +44,7 @@ pub struct ThreadRegs {
     /// rate, so attributed interference can never outrun wall-clock stall.
     pub pending_interference: i64,
     /// Wall-clock CPU cycle of the last stall-rate sample.
-    pub last_sample_cpu: u64,
+    pub last_sample_cpu: CpuCycle,
     /// `core_tshared` at the last stall-rate sample.
     pub last_sample_tshared: u64,
 }
@@ -62,7 +63,7 @@ impl Default for ThreadRegs {
             bank_access_parallelism: 0,
             stall_rate: Fx8::ONE,
             pending_interference: 0,
-            last_sample_cpu: 0,
+            last_sample_cpu: CpuCycle::ZERO,
             last_sample_tshared: 0,
         }
     }

@@ -4,7 +4,7 @@ use crate::fixed::Fx8;
 use crate::registers::{weighted_slowdown, RegisterFile, ThreadRegs};
 use std::collections::HashMap;
 use stfm_dram::{
-    dram_to_cpu, AccessCategory, CommandKind, DramCommand, DramCycle, TimingParams,
+    AccessCategory, ClockRatio, CommandKind, CpuCycle, DramCommand, DramCycle, TimingParams,
     CPU_CYCLES_PER_DRAM_CYCLE,
 };
 use stfm_mc::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
@@ -174,7 +174,7 @@ pub struct Stfm {
     tmax: Option<ThreadId>,
     unfairness: Fx8,
     /// CPU cycle of the last interval reset.
-    last_reset_cpu: u64,
+    last_reset_cpu: CpuCycle,
     /// Cumulative charge totals per update rule [bus, bank, own], for
     /// estimator diagnostics.
     charge_totals: [i64; 3],
@@ -200,7 +200,7 @@ impl Stfm {
             fairness_mode: false,
             tmax: None,
             unfairness: Fx8::ONE,
-            last_reset_cpu: 0,
+            last_reset_cpu: CpuCycle::ZERO,
             charge_totals: [0; 3],
             bus_owner: HashMap::new(),
         }
@@ -287,7 +287,7 @@ impl Stfm {
         let mut accessing: HashMap<ThreadId, u64> = HashMap::new();
         let mut depths: HashMap<ThreadId, u32> = HashMap::new();
         let mut oldest: HashMap<ThreadId, u64> = HashMap::new();
-        let now_cpu = dram_to_cpu(sys.now);
+        let now_cpu = ClockRatio::PAPER.dram_to_cpu(sys.now);
         // Bank occupancy: (channel, bank) slot index → occupying thread.
         let mut occupant: HashMap<u32, ThreadId> = HashMap::new();
         // Threads with a column-ready (row-hit) waiting read, per channel.
@@ -308,7 +308,7 @@ impl Stfm {
                 if r.is_waiting() && !r.started() {
                     *waiting.entry(r.thread).or_insert(0) |= bit;
                     *depths.entry(r.thread).or_insert(0) += 1;
-                    let age = now_cpu.saturating_sub(r.arrival_cpu);
+                    let age = now_cpu.saturating_since(r.arrival_cpu).get();
                     let cur = oldest.entry(r.thread).or_insert(0);
                     *cur = (*cur).max(age);
                     if q.is_row_hit(r) {
@@ -486,8 +486,12 @@ impl Stfm {
     /// Applies the Section 3.2.2 interference updates after `cmd` issued
     /// for `req`.
     fn update_interference(&mut self, cmd: &DramCommand, req: &Request, q: &SchedQuery<'_>) {
-        let latency_cpu = dram_to_cpu(stfm_dram::command_bank_latency(cmd, &self.timing));
-        let tbus_cpu = dram_to_cpu(self.timing.burst_cycles());
+        let latency_cpu = ClockRatio::PAPER
+            .dram_delta_to_cpu(stfm_dram::command_bank_latency(cmd, &self.timing))
+            .get();
+        let tbus_cpu = ClockRatio::PAPER
+            .dram_delta_to_cpu(self.timing.burst_cycles())
+            .get();
         let is_column = cmd.is_column();
 
         // 1a) Bus interference: every other thread with at least one ready
@@ -621,7 +625,8 @@ impl Stfm {
             let actual = req.category.unwrap_or(AccessCategory::Hit);
             let alone = self.alone_category(req);
             let extra_dram =
-                actual.bank_latency(&self.timing) as i64 - alone.bank_latency(&self.timing) as i64;
+                actual.bank_latency(&self.timing).get() as i64
+                    - alone.bank_latency(&self.timing).get() as i64;
             if extra_dram != 0 {
                 let regs = self.regs.thread_mut(req.thread);
                 let bap = if self.config.use_parallelism {
@@ -640,8 +645,8 @@ impl Stfm {
     }
 
     fn maybe_reset_interval(&mut self, now: DramCycle) {
-        let now_cpu = dram_to_cpu(now);
-        if now_cpu.saturating_sub(self.last_reset_cpu) >= self.config.interval_length {
+        let now_cpu = ClockRatio::PAPER.dram_to_cpu(now);
+        if now_cpu.saturating_since(self.last_reset_cpu) >= self.config.interval_length {
             self.regs.reset_all_intervals();
             self.last_reset_cpu = now_cpu;
         }
@@ -662,7 +667,9 @@ impl SchedulerPolicy for Stfm {
             // among such requests). Keeps sparse threads from starving
             // behind a long-running Tmax stream.
             if self.config.starvation_guard {
-                let age = dram_to_cpu(q.now).saturating_sub(req.arrival_cpu);
+                let age = ClockRatio::PAPER
+                    .dram_to_cpu(q.now)
+                    .saturating_since(req.arrival_cpu);
                 if age > STARVATION_CPU * 8 {
                     return Rank([2, Rank::older_first(req.id), 0]);
                 }
@@ -693,10 +700,10 @@ impl SchedulerPolicy for Stfm {
         regs.core_tshared = regs.core_tshared.max(tshared);
         // Stall-rate EMA for the time-sampled estimator: fraction of wall
         // clock the thread spent memory-stalled since its last request.
-        let d_cpu = req.arrival_cpu.saturating_sub(regs.last_sample_cpu);
+        let d_cpu = req.arrival_cpu.saturating_since(regs.last_sample_cpu);
         if d_cpu > 0 {
-            let d_stall = tshared.saturating_sub(regs.last_sample_tshared).min(d_cpu);
-            let inst_rate = Fx8::from_ratio(d_stall, d_cpu).min(Fx8::ONE);
+            let d_stall = tshared.saturating_sub(regs.last_sample_tshared).min(d_cpu.get());
+            let inst_rate = Fx8::from_ratio(d_stall, d_cpu.get()).min(Fx8::ONE);
             // rate ← (3·rate + sample) / 4.
             let blended = (u64::from(regs.stall_rate.raw()) * 3 + u64::from(inst_rate.raw())) / 4;
             regs.stall_rate = Fx8::from_raw(blended as u32);
@@ -879,7 +886,8 @@ mod tests {
         // calibrated γ = 1) and the global ¾ charge scale; the paced
         // estimator books it as pending interference. No bus interference:
         // its request is not a ready column op.
-        let expected_bank = (dram_to_cpu(t.read_latency()) as i64 * 3) >> 2;
+        let expected_bank =
+            (ClockRatio::PAPER.dram_delta_to_cpu(t.read_latency()).get() as i64 * 3) >> 2;
         assert_eq!(
             p.registers()
                 .thread(ThreadId(1))
@@ -908,7 +916,7 @@ mod tests {
         let requests = [spoiled.clone()];
         let q = harness::query(&channel, &requests);
         p.on_command(&DramCommand::read(spoiled.loc.bank, 9, 0), &spoiled, &q);
-        let expected = dram_to_cpu(t.t_rp + t.t_rcd) as i64; // BAP = 1
+        let expected = ClockRatio::PAPER.dram_delta_to_cpu(t.t_rp + t.t_rcd).get() as i64; // BAP = 1
         assert_eq!(
             p.registers().thread(ThreadId(0)).unwrap().tinterference,
             expected
@@ -940,8 +948,8 @@ mod tests {
         let mut r0 = req_to(0, ThreadId(0), 1, 0, 1);
         let mut r1 = req_to(1, ThreadId(1), 2, 0, 2);
         // Recent arrivals: keep the starvation guard out of this test.
-        r0.arrival_cpu = harness::NOW * 10 - 100;
-        r1.arrival_cpu = harness::NOW * 10 - 100;
+        r0.arrival_cpu = ClockRatio::PAPER.dram_to_cpu(harness::NOW) - 100;
+        r1.arrival_cpu = ClockRatio::PAPER.dram_to_cpu(harness::NOW) - 100;
         p.on_enqueue(&r0, 10_000);
         p.on_enqueue(&r1, 10_000);
         // Both threads measured at S = 1.2, but thread 1 has weight 10:
@@ -1015,7 +1023,10 @@ mod estimator_config_tests {
         // ¾ of the read bank latency (fresh threads default to stall
         // rate 1, so no slack damping applies).
         let t = TimingParams::ddr2_800();
-        assert_eq!(paced, (dram_to_cpu(t.read_latency()) as i64 * 3) >> 2);
+        assert_eq!(
+            paced,
+            (ClockRatio::PAPER.dram_delta_to_cpu(t.read_latency()).get() as i64 * 3) >> 2
+        );
     }
 
     #[test]
@@ -1035,7 +1046,7 @@ mod estimator_config_tests {
             // (it starts at 1 and blends by quarters).
             let mut victim = req_to(0, ThreadId(1), 9, 0, 1);
             for k in 1..=4u64 {
-                victim.arrival_cpu = k * 1_000_000; // large Δt, zero Δstall
+                victim.arrival_cpu = CpuCycle::new(k * 1_000_000); // large Δt, zero Δstall
                 p.on_enqueue(&victim, 0);
             }
             let culprit = req_to(0, ThreadId(0), 5, 0, 2);

@@ -14,7 +14,7 @@ use crate::prefetch::{PrefetchConfig, StreamPrefetcher};
 use crate::trace::{MemOpKind, TraceOp, TraceSource};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use stfm_dram::{CpuCycle, PhysAddr};
+use stfm_dram::{CpuCycle, CpuDelta, PhysAddr};
 use stfm_mc::{AccessKind, Completion, MemorySystem, RequestId, ThreadId};
 
 /// Core microarchitecture parameters (defaults = paper Table 2).
@@ -27,9 +27,9 @@ pub struct CoreConfig {
     /// Instructions committed per cycle.
     pub commit_width: u32,
     /// L1 load-to-use latency in CPU cycles.
-    pub l1_latency: CpuCycle,
+    pub l1_latency: CpuDelta,
     /// L2 hit latency in CPU cycles.
-    pub l2_latency: CpuCycle,
+    pub l2_latency: CpuDelta,
     /// Miss-status holding registers (bounds memory-level parallelism).
     pub mshrs: usize,
     /// Cache-line size in bytes.
@@ -47,8 +47,8 @@ impl CoreConfig {
             window: 128,
             fetch_width: 3,
             commit_width: 3,
-            l1_latency: 2,
-            l2_latency: 12,
+            l1_latency: CpuDelta::new(2),
+            l2_latency: CpuDelta::new(12),
             mshrs: 64,
             line_bytes: 64,
             prefetch: None,
@@ -213,7 +213,7 @@ impl Core {
             cur_op: None,
             last_dram_id: None,
             last_dram_done: true,
-            now: 0,
+            now: CpuCycle::ZERO,
             stats: CoreStats::default(),
         }
     }
@@ -572,6 +572,7 @@ impl std::fmt::Debug for Core {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stfm_dram::ClockRatio;
     use crate::trace::VecTrace;
     use stfm_dram::DramConfig;
     use stfm_mc::FrFcfs;
@@ -589,7 +590,7 @@ mod tests {
     fn run(core: &mut Core, mem: &mut MemorySystem, cpu_cycles: u64) {
         for c in 0..cpu_cycles {
             if c % 10 == 0 {
-                mem.tick(c / 10);
+                mem.tick(ClockRatio::PAPER.cpu_to_dram(CpuCycle::new(c)));
                 for comp in mem.drain_completions() {
                     core.push_completion(comp);
                 }
@@ -699,6 +700,7 @@ mod tests {
 #[cfg(test)]
 mod dependence_tests {
     use super::*;
+    use stfm_dram::ClockRatio;
     use crate::trace::VecTrace;
     use stfm_dram::DramConfig;
     use stfm_mc::FrFcfs;
@@ -715,7 +717,7 @@ mod dependence_tests {
         let mut cycle = 0u64;
         while core.stats().instructions < budget {
             if cycle.is_multiple_of(10) {
-                m.tick(cycle / 10);
+                m.tick(ClockRatio::PAPER.cpu_to_dram(CpuCycle::new(cycle)));
                 for comp in m.drain_completions() {
                     core.push_completion(comp);
                 }
@@ -750,6 +752,7 @@ mod dependence_tests {
 #[cfg(test)]
 mod prefetch_integration_tests {
     use super::*;
+    use stfm_dram::ClockRatio;
     use crate::trace::VecTrace;
     use stfm_dram::DramConfig;
     use stfm_mc::FrFcfs;
@@ -770,7 +773,7 @@ mod prefetch_integration_tests {
         let mut cycle = 0u64;
         while core.stats().instructions < budget {
             if cycle.is_multiple_of(10) {
-                mem.tick(cycle / 10);
+                mem.tick(ClockRatio::PAPER.cpu_to_dram(CpuCycle::new(cycle)));
                 for c in mem.drain_completions() {
                     core.push_completion(c);
                 }

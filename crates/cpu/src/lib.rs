@@ -12,6 +12,9 @@
 //! miss. That counter is the paper's `Tshared`, the numerator of MCPI, and
 //! the quantity STFM equalizes across threads.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod core;
 pub mod mshr;

@@ -39,11 +39,11 @@ impl Bank {
     pub fn new() -> Self {
         Bank {
             open_row: None,
-            next_activate: 0,
-            next_precharge: 0,
-            next_read: 0,
-            next_write: 0,
-            busy_until: 0,
+            next_activate: DramCycle::ZERO,
+            next_precharge: DramCycle::ZERO,
+            next_read: DramCycle::ZERO,
+            next_write: DramCycle::ZERO,
+            busy_until: DramCycle::ZERO,
         }
     }
 
@@ -181,52 +181,55 @@ mod tests {
         TimingParams::ddr2_800()
     }
 
+    /// All bank tests issue their first command at time zero.
+    const T0: DramCycle = DramCycle::ZERO;
+
     #[test]
     fn fresh_bank_is_closed_and_activatable() {
         let b = Bank::new();
         assert_eq!(b.state(), BankState::Closed);
-        assert!(b.can_issue(&DramCommand::activate(BankId(0), 5), 0));
-        assert!(!b.can_issue(&DramCommand::read(BankId(0), 5, 0), 0));
-        assert!(!b.can_issue(&DramCommand::precharge(BankId(0)), 0));
+        assert!(b.can_issue(&DramCommand::activate(BankId(0), 5), T0));
+        assert!(!b.can_issue(&DramCommand::read(BankId(0), 5, 0), T0));
+        assert!(!b.can_issue(&DramCommand::precharge(BankId(0)), T0));
     }
 
     #[test]
     fn read_waits_for_trcd() {
         let mut b = Bank::new();
         let tp = t();
-        b.issue(&DramCommand::activate(BankId(0), 5), 0, &tp);
+        b.issue(&DramCommand::activate(BankId(0), 5), T0, &tp);
         let rd = DramCommand::read(BankId(0), 5, 0);
-        assert!(!b.can_issue(&rd, tp.t_rcd - 1));
-        assert!(b.can_issue(&rd, tp.t_rcd));
+        assert!(!b.can_issue(&rd, T0 + tp.t_rcd - 1));
+        assert!(b.can_issue(&rd, T0 + tp.t_rcd));
     }
 
     #[test]
     fn read_to_wrong_row_is_illegal() {
         let mut b = Bank::new();
         let tp = t();
-        b.issue(&DramCommand::activate(BankId(0), 5), 0, &tp);
-        assert!(!b.can_issue(&DramCommand::read(BankId(0), 6, 0), 100));
+        b.issue(&DramCommand::activate(BankId(0), 5), T0, &tp);
+        assert!(!b.can_issue(&DramCommand::read(BankId(0), 6, 0), DramCycle::new(100)));
     }
 
     #[test]
     fn precharge_respects_tras() {
         let mut b = Bank::new();
         let tp = t();
-        b.issue(&DramCommand::activate(BankId(0), 5), 0, &tp);
+        b.issue(&DramCommand::activate(BankId(0), 5), T0, &tp);
         let pre = DramCommand::precharge(BankId(0));
-        assert!(!b.can_issue(&pre, tp.t_ras - 1));
-        assert!(b.can_issue(&pre, tp.t_ras));
+        assert!(!b.can_issue(&pre, T0 + tp.t_ras - 1));
+        assert!(b.can_issue(&pre, T0 + tp.t_ras));
     }
 
     #[test]
     fn activate_after_precharge_respects_trp_and_trc() {
         let mut b = Bank::new();
         let tp = t();
-        b.issue(&DramCommand::activate(BankId(0), 5), 0, &tp);
-        b.issue(&DramCommand::precharge(BankId(0)), tp.t_ras, &tp);
+        b.issue(&DramCommand::activate(BankId(0), 5), T0, &tp);
+        b.issue(&DramCommand::precharge(BankId(0)), T0 + tp.t_ras, &tp);
         let act = DramCommand::activate(BankId(0), 9);
         // Both tRC (from the first ACT) and tRP (from the PRE) must hold.
-        let earliest = tp.t_rc.max(tp.t_ras + tp.t_rp);
+        let earliest = T0 + tp.t_rc.max(tp.t_ras + tp.t_rp);
         assert!(!b.can_issue(&act, earliest - 1));
         assert!(b.can_issue(&act, earliest));
     }
@@ -235,10 +238,10 @@ mod tests {
     fn write_recovery_delays_precharge() {
         let mut b = Bank::new();
         let tp = t();
-        b.issue(&DramCommand::activate(BankId(0), 5), 0, &tp);
-        b.issue(&DramCommand::write(BankId(0), 5, 0), tp.t_rcd, &tp);
+        b.issue(&DramCommand::activate(BankId(0), 5), T0, &tp);
+        b.issue(&DramCommand::write(BankId(0), 5, 0), T0 + tp.t_rcd, &tp);
         let pre = DramCommand::precharge(BankId(0));
-        let earliest = (tp.t_rcd + tp.write_latency() + tp.t_wr).max(tp.t_ras);
+        let earliest = T0 + (tp.t_rcd + tp.write_latency() + tp.t_wr).max(tp.t_ras);
         assert!(!b.can_issue(&pre, earliest - 1));
         assert!(b.can_issue(&pre, earliest));
     }
@@ -247,20 +250,20 @@ mod tests {
     fn back_to_back_reads_respect_tccd() {
         let mut b = Bank::new();
         let tp = t();
-        b.issue(&DramCommand::activate(BankId(0), 5), 0, &tp);
-        b.issue(&DramCommand::read(BankId(0), 5, 0), tp.t_rcd, &tp);
+        b.issue(&DramCommand::activate(BankId(0), 5), T0, &tp);
+        b.issue(&DramCommand::read(BankId(0), 5, 0), T0 + tp.t_rcd, &tp);
         let rd = DramCommand::read(BankId(0), 5, 1);
-        assert!(!b.can_issue(&rd, tp.t_rcd + tp.t_ccd - 1));
-        assert!(b.can_issue(&rd, tp.t_rcd + tp.t_ccd));
+        assert!(!b.can_issue(&rd, T0 + tp.t_rcd + tp.t_ccd - 1));
+        assert!(b.can_issue(&rd, T0 + tp.t_rcd + tp.t_ccd));
     }
 
     #[test]
     fn busy_tracking_covers_data_burst() {
         let mut b = Bank::new();
         let tp = t();
-        b.issue(&DramCommand::activate(BankId(0), 5), 0, &tp);
-        let done = b.issue(&DramCommand::read(BankId(0), 5, 0), tp.t_rcd, &tp);
-        assert_eq!(done, tp.t_rcd + tp.read_latency());
+        b.issue(&DramCommand::activate(BankId(0), 5), T0, &tp);
+        let done = b.issue(&DramCommand::read(BankId(0), 5, 0), T0 + tp.t_rcd, &tp);
+        assert_eq!(done, (tp.t_rcd + tp.read_latency()).after_zero());
         assert!(b.is_busy(done - 1));
         assert!(!b.is_busy(done));
     }
@@ -275,24 +278,25 @@ mod auto_precharge_tests {
     fn auto_precharge_closes_the_row_and_delays_reopen() {
         let tp = TimingParams::ddr2_800();
         let mut b = Bank::new();
-        b.issue(&DramCommand::activate(BankId(0), 5), 0, &tp);
-        let done = b.issue_auto_precharge(&DramCommand::read(BankId(0), 5, 0), tp.t_rcd, &tp);
-        assert_eq!(done, tp.t_rcd + tp.read_latency());
+        b.issue(&DramCommand::activate(BankId(0), 5), DramCycle::ZERO, &tp);
+        let done =
+            b.issue_auto_precharge(&DramCommand::read(BankId(0), 5, 0), tp.t_rcd.after_zero(), &tp);
+        assert_eq!(done, (tp.t_rcd + tp.read_latency()).after_zero());
         assert_eq!(b.open_row(), None);
         // The row reopens only after the internal precharge completes:
         // earliest PRE is bounded by tRAS here (tRAS > tRCD + tRTP).
         let act = DramCommand::activate(BankId(0), 7);
         let earliest = tp.t_ras + tp.t_rp;
-        assert!(!b.can_issue(&act, earliest - 1));
-        assert!(b.can_issue(&act, earliest.max(tp.t_rc)));
+        assert!(!b.can_issue(&act, (earliest - 1).after_zero()));
+        assert!(b.can_issue(&act, earliest.max(tp.t_rc).after_zero()));
     }
 
     #[test]
     fn no_further_column_access_after_auto_precharge() {
         let tp = TimingParams::ddr2_800();
         let mut b = Bank::new();
-        b.issue(&DramCommand::activate(BankId(0), 5), 0, &tp);
-        b.issue_auto_precharge(&DramCommand::read(BankId(0), 5, 0), tp.t_rcd, &tp);
-        assert!(!b.can_issue(&DramCommand::read(BankId(0), 5, 1), 1000));
+        b.issue(&DramCommand::activate(BankId(0), 5), DramCycle::ZERO, &tp);
+        b.issue_auto_precharge(&DramCommand::read(BankId(0), 5, 0), tp.t_rcd.after_zero(), &tp);
+        assert!(!b.can_issue(&DramCommand::read(BankId(0), 5, 1), DramCycle::new(1000)));
     }
 }

@@ -6,6 +6,8 @@ use crate::config::DramConfig;
 use crate::refresh::RefreshState;
 use crate::timing::TimingParams;
 use crate::DramCycle;
+#[cfg(feature = "debug-audit")]
+use crate::TimingChecker;
 use stfm_telemetry::{CmdKind, Event, Sink};
 
 /// Maps a device command onto the telemetry vocabulary.
@@ -49,6 +51,12 @@ pub struct Channel {
     /// Issue cycles of the most recent ACTIVATEs (tFAW sliding window).
     recent_activates: [DramCycle; FAW_WINDOW],
     refresh: RefreshState,
+    /// Self-audit: an independent checker fed every issued command, so
+    /// debug simulations validate their own command streams. `None` in
+    /// release builds (no `debug_assertions`), where the audit would
+    /// only cost time.
+    #[cfg(feature = "debug-audit")]
+    audit: Option<TimingChecker>,
     /// Commands issued, by rough class, for statistics.
     stats: ChannelStats,
 }
@@ -74,14 +82,29 @@ impl Channel {
         Channel {
             timing: config.timing,
             banks: (0..config.banks).map(|_| Bank::new()).collect(),
-            cmd_bus_free: 0,
-            data_bus_free: 0,
-            next_read_issue: 0,
-            next_write_issue: 0,
-            next_activate_any: 0,
-            recent_activates: [0; FAW_WINDOW],
+            cmd_bus_free: DramCycle::ZERO,
+            data_bus_free: DramCycle::ZERO,
+            next_read_issue: DramCycle::ZERO,
+            next_write_issue: DramCycle::ZERO,
+            next_activate_any: DramCycle::ZERO,
+            recent_activates: [DramCycle::ZERO; FAW_WINDOW],
             refresh: RefreshState::new(config.refresh_enabled, config.timing.t_refi),
+            #[cfg(feature = "debug-audit")]
+            audit: cfg!(debug_assertions)
+                .then(|| TimingChecker::new(config.banks, config.timing)),
             stats: ChannelStats::default(),
+        }
+    }
+
+    /// Feeds the embedded self-audit checker (debug builds with the
+    /// `debug-audit` feature) and panics on the first timing violation.
+    #[cfg(feature = "debug-audit")]
+    fn audit_with(&mut self, f: impl FnOnce(&mut TimingChecker)) {
+        if let Some(chk) = self.audit.as_mut() {
+            f(chk);
+            if let Some(v) = chk.violations().first() {
+                panic!("debug-audit: {v}");
+            }
         }
     }
 
@@ -132,6 +155,8 @@ impl Channel {
             self.cmd_bus_free = self.cmd_bus_free.max(reopen);
             self.data_bus_free = self.data_bus_free.max(reopen);
             self.stats.refreshes += 1;
+            #[cfg(feature = "debug-audit")]
+            self.audit_with(|chk| chk.observe_refresh(now, reopen));
             return Some((now, reopen));
         }
         None
@@ -181,7 +206,7 @@ impl Channel {
     fn faw_earliest(&self) -> DramCycle {
         if self.stats.activates < FAW_WINDOW as u64 {
             // Fewer than four ACTIVATEs ever issued: no tFAW bound yet.
-            0
+            DramCycle::ZERO
         } else {
             // recent_activates[0] is the oldest of the last four.
             self.recent_activates[0] + self.timing.t_faw
@@ -230,6 +255,8 @@ impl Channel {
             }
             CommandKind::Refresh => self.stats.refreshes += 1,
         }
+        #[cfg(feature = "debug-audit")]
+        self.audit_with(|chk| chk.observe(cmd, now));
         self.banks[cmd.bank.0 as usize].issue(cmd, now, &t)
     }
 
@@ -275,6 +302,8 @@ impl Channel {
             _ => unreachable!("checked above"),
         }
         self.stats.precharges += 1;
+        #[cfg(feature = "debug-audit")]
+        self.audit_with(|chk| chk.observe_auto_precharge(cmd, now));
         self.banks[cmd.bank.0 as usize].issue_auto_precharge(cmd, now, &t)
     }
 
@@ -356,22 +385,22 @@ mod tests {
         let cfg = no_refresh();
         let mut ch = Channel::new(&cfg);
         let t = cfg.timing;
-        ch.issue(&DramCommand::activate(BankId(0), 1), 0);
-        let done = ch.issue(&DramCommand::read(BankId(0), 1, 0), t.t_rcd);
-        assert_eq!(done, t.t_rcd + t.read_latency());
+        ch.issue(&DramCommand::activate(BankId(0), 1), DramCycle::ZERO);
+        let done = ch.issue(&DramCommand::read(BankId(0), 1, 0), t.t_rcd.after_zero());
+        assert_eq!(done, (t.t_rcd + t.read_latency()).after_zero());
     }
 
     #[test]
     fn command_bus_is_one_per_cycle() {
         let cfg = no_refresh();
         let mut ch = Channel::new(&cfg);
-        ch.issue(&DramCommand::activate(BankId(0), 1), 0);
+        ch.issue(&DramCommand::activate(BankId(0), 1), DramCycle::ZERO);
         // A second command in cycle 0 — even to another bank — must wait.
-        assert!(!ch.can_issue(&DramCommand::activate(BankId(1), 1), 0));
+        assert!(!ch.can_issue(&DramCommand::activate(BankId(1), 1), DramCycle::ZERO));
         // tRRD also applies; a PRECHARGE-class command only waits for the bus.
         let mut ch2 = Channel::new(&cfg);
-        ch2.issue(&DramCommand::activate(BankId(0), 1), 0);
-        ch2.issue(&DramCommand::activate(BankId(1), 1), cfg.timing.t_rrd);
+        ch2.issue(&DramCommand::activate(BankId(0), 1), DramCycle::ZERO);
+        ch2.issue(&DramCommand::activate(BankId(1), 1), cfg.timing.t_rrd.after_zero());
         assert!(ch2.stats().activates == 2);
     }
 
@@ -379,10 +408,10 @@ mod tests {
     fn trrd_spaces_activates() {
         let cfg = no_refresh();
         let mut ch = Channel::new(&cfg);
-        ch.issue(&DramCommand::activate(BankId(0), 1), 0);
+        ch.issue(&DramCommand::activate(BankId(0), 1), DramCycle::ZERO);
         let act = DramCommand::activate(BankId(1), 1);
-        assert!(!ch.can_issue(&act, cfg.timing.t_rrd - 1));
-        assert!(ch.can_issue(&act, cfg.timing.t_rrd));
+        assert!(!ch.can_issue(&act, (cfg.timing.t_rrd - 1).after_zero()));
+        assert!(ch.can_issue(&act, cfg.timing.t_rrd.after_zero()));
     }
 
     #[test]
@@ -390,7 +419,7 @@ mod tests {
         let cfg = no_refresh();
         let t = cfg.timing;
         let mut ch = Channel::new(&cfg);
-        let mut now = 0;
+        let mut now = DramCycle::ZERO;
         for b in 0..4 {
             assert!(ch.can_issue(&DramCommand::activate(BankId(b), 1), now));
             ch.issue(&DramCommand::activate(BankId(b), 1), now);
@@ -399,8 +428,8 @@ mod tests {
         // Fifth ACTIVATE: must wait for the first + tFAW.
         let fifth = DramCommand::activate(BankId(4), 1);
         assert!(!ch.can_issue(&fifth, now));
-        assert!(!ch.can_issue(&fifth, t.t_faw - 1));
-        assert!(ch.can_issue(&fifth, t.t_faw));
+        assert!(!ch.can_issue(&fifth, (t.t_faw - 1).after_zero()));
+        assert!(ch.can_issue(&fifth, t.t_faw.after_zero()));
     }
 
     #[test]
@@ -408,14 +437,14 @@ mod tests {
         let cfg = no_refresh();
         let t = cfg.timing;
         let mut ch = Channel::new(&cfg);
-        ch.issue(&DramCommand::activate(BankId(0), 1), 0);
-        ch.issue(&DramCommand::activate(BankId(1), 1), t.t_rrd);
-        ch.issue(&DramCommand::read(BankId(0), 1, 0), t.t_rcd);
+        ch.issue(&DramCommand::activate(BankId(0), 1), DramCycle::ZERO);
+        ch.issue(&DramCommand::activate(BankId(1), 1), t.t_rrd.after_zero());
+        ch.issue(&DramCommand::read(BankId(0), 1, 0), t.t_rcd.after_zero());
         // Bank 1's read is CAS-ready at t_rrd + t_rcd but the data bus is
         // occupied until t_rcd + t_cl + BL/2; reads pipeline, so the next
         // read may issue once its data start clears the bus.
         let rd1 = DramCommand::read(BankId(1), 1, 0);
-        let earliest = t.t_rcd + t.burst_cycles(); // data_start parity
+        let earliest = (t.t_rcd + t.burst_cycles()).after_zero(); // data_start parity
         assert!(!ch.can_issue(&rd1, earliest - 1));
         assert!(ch.can_issue(&rd1, earliest));
     }
@@ -425,11 +454,11 @@ mod tests {
         let cfg = no_refresh();
         let t = cfg.timing;
         let mut ch = Channel::new(&cfg);
-        ch.issue(&DramCommand::activate(BankId(0), 1), 0);
-        ch.issue(&DramCommand::write(BankId(0), 1, 0), t.t_rcd);
+        ch.issue(&DramCommand::activate(BankId(0), 1), DramCycle::ZERO);
+        ch.issue(&DramCommand::write(BankId(0), 1, 0), t.t_rcd.after_zero());
         let rd = DramCommand::read(BankId(0), 1, 1);
         let write_data_end = t.t_rcd + t.t_cwl + t.burst_cycles();
-        let earliest = write_data_end + t.t_wtr;
+        let earliest = (write_data_end + t.t_wtr).after_zero();
         assert!(!ch.can_issue(&rd, earliest - 1));
         assert!(ch.can_issue(&rd, earliest));
     }
@@ -439,9 +468,9 @@ mod tests {
         let cfg = DramConfig::ddr2_800();
         let t = cfg.timing;
         let mut ch = Channel::new(&cfg);
-        ch.issue(&DramCommand::activate(BankId(0), 1), 0);
+        ch.issue(&DramCommand::activate(BankId(0), 1), DramCycle::ZERO);
         // Run past tREFI with the channel idle; tick should start a refresh.
-        let due = t.t_refi;
+        let due = t.t_refi.after_zero();
         ch.tick(due);
         assert!(ch.refresh_blocking(due));
         assert_eq!(ch.bank(BankId(0)).open_row(), None);
@@ -456,10 +485,10 @@ mod tests {
     fn busy_banks_reports_in_flight_operations() {
         let cfg = no_refresh();
         let mut ch = Channel::new(&cfg);
-        ch.issue(&DramCommand::activate(BankId(2), 1), 0);
-        let busy: Vec<_> = ch.busy_banks(1).collect();
+        ch.issue(&DramCommand::activate(BankId(2), 1), DramCycle::ZERO);
+        let busy: Vec<_> = ch.busy_banks(DramCycle::new(1)).collect();
         assert_eq!(busy, vec![BankId(2)]);
-        assert_eq!(ch.busy_banks(1000).count(), 0);
+        assert_eq!(ch.busy_banks(DramCycle::new(1000)).count(), 0);
     }
 }
 
@@ -484,7 +513,7 @@ mod randomized_tests {
             };
             let mut ch = Channel::new(&cfg);
             let mut checker = TimingChecker::new(cfg.banks, cfg.timing);
-            let mut now = 0u64;
+            let mut now = DramCycle::ZERO;
             for _ in 0..200 {
                 let bank = BankId(rng.random_range(0u32..8));
                 let row = rng.random_range(0u32..4);

@@ -69,7 +69,7 @@ impl TimingChecker {
             last_cmd: None,
             activates: VecDeque::with_capacity(8),
             last_any_activate: None,
-            data_busy_until: 0,
+            data_busy_until: DramCycle::ZERO,
             last_write_data_end: None,
             violations: Vec::new(),
         }
@@ -315,17 +315,17 @@ mod tests {
     fn legal_sequence_is_clean() {
         let t = TimingParams::ddr2_800();
         let mut c = checker();
-        c.observe(&DramCommand::activate(BankId(0), 3), 0);
-        c.observe(&DramCommand::read(BankId(0), 3, 0), t.t_rcd);
-        c.observe(&DramCommand::precharge(BankId(0)), t.t_ras);
+        c.observe(&DramCommand::activate(BankId(0), 3), DramCycle::ZERO);
+        c.observe(&DramCommand::read(BankId(0), 3, 0), t.t_rcd.after_zero());
+        c.observe(&DramCommand::precharge(BankId(0)), t.t_ras.after_zero());
         c.assert_clean();
     }
 
     #[test]
     fn catches_trcd_violation() {
         let mut c = checker();
-        c.observe(&DramCommand::activate(BankId(0), 3), 0);
-        c.observe(&DramCommand::read(BankId(0), 3, 0), 2);
+        c.observe(&DramCommand::activate(BankId(0), 3), DramCycle::ZERO);
+        c.observe(&DramCommand::read(BankId(0), 3, 0), DramCycle::new(2));
         assert_eq!(c.violations()[0].constraint, "tRCD");
     }
 
@@ -333,16 +333,16 @@ mod tests {
     fn catches_row_mismatch() {
         let t = TimingParams::ddr2_800();
         let mut c = checker();
-        c.observe(&DramCommand::activate(BankId(0), 3), 0);
-        c.observe(&DramCommand::read(BankId(0), 4, 0), t.t_rcd);
+        c.observe(&DramCommand::activate(BankId(0), 3), DramCycle::ZERO);
+        c.observe(&DramCommand::read(BankId(0), 4, 0), t.t_rcd.after_zero());
         assert!(c.violations().iter().any(|v| v.constraint == "state"));
     }
 
     #[test]
     fn catches_double_activate() {
         let mut c = checker();
-        c.observe(&DramCommand::activate(BankId(0), 3), 0);
-        c.observe(&DramCommand::activate(BankId(0), 4), 100);
+        c.observe(&DramCommand::activate(BankId(0), 3), DramCycle::ZERO);
+        c.observe(&DramCommand::activate(BankId(0), 4), DramCycle::new(100));
         assert!(c.violations().iter().any(|v| v.constraint == "state"));
     }
 
@@ -350,8 +350,8 @@ mod tests {
     fn catches_tras_violation() {
         let t = TimingParams::ddr2_800();
         let mut c = checker();
-        c.observe(&DramCommand::activate(BankId(0), 3), 0);
-        c.observe(&DramCommand::precharge(BankId(0)), t.t_ras - 1);
+        c.observe(&DramCommand::activate(BankId(0), 3), DramCycle::ZERO);
+        c.observe(&DramCommand::precharge(BankId(0)), (t.t_ras - 1).after_zero());
         assert!(c.violations().iter().any(|v| v.constraint == "tRAS"));
     }
 
@@ -360,18 +360,18 @@ mod tests {
         let t = TimingParams::ddr2_800();
         let mut c = checker();
         for b in 0..4u32 {
-            c.observe(&DramCommand::activate(BankId(b), 1), u64::from(b) * t.t_rrd);
+            c.observe(&DramCommand::activate(BankId(b), 1), (u64::from(b) * t.t_rrd).after_zero());
         }
         // Fifth ACT only 4·tRRD after the first: inside the tFAW window.
-        c.observe(&DramCommand::activate(BankId(4), 1), 4 * t.t_rrd);
+        c.observe(&DramCommand::activate(BankId(4), 1), (4 * t.t_rrd).after_zero());
         assert!(c.violations().iter().any(|v| v.constraint == "tFAW"));
     }
 
     #[test]
     fn catches_command_bus_conflict() {
         let mut c = checker();
-        c.observe(&DramCommand::activate(BankId(0), 1), 5);
-        c.observe(&DramCommand::activate(BankId(1), 1), 5);
+        c.observe(&DramCommand::activate(BankId(0), 1), DramCycle::new(5));
+        c.observe(&DramCommand::activate(BankId(1), 1), DramCycle::new(5));
         assert!(c.violations().iter().any(|v| v.constraint == "cmd-bus"));
     }
 
@@ -379,7 +379,7 @@ mod tests {
     #[should_panic(expected = "timing violation")]
     fn assert_clean_panics_on_violation() {
         let mut c = checker();
-        c.observe(&DramCommand::read(BankId(0), 0, 0), 0);
+        c.observe(&DramCommand::read(BankId(0), 0, 0), DramCycle::ZERO);
         c.assert_clean();
     }
 }

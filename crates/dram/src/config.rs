@@ -1,7 +1,7 @@
 //! Whole-memory-system configuration (geometry + timing).
 
 use crate::timing::TimingParams;
-use crate::DramCycle;
+use crate::DramDelta;
 
 /// Configuration of the DRAM memory system: geometry, timing, and
 /// controller-side constants.
@@ -34,7 +34,7 @@ pub struct DramConfig {
     pub line_bytes: u32,
     /// Extra uncontended controller + on-chip/off-chip bus overhead added to
     /// every request's round trip, in DRAM cycles (10 ns = 4 cycles).
-    pub controller_overhead: DramCycle,
+    pub controller_overhead: DramDelta,
     /// Whether periodic refresh is modeled.
     pub refresh_enabled: bool,
     /// DDR timing constraints.
@@ -51,7 +51,7 @@ impl DramConfig {
             row_buffer_bytes_per_chip: 2048,
             chips_per_dimm: 8,
             line_bytes: 64,
-            controller_overhead: 4, // 10 ns
+            controller_overhead: DramDelta::new(4), // 10 ns
             refresh_enabled: true,
             timing: TimingParams::ddr2_800(),
         }

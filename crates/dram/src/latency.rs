@@ -11,7 +11,7 @@
 
 use crate::command::{CommandKind, DramCommand};
 use crate::timing::TimingParams;
-use crate::DramCycle;
+use crate::DramDelta;
 
 /// How a request finds the bank's row buffer when its service begins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,7 +38,7 @@ impl AccessCategory {
     /// Bank access latency of this category in DRAM cycles, excluding the
     /// data burst (paper Section 2.1's `tCL` / `tRCD+tCL` / `tRP+tRCD+tCL`).
     #[inline]
-    pub fn bank_latency(self, t: &TimingParams) -> DramCycle {
+    pub fn bank_latency(self, t: &TimingParams) -> DramDelta {
         match self {
             AccessCategory::Hit => t.t_cl,
             AccessCategory::Closed => t.t_rcd + t.t_cl,
@@ -48,7 +48,7 @@ impl AccessCategory {
 
     /// Full service latency including the `BL/2` data transfer.
     #[inline]
-    pub fn service_latency(self, t: &TimingParams) -> DramCycle {
+    pub fn service_latency(self, t: &TimingParams) -> DramDelta {
         self.bank_latency(t) + t.burst_cycles()
     }
 }
@@ -58,7 +58,7 @@ impl AccessCategory {
 /// `tRCD` for ACTIVATE, `tRP` for PRECHARGE, `tCL + BL/2` / `tCWL + BL/2`
 /// for READ / WRITE, `tRFC` for REFRESH.
 #[inline]
-pub fn command_bank_latency(cmd: &DramCommand, t: &TimingParams) -> DramCycle {
+pub fn command_bank_latency(cmd: &DramCommand, t: &TimingParams) -> DramDelta {
     match cmd.kind {
         CommandKind::Activate { .. } => t.t_rcd,
         CommandKind::Precharge => t.t_rp,
@@ -87,7 +87,7 @@ mod tests {
     #[test]
     fn latencies_match_paper_nanoseconds() {
         let t = TimingParams::ddr2_800();
-        let ns = |c: u64| c * CPU_CYCLES_PER_DRAM_CYCLE / 4; // 2.5 ns per cycle
+        let ns = |c: DramDelta| c.get() * CPU_CYCLES_PER_DRAM_CYCLE / 4; // 2.5 ns per cycle
         assert_eq!(ns(AccessCategory::Hit.bank_latency(&t)), 15);
         assert_eq!(ns(AccessCategory::Closed.bank_latency(&t)), 30);
         assert_eq!(ns(AccessCategory::Conflict.bank_latency(&t)), 45);

@@ -24,16 +24,21 @@
 //! let t = cfg.timing;
 //!
 //! // Open row 7 of bank 0, then read column 3 of that row.
+//! use stfm_dram::DramCycle;
+//! let start = DramCycle::ZERO;
 //! let act = DramCommand::activate(BankId(0), 7);
-//! assert!(ch.can_issue(&act, 0));
-//! ch.issue(&act, 0);
+//! assert!(ch.can_issue(&act, start));
+//! ch.issue(&act, start);
 //!
 //! let rd = DramCommand::read(BankId(0), 7, 3);
-//! assert!(!ch.can_issue(&rd, 0)); // tRCD not yet elapsed
-//! assert!(ch.can_issue(&rd, t.t_rcd));
-//! let done = ch.issue(&rd, t.t_rcd);
-//! assert_eq!(done, t.t_rcd + t.t_cl + t.burst_cycles());
+//! assert!(!ch.can_issue(&rd, start)); // tRCD not yet elapsed
+//! assert!(ch.can_issue(&rd, start + t.t_rcd));
+//! let done = ch.issue(&rd, start + t.t_rcd);
+//! assert_eq!(done, start + t.t_rcd + t.t_cl + t.burst_cycles());
 //! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod address;
 pub mod bank;
@@ -58,26 +63,9 @@ pub use power::{EnergyBreakdown, EnergyModel, PowerParams};
 pub use refresh::RefreshState;
 pub use timing::TimingParams;
 
-/// DRAM clock cycle count (DDR2-800: 2.5 ns per cycle).
-pub type DramCycle = u64;
-
-/// CPU clock cycle count (4 GHz: 0.25 ns per cycle).
-pub type CpuCycle = u64;
-
-/// Number of CPU cycles per DRAM cycle (4 GHz core / 400 MHz DDR2-800 bus).
-pub const CPU_CYCLES_PER_DRAM_CYCLE: u64 = 10;
-
-/// Converts DRAM cycles to CPU cycles.
-#[inline]
-pub const fn dram_to_cpu(cycles: DramCycle) -> CpuCycle {
-    cycles * CPU_CYCLES_PER_DRAM_CYCLE
-}
-
-/// Converts CPU cycles to DRAM cycles, rounding down.
-#[inline]
-pub const fn cpu_to_dram(cycles: CpuCycle) -> DramCycle {
-    cycles / CPU_CYCLES_PER_DRAM_CYCLE
-}
+pub use stfm_cycles::{
+    ClockRatio, CpuCycle, CpuDelta, DramCycle, DramDelta, CPU_CYCLES_PER_DRAM_CYCLE,
+};
 
 #[cfg(test)]
 mod tests {
@@ -85,8 +73,9 @@ mod tests {
 
     #[test]
     fn cycle_conversions_round_trip_on_boundaries() {
-        assert_eq!(dram_to_cpu(6), 60);
-        assert_eq!(cpu_to_dram(60), 6);
-        assert_eq!(cpu_to_dram(69), 6);
+        let r = ClockRatio::PAPER;
+        assert_eq!(r.dram_to_cpu(DramCycle::new(6)), CpuCycle::new(60));
+        assert_eq!(r.cpu_to_dram(CpuCycle::new(60)), 6);
+        assert_eq!(r.cpu_to_dram(CpuCycle::new(69)), 6);
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::command::{CommandKind, DramCommand};
 use crate::timing::TimingParams;
-use crate::DramCycle;
+use crate::DramDelta;
 
 /// Per-DIMM energy parameters in nanojoules / milliwatts.
 ///
@@ -50,7 +50,7 @@ impl PowerParams {
         const IDD4W: f64 = 190.0;
         const IDD5: f64 = 220.0;
         let t = TimingParams::ddr2_800();
-        let ns = |cycles: DramCycle| cycles as f64 * 2.5;
+        let ns = |cycles: DramDelta| cycles.as_f64() * 2.5;
         PowerParams {
             e_act_pre_nj: (IDD0 - IDD3N) * VDD * ns(t.t_rc) * 1e-3 * CHIPS,
             e_read_nj: (IDD4R - IDD3N) * VDD * ns(t.burst_cycles()) * 1e-3 * CHIPS,

@@ -8,13 +8,13 @@
 //! accesses after a refresh see a row-closed bank — the first-order
 //! performance effect of refresh that matters to scheduling studies.
 
-use crate::DramCycle;
+use crate::{DramCycle, DramDelta};
 
 /// Tracks when the next refresh is due and whether one is in flight.
 #[derive(Debug, Clone)]
 pub struct RefreshState {
     enabled: bool,
-    t_refi: DramCycle,
+    t_refi: DramDelta,
     /// Cycle at which the next refresh becomes due.
     next_due: DramCycle,
     /// End of the in-flight refresh, if one is underway.
@@ -26,11 +26,11 @@ pub struct RefreshState {
 impl RefreshState {
     /// Creates the refresh tracker; `enabled = false` disables refresh
     /// entirely (useful for latency-exactness unit tests).
-    pub fn new(enabled: bool, t_refi: DramCycle) -> Self {
+    pub fn new(enabled: bool, t_refi: DramDelta) -> Self {
         RefreshState {
             enabled,
             t_refi,
-            next_due: t_refi,
+            next_due: t_refi.after_zero(),
             busy_until: None,
             completed: 0,
         }
@@ -49,7 +49,7 @@ impl RefreshState {
     }
 
     /// Records the start of a refresh occupying `[now, now + duration)`.
-    pub fn start(&mut self, now: DramCycle, duration: DramCycle) {
+    pub fn start(&mut self, now: DramCycle, duration: DramDelta) {
         debug_assert!(self.due(now));
         self.busy_until = Some(now + duration);
         // Schedule from the *due* time so long stalls do not postpone the
@@ -80,32 +80,32 @@ mod tests {
 
     #[test]
     fn disabled_never_due() {
-        let r = RefreshState::new(false, 100);
-        assert!(!r.due(1_000_000));
+        let r = RefreshState::new(false, DramDelta::new(100));
+        assert!(!r.due(DramCycle::new(1_000_000)));
     }
 
     #[test]
     fn due_start_block_retire_cycle() {
-        let mut r = RefreshState::new(true, 100);
-        assert!(!r.due(99));
-        assert!(r.due(100));
-        r.start(100, 57);
-        assert!(r.blocking(100));
-        assert!(r.blocking(156));
-        assert!(!r.blocking(157));
-        r.retire(157);
-        assert!(!r.due(157));
-        assert!(r.due(200));
+        let mut r = RefreshState::new(true, DramDelta::new(100));
+        assert!(!r.due(DramCycle::new(99)));
+        assert!(r.due(DramCycle::new(100)));
+        r.start(DramCycle::new(100), DramDelta::new(57));
+        assert!(r.blocking(DramCycle::new(100)));
+        assert!(r.blocking(DramCycle::new(156)));
+        assert!(!r.blocking(DramCycle::new(157)));
+        r.retire(DramCycle::new(157));
+        assert!(!r.due(DramCycle::new(157)));
+        assert!(r.due(DramCycle::new(200)));
         assert_eq!(r.completed(), 1);
     }
 
     #[test]
     fn steady_rate_despite_late_start() {
-        let mut r = RefreshState::new(true, 100);
+        let mut r = RefreshState::new(true, DramDelta::new(100));
         // Refresh due at 100 but only started at 150 (channel was draining):
         // the next one is still due at 200, preserving the average rate.
-        r.start(150, 57);
-        r.retire(300);
-        assert!(r.due(300));
+        r.start(DramCycle::new(150), DramDelta::new(57));
+        r.retire(DramCycle::new(300));
+        assert!(r.due(DramCycle::new(300)));
     }
 }

@@ -6,7 +6,7 @@
 //! specification (tRAS, tRC, tRRD, tFAW, tWR, tWTR, tRTP, tCCD, tRFC,
 //! tREFI).
 
-use crate::DramCycle;
+use crate::DramDelta;
 
 /// DDR2 timing constraints in DRAM clock cycles (tCK = 2.5 ns at DDR2-800).
 ///
@@ -15,75 +15,75 @@ use crate::DramCycle;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimingParams {
     /// CAS (column read) latency: READ command to first data beat.
-    pub t_cl: DramCycle,
+    pub t_cl: DramDelta,
     /// CAS write latency: WRITE command to first data beat (tCL − 1 on DDR2).
-    pub t_cwl: DramCycle,
+    pub t_cwl: DramDelta,
     /// RAS-to-CAS delay: ACTIVATE to first READ/WRITE.
-    pub t_rcd: DramCycle,
+    pub t_rcd: DramDelta,
     /// Row precharge time: PRECHARGE to next ACTIVATE of the same bank.
-    pub t_rp: DramCycle,
+    pub t_rp: DramDelta,
     /// Minimum row-open time: ACTIVATE to PRECHARGE of the same bank.
-    pub t_ras: DramCycle,
+    pub t_ras: DramDelta,
     /// ACTIVATE-to-ACTIVATE delay on the same bank (tRAS + tRP).
-    pub t_rc: DramCycle,
+    pub t_rc: DramDelta,
     /// ACTIVATE-to-ACTIVATE delay across banks of the same rank.
-    pub t_rrd: DramCycle,
+    pub t_rrd: DramDelta,
     /// Four-activate window: at most 4 ACTIVATEs per rank in this window.
-    pub t_faw: DramCycle,
+    pub t_faw: DramDelta,
     /// Write recovery: end of write data to PRECHARGE of the same bank.
-    pub t_wr: DramCycle,
+    pub t_wr: DramDelta,
     /// Write-to-read turnaround: end of write data to next READ (any bank).
-    pub t_wtr: DramCycle,
+    pub t_wtr: DramDelta,
     /// Read-to-precharge delay on the same bank.
-    pub t_rtp: DramCycle,
+    pub t_rtp: DramDelta,
     /// Column-to-column delay (burst gap on the data bus).
-    pub t_ccd: DramCycle,
+    pub t_ccd: DramDelta,
     /// Burst length in *data beats* (DDR: 2 beats per DRAM cycle).
     pub burst_length: u32,
     /// Refresh cycle time: REFRESH command to next command.
-    pub t_rfc: DramCycle,
+    pub t_rfc: DramDelta,
     /// Average refresh interval (one all-bank refresh per tREFI).
-    pub t_refi: DramCycle,
+    pub t_refi: DramDelta,
 }
 
 impl TimingParams {
     /// Micron DDR2-800 (-25 speed grade) parameters, matching paper Table 2.
     pub const fn ddr2_800() -> Self {
         TimingParams {
-            t_cl: 6,         // 15 ns
-            t_cwl: 5,        // tCL − 1
-            t_rcd: 6,        // 15 ns
-            t_rp: 6,         // 15 ns
-            t_ras: 18,       // 45 ns
-            t_rc: 24,        // 60 ns
-            t_rrd: 3,        // 7.5 ns
-            t_faw: 18,       // 45 ns
-            t_wr: 6,         // 15 ns
-            t_wtr: 3,        // 7.5 ns
-            t_rtp: 3,        // 7.5 ns
-            t_ccd: 2,        // 5 ns
+            t_cl: DramDelta::new(6),         // 15 ns
+            t_cwl: DramDelta::new(5),        // tCL − 1
+            t_rcd: DramDelta::new(6),        // 15 ns
+            t_rp: DramDelta::new(6),         // 15 ns
+            t_ras: DramDelta::new(18),       // 45 ns
+            t_rc: DramDelta::new(24),        // 60 ns
+            t_rrd: DramDelta::new(3),        // 7.5 ns
+            t_faw: DramDelta::new(18),       // 45 ns
+            t_wr: DramDelta::new(6),         // 15 ns
+            t_wtr: DramDelta::new(3),        // 7.5 ns
+            t_rtp: DramDelta::new(3),        // 7.5 ns
+            t_ccd: DramDelta::new(2),        // 5 ns
             burst_length: 8, // BL/2 = 10 ns
-            t_rfc: 51,       // 127.5 ns
-            t_refi: 3120,    // 7.8 µs
+            t_rfc: DramDelta::new(51),       // 127.5 ns
+            t_refi: DramDelta::new(3120),    // 7.8 µs
         }
     }
 
     /// Number of DRAM cycles the data bus is occupied by one burst (BL/2).
     #[inline]
-    pub const fn burst_cycles(&self) -> DramCycle {
-        (self.burst_length / 2) as DramCycle
+    pub const fn burst_cycles(&self) -> DramDelta {
+        DramDelta::new((self.burst_length / 2) as u64)
     }
 
     /// Bank occupancy of a column read: tCL + BL/2.
     #[inline]
-    pub const fn read_latency(&self) -> DramCycle {
-        self.t_cl + self.burst_cycles()
+    pub const fn read_latency(&self) -> DramDelta {
+        DramDelta::new(self.t_cl.get() + self.burst_cycles().get())
     }
 
     /// Bank occupancy of a column write: tCWL + BL/2.
     #[inline]
-    pub const fn write_latency(&self) -> DramCycle {
-        self.t_cwl + self.burst_cycles()
+    pub const fn write_latency(&self) -> DramDelta {
+        DramDelta::new(self.t_cwl.get() + self.burst_cycles().get())
     }
 }
 

@@ -4,8 +4,8 @@ use crate::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
 use crate::request::{AccessKind, Request, RequestId, RequestState, ThreadId};
 use crate::stats::{SystemStats, ThreadStats};
 use stfm_dram::{
-    dram_to_cpu, AccessCategory, AddressMapping, Channel, ChannelId, CpuCycle, DramCommand,
-    DramConfig, DramCycle, EnergyBreakdown, EnergyModel, PhysAddr, TimingChecker,
+    AccessCategory, AddressMapping, Channel, ChannelId, ClockRatio, CpuCycle, DramCommand,
+    DramConfig, DramCycle, DramDelta, EnergyBreakdown, EnergyModel, PhysAddr, TimingChecker,
 };
 use stfm_telemetry::{Event, NullSink, Sink};
 
@@ -13,7 +13,7 @@ use stfm_telemetry::{Event, NullSink, Sink};
 /// DRAM cycles, when a trace sink is attached (~5 µs of DDR2-800 time —
 /// fine enough to watch STFM's interval rule react, coarse enough to
 /// keep traces small).
-pub const DEFAULT_SAMPLE_INTERVAL: DramCycle = 2_000;
+pub const DEFAULT_SAMPLE_INTERVAL: DramDelta = DramDelta::new(2_000);
 
 /// Row-buffer management policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -114,7 +114,7 @@ pub struct MemorySystem {
     completions: Vec<Completion>,
     stats: SystemStats,
     sink: Box<dyn Sink>,
-    sample_interval: DramCycle,
+    sample_interval: DramDelta,
     next_sample: DramCycle,
 }
 
@@ -149,12 +149,12 @@ impl MemorySystem {
             channels,
             policy,
             next_id: 0,
-            now: 0,
+            now: DramCycle::ZERO,
             completions: Vec::new(),
             stats: SystemStats::default(),
             sink: Box::new(NullSink),
             sample_interval: DEFAULT_SAMPLE_INTERVAL,
-            next_sample: 0,
+            next_sample: DramCycle::ZERO,
         }
     }
 
@@ -180,8 +180,8 @@ impl MemorySystem {
     /// Sets the spacing of scheduler interval-update events in DRAM
     /// cycles (default [`DEFAULT_SAMPLE_INTERVAL`]). Values below 1 are
     /// clamped to 1.
-    pub fn set_sample_interval(&mut self, interval: DramCycle) {
-        self.sample_interval = interval.max(1);
+    pub fn set_sample_interval(&mut self, interval: DramDelta) {
+        self.sample_interval = interval.max(DramDelta::new(1));
     }
 
     /// Enables the independent [`TimingChecker`] on every channel. All
@@ -228,10 +228,10 @@ impl MemorySystem {
     /// never enabled.
     pub fn assert_timing_clean(&self) {
         for c in &self.channels {
-            c.checker
-                .as_ref()
-                .expect("timing checker not enabled")
-                .assert_clean();
+            match &c.checker {
+                Some(checker) => checker.assert_clean(),
+                None => panic!("timing checker not enabled"),
+            }
         }
     }
 
@@ -634,24 +634,20 @@ impl MemorySystem {
         channel: u32,
         policy: &mut dyn SchedulerPolicy,
         now: DramCycle,
-        overhead: DramCycle,
+        overhead: DramDelta,
         out: &mut Vec<Completion>,
         stats: &mut SystemStats,
         sink: &mut dyn Sink,
     ) {
         let mut i = 0;
         while i < ctrl.requests.len() {
-            let finished = matches!(
-                ctrl.requests[i].state,
-                RequestState::InService { data_done } if data_done <= now
-            );
-            if finished {
+            let finished = match ctrl.requests[i].state {
+                RequestState::InService { data_done } if data_done <= now => Some(data_done),
+                _ => None,
+            };
+            if let Some(data_done) = finished {
                 let mut req = ctrl.requests.swap_remove(i);
-                let data_done = match req.state {
-                    RequestState::InService { data_done } => data_done,
-                    _ => unreachable!(),
-                };
-                let finish_cpu = dram_to_cpu(data_done + overhead);
+                let finish_cpu = ClockRatio::PAPER.dram_to_cpu(data_done + overhead);
                 req.state = RequestState::Completed { finish_cpu };
                 stats.record_completion(&req, finish_cpu);
                 policy.on_complete(&req);
@@ -664,7 +660,7 @@ impl MemorySystem {
                         thread: req.thread.0,
                         request: req.id.0,
                         is_write: req.kind == AccessKind::Write,
-                        latency_cpu: finish_cpu.saturating_sub(req.arrival_cpu),
+                        latency_cpu: finish_cpu.saturating_since(req.arrival_cpu),
                     });
                 }
                 out.push(Completion {
@@ -694,9 +690,7 @@ impl std::fmt::Debug for MemorySystem {
 mod tests {
     use super::*;
     use crate::frfcfs::FrFcfs;
-    use stfm_dram::CPU_CYCLES_PER_DRAM_CYCLE;
-
-    fn no_refresh_cfg() -> DramConfig {
+        fn no_refresh_cfg() -> DramConfig {
         DramConfig {
             refresh_enabled: false,
             ..DramConfig::ddr2_800()
@@ -727,14 +721,14 @@ mod tests {
 
         // Closed: very first access to a bank.
         let id0 = sys
-            .try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(0), 0, 0)
+            .try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(0), CpuCycle::ZERO, 0)
             .unwrap();
-        let (done, now) = run_until_idle(&mut sys, 0);
+        let (done, now) = run_until_idle(&mut sys, DramCycle::ZERO);
         assert_eq!(done[0].id, id0);
         assert_eq!(done[0].finish_cpu, 50 * 4); // 50 ns at 4 GHz
 
         // Hit: same row again.
-        let t0 = now * CPU_CYCLES_PER_DRAM_CYCLE;
+        let t0 = ClockRatio::PAPER.dram_to_cpu(now);
         sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(64), t0, 0)
             .unwrap();
         let (done, now) = run_until_idle(&mut sys, now);
@@ -749,7 +743,7 @@ mod tests {
         let d = sys.mapping().decode(PhysAddr(conflict_addr));
         assert_eq!(d.bank.0, 0, "test address must collide on bank 0");
         assert_ne!(d.row, 0);
-        let t1 = now * CPU_CYCLES_PER_DRAM_CYCLE;
+        let t1 = ClockRatio::PAPER.dram_to_cpu(now);
         sys.try_enqueue(
             ThreadId(0),
             AccessKind::Read,
@@ -776,7 +770,7 @@ mod tests {
                     ThreadId(0),
                     AccessKind::Write,
                     PhysAddr(i * 1024 * 1024),
-                    0,
+                    CpuCycle::ZERO,
                     0,
                 )
                 .is_some()
@@ -790,9 +784,9 @@ mod tests {
     #[test]
     fn writes_drain_when_no_reads_pending() {
         let mut sys = system();
-        sys.try_enqueue(ThreadId(0), AccessKind::Write, PhysAddr(0), 0, 0)
+        sys.try_enqueue(ThreadId(0), AccessKind::Write, PhysAddr(0), CpuCycle::ZERO, 0)
             .unwrap();
-        let (done, _) = run_until_idle(&mut sys, 0);
+        let (done, _) = run_until_idle(&mut sys, DramCycle::ZERO);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].kind, AccessKind::Write);
     }
@@ -806,15 +800,15 @@ mod tests {
                 ThreadId(0),
                 AccessKind::Write,
                 PhysAddr(0x100_0000 + i * 4096 * 64),
-                0,
+                CpuCycle::ZERO,
                 0,
             )
             .unwrap();
         }
-        sys.try_enqueue(ThreadId(1), AccessKind::Read, PhysAddr(0x500_0000), 0, 0)
+        sys.try_enqueue(ThreadId(1), AccessKind::Read, PhysAddr(0x500_0000), CpuCycle::ZERO, 0)
             .unwrap();
         let mut first_done = None;
-        let mut now = 0;
+        let mut now = DramCycle::ZERO;
         while sys.outstanding() > 0 {
             sys.tick(now);
             for c in sys.drain_completions() {
@@ -829,7 +823,7 @@ mod tests {
     fn all_requests_complete_exactly_once() {
         let mut sys = system();
         let mut ids = Vec::new();
-        let mut now = 0;
+        let mut now = DramCycle::ZERO;
         let mut done = Vec::new();
         for i in 0..200u64 {
             // Mixed strided traffic across banks and rows.
@@ -838,7 +832,7 @@ mod tests {
                 ThreadId((i % 4) as u32),
                 AccessKind::Read,
                 addr,
-                now * 10,
+                ClockRatio::PAPER.dram_to_cpu(now),
                 0,
             ) {
                 ids.push(id);
@@ -864,10 +858,10 @@ mod tests {
         let mut sys = system();
         // 32 sequential lines: 1 closed access then 31 hits.
         for i in 0..32u64 {
-            sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * 64), 0, 0)
+            sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * 64), CpuCycle::ZERO, 0)
                 .unwrap();
         }
-        let (_, _) = run_until_idle(&mut sys, 0);
+        let (_, _) = run_until_idle(&mut sys, DramCycle::ZERO);
         let ts = sys.thread_stats(ThreadId(0));
         assert_eq!(ts.reads, 32);
         assert_eq!(ts.row_hits, 31);
@@ -900,9 +894,9 @@ mod scheduling_tests {
         let row_stride = u64::from(sys.dram_config().row_bytes()) * 8 * 8;
 
         // Open row 0 of bank 0 first.
-        sys.try_enqueue(ThreadId(1), AccessKind::Read, PhysAddr(0), 0, 0)
+        sys.try_enqueue(ThreadId(1), AccessKind::Read, PhysAddr(0), CpuCycle::ZERO, 0)
             .unwrap();
-        let mut now = 0;
+        let mut now = DramCycle::ZERO;
         while sys.outstanding() > 0 {
             sys.tick(now);
             sys.drain_completions();
@@ -914,7 +908,7 @@ mod scheduling_tests {
             ThreadId(0),
             AccessKind::Read,
             PhysAddr(row_stride),
-            now * 10,
+            ClockRatio::PAPER.dram_to_cpu(now),
             0,
         )
         .unwrap();
@@ -924,7 +918,7 @@ mod scheduling_tests {
                 ThreadId(1),
                 AccessKind::Read,
                 PhysAddr(i * 64 * 8),
-                now * 10,
+                ClockRatio::PAPER.dram_to_cpu(now),
                 0,
             )
             .unwrap();
@@ -955,10 +949,10 @@ mod scheduling_tests {
     fn fcfs_still_exploits_hits_within_a_single_stream() {
         let mut sys = MemorySystem::new(no_refresh_cfg(), Box::new(Fcfs::new()));
         for i in 0..64u64 {
-            sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * 64), 0, 0)
+            sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * 64), CpuCycle::ZERO, 0)
                 .unwrap();
         }
-        let mut now = 0;
+        let mut now = DramCycle::ZERO;
         while sys.outstanding() > 0 {
             sys.tick(now);
             sys.drain_completions();
@@ -973,10 +967,10 @@ mod scheduling_tests {
         let mut sys = MemorySystem::new(no_refresh_cfg(), Box::new(FrFcfs::new()));
         assert!(sys.energy().is_none());
         sys.enable_energy_model();
-        sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(0), 0, 0)
+        sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(0), CpuCycle::ZERO, 0)
             .unwrap();
         for now in 0..40 {
-            sys.tick(now);
+            sys.tick(DramCycle::new(now));
         }
         let e = sys.energy().unwrap();
         assert!(e.activate_nj > 0.0, "ACT energy missing");
@@ -1010,12 +1004,12 @@ mod row_policy_tests {
         sys
     }
 
-    fn run_stream(sys: &mut MemorySystem, n: u64, stride: u64) -> (u64, f64) {
+    fn run_stream(sys: &mut MemorySystem, n: u64, stride: u64) -> (DramCycle, f64) {
         for i in 0..n {
-            sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * stride), 0, 0)
+            sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * stride), CpuCycle::ZERO, 0)
                 .unwrap();
         }
-        let mut now = 0;
+        let mut now = DramCycle::ZERO;
         while sys.outstanding() > 0 {
             sys.tick(now);
             sys.drain_completions();
@@ -1034,9 +1028,9 @@ mod row_policy_tests {
         let mut open_sys = system_with(RowPolicy::OpenPage);
         let mut closed_sys = system_with(RowPolicy::ClosedPage);
         for sys in [&mut open_sys, &mut closed_sys] {
-            let mut now = 0;
+            let mut now = DramCycle::ZERO;
             for i in 0..32u64 {
-                sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * 64), now * 10, 0)
+                sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * 64), ClockRatio::PAPER.dram_to_cpu(now), 0)
                     .unwrap();
                 while sys.outstanding() > 0 {
                     sys.tick(now);
@@ -1069,10 +1063,10 @@ mod row_policy_tests {
         let mut closed_sys = system_with(RowPolicy::ClosedPage);
         let mut times = Vec::new();
         for sys in [&mut open_sys, &mut closed_sys] {
-            let mut now = 0;
+            let mut now = DramCycle::ZERO;
             for i in 0..24u64 {
                 let addr = PhysAddr((i % 2) * row_stride);
-                sys.try_enqueue(ThreadId(0), AccessKind::Read, addr, now * 10, 0)
+                sys.try_enqueue(ThreadId(0), AccessKind::Read, addr, ClockRatio::PAPER.dram_to_cpu(now), 0)
                     .unwrap();
                 while sys.outstanding() > 0 {
                     sys.tick(now);

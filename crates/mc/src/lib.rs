@@ -18,16 +18,19 @@
 //!
 //! ```
 //! use stfm_mc::{AccessKind, FrFcfs, MemorySystem, ThreadId};
-//! use stfm_dram::{DramConfig, PhysAddr};
+//! use stfm_dram::{CpuCycle, DramCycle, DramConfig, PhysAddr};
 //!
 //! let mut mem = MemorySystem::new(DramConfig::ddr2_800(), Box::new(FrFcfs::new()));
-//! mem.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(0x1000), 0, 0)
+//! mem.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(0x1000), CpuCycle::ZERO, 0)
 //!     .expect("buffer has space");
 //! for cycle in 0..40 {
-//!     mem.tick(cycle);
+//!     mem.tick(DramCycle::new(cycle));
 //! }
 //! assert_eq!(mem.drain_completions().len(), 1);
 //! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod controller;
 pub mod fcfs;

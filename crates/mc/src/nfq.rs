@@ -23,7 +23,7 @@
 use crate::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
 use crate::request::{Request, ThreadId};
 use std::collections::{HashMap, HashSet};
-use stfm_dram::{ChannelId, DramCycle, TimingParams};
+use stfm_dram::{ChannelId, DramCycle, DramDelta, TimingParams};
 
 /// The NFQ (FQ-VFTF) scheduling policy.
 #[derive(Debug, Clone)]
@@ -108,7 +108,7 @@ impl SchedulerPolicy for Nfq {
         // for longer, the bank falls back to strict deadline order. The
         // timer restarts whenever the head request changes.
         self.blocked_banks.clear();
-        let threshold: DramCycle = self.timing.t_ras;
+        let threshold: DramDelta = self.timing.t_ras;
         for q in &sys.channels {
             for bank in 0..q.channel.num_banks() {
                 let head = q
@@ -127,7 +127,7 @@ impl SchedulerPolicy for Nfq {
                             _ => sys.now,
                         };
                         self.bank_heads.insert(key, (r.id, since));
-                        if sys.now.saturating_sub(since) > threshold {
+                        if sys.now.saturating_since(since) > threshold {
                             self.blocked_banks.insert(key);
                         }
                     }
@@ -144,7 +144,8 @@ impl SchedulerPolicy for Nfq {
         let latency: u64 = req
             .category
             .map(|c| c.service_latency(&self.timing))
-            .unwrap_or_else(|| self.timing.read_latency());
+            .unwrap_or_else(|| self.timing.read_latency())
+            .get();
         let scale = self.total_shares() / u64::from(self.share(req.thread)).max(1);
         let key = (req.thread, req.loc.channel, req.loc.bank.0);
         *self.vft.entry(key).or_insert(0) += latency * scale.max(1);

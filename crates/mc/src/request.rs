@@ -120,7 +120,7 @@ mod tests {
                 col: 4,
             },
             kind: AccessKind::Read,
-            arrival_cpu: 100,
+            arrival_cpu: CpuCycle::new(100),
             state: RequestState::Queued,
             service_started: None,
             category: None,
@@ -132,20 +132,20 @@ mod tests {
         let mut r = request();
         assert!(r.is_waiting());
         assert!(!r.started());
-        assert!(!r.in_bank_service(0));
+        assert!(!r.in_bank_service(DramCycle::ZERO));
 
-        r.service_started = Some(10);
-        assert!(r.in_bank_service(10));
+        r.service_started = Some(DramCycle::new(10));
+        assert!(r.in_bank_service(DramCycle::new(10)));
         assert!(r.is_waiting()); // column not yet issued
 
-        r.state = RequestState::InService { data_done: 20 };
-        assert!(r.in_bank_service(19));
-        assert!(!r.in_bank_service(20));
+        r.state = RequestState::InService { data_done: DramCycle::new(20) };
+        assert!(r.in_bank_service(DramCycle::new(19)));
+        assert!(!r.in_bank_service(DramCycle::new(20)));
         assert!(!r.is_waiting());
 
-        r.state = RequestState::Completed { finish_cpu: 300 };
+        r.state = RequestState::Completed { finish_cpu: CpuCycle::new(300) };
         assert!(r.is_completed());
-        assert!(!r.in_bank_service(25));
+        assert!(!r.in_bank_service(DramCycle::new(25)));
     }
 
     #[test]

@@ -120,7 +120,7 @@ impl SystemStats {
         match req.kind {
             AccessKind::Read => {
                 ts.reads += 1;
-                let lat = finish_cpu.saturating_sub(req.arrival_cpu);
+                let lat = finish_cpu.saturating_since(req.arrival_cpu).get();
                 ts.total_read_latency_cpu += lat;
                 ts.max_read_latency_cpu = ts.max_read_latency_cpu.max(lat);
             }
@@ -162,18 +162,18 @@ mod tests {
                 col: 0,
             },
             kind: AccessKind::Read,
-            arrival_cpu: arrival,
+            arrival_cpu: CpuCycle::new(arrival),
             state: RequestState::Queued,
             service_started: None,
             category: None,
         };
         let mut sys = SystemStats::default();
         // Warmup: one pathological 10_000-cycle read.
-        sys.record_completion(&req(0), 10_000);
+        sys.record_completion(&req(0), CpuCycle::new(10_000));
         let baseline = sys.thread(ThreadId(0));
         sys.reset_max_read_latency(ThreadId(0));
         // Measurement window: a 100-cycle read.
-        sys.record_completion(&req(20_000), 20_100);
+        sys.record_completion(&req(20_000), CpuCycle::new(20_100));
         let window = sys.thread(ThreadId(0)).minus(&baseline);
         assert_eq!(window.reads, 1);
         assert_eq!(window.total_read_latency_cpu, 100);

@@ -2,7 +2,7 @@
 //! crate's tests). Not intended for production use.
 
 use crate::request::{AccessKind, Request, RequestId, RequestState, ThreadId};
-use stfm_dram::{BankId, ChannelId, DecodedAddr, DramConfig, PhysAddr};
+use stfm_dram::{BankId, ChannelId, CpuCycle, DecodedAddr, DramConfig, DramCycle, PhysAddr};
 
 /// Builds a queued read request to (`bank`, `row`, `col`) with the given
 /// arrival id (smaller = older). The address is synthesized from the
@@ -19,7 +19,7 @@ pub fn req_to(bank: u32, thread: ThreadId, row: u32, col: u32, id: u64) -> Reque
             col,
         },
         kind: AccessKind::Read,
-        arrival_cpu: id * 10,
+        arrival_cpu: CpuCycle::new(id * 10),
         state: RequestState::Queued,
         service_started: None,
         category: None,
@@ -34,7 +34,7 @@ pub mod harness {
 
     /// Query timestamp used by the harness (late enough that all timing
     /// constraints from setup commands have expired).
-    pub const NOW: u64 = 1000;
+    pub const NOW: DramCycle = DramCycle::new(1000);
 
     /// A fresh single-channel device with `row` open in `bank`
     /// (refresh disabled so tests are time-insensitive).
@@ -44,7 +44,7 @@ pub mod harness {
             ..DramConfig::ddr2_800()
         };
         let mut ch = Channel::new(&cfg);
-        ch.issue(&DramCommand::activate(BankId(bank), row), 0);
+        ch.issue(&DramCommand::activate(BankId(bank), row), DramCycle::ZERO);
         (ch, cfg)
     }
 
@@ -86,7 +86,7 @@ impl crate::policy::SchedulerPolicy for ChaosPolicy {
     }
 
     fn rank(&self, req: &Request, q: &crate::policy::SchedQuery<'_>) -> crate::policy::Rank {
-        let mut x = req.id.0 ^ (q.now << 17) ^ self.seed;
+        let mut x = req.id.0 ^ (q.now.get() << 17) ^ self.seed;
         // splitmix64 scramble.
         x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -10,10 +10,10 @@ use crate::metrics::{ThreadMetrics, WorkloadMetrics};
 use crate::scheduler_kind::SchedulerKind;
 use crate::system::System;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use stfm_core::StfmConfig;
 use stfm_cpu::{Core, CoreConfig, CoreStats, PrefetchConfig};
-use stfm_dram::{DramConfig, CPU_CYCLES_PER_DRAM_CYCLE};
+use stfm_dram::{DramConfig, DramDelta, CPU_CYCLES_PER_DRAM_CYCLE};
 use stfm_mc::{ControllerConfig, MemorySystem, RowPolicy, ThreadId};
 use stfm_telemetry::Sink;
 use stfm_workloads::{Profile, SyntheticTrace};
@@ -46,7 +46,12 @@ impl AloneCache {
 
     /// Number of memoized baselines.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("alone-cache poisoned").len()
+        // A poisoned lock only means another runner panicked mid-insert;
+        // the map itself is still a valid memo cache.
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// True if no baseline has been computed yet.
@@ -69,13 +74,18 @@ impl AloneCache {
             seed,
             prefetch.is_some(),
         );
-        if let Some(hit) = self.inner.lock().expect("alone-cache poisoned").get(&key) {
+        if let Some(hit) = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             return *hit;
         }
         let stats = run_alone_with(profile, dram, insts, seed, prefetch);
         self.inner
             .lock()
-            .expect("alone-cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, stats);
         stats
     }
@@ -317,7 +327,7 @@ impl Experiment {
             mem.set_sink(sink);
         }
         if let Some(interval) = self.sample_interval {
-            mem.set_sample_interval(interval);
+            mem.set_sample_interval(DramDelta::new(interval));
         }
         if self.timing_checker {
             mem.enable_timing_checker();

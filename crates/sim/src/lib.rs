@@ -23,6 +23,9 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod experiment;
 pub mod metrics;
 pub mod runner;

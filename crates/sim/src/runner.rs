@@ -8,7 +8,7 @@
 use crate::experiment::{AloneCache, Experiment};
 use crate::metrics::WorkloadMetrics;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Runs all experiments, using up to `available_parallelism` worker
 /// threads, and returns their metrics in input order.
@@ -35,17 +35,27 @@ pub fn run_all_with_cache(experiments: &[Experiment], cache: &AloneCache) -> Vec
                     break;
                 }
                 let m = experiments[i].run_with_cache(cache);
-                *results[i].lock().expect("result slot poisoned") = Some(m);
+                // A poisoned slot only means another worker panicked while
+                // holding the lock; the metrics value itself is still sound
+                // (it is replaced wholesale), so recover rather than panic.
+                *results[i]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(m);
             });
         }
     });
 
     results
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker skipped an experiment")
+        .enumerate()
+        .map(|(i, m)| {
+            match m.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(m) => m,
+                // Unreachable: the atomic work queue hands every index to
+                // exactly one worker, and a panicked worker re-raises when
+                // the scope joins above.
+                None => panic!("experiment {i} produced no result"),
+            }
         })
         .collect()
 }

@@ -1,7 +1,7 @@
 //! Full-system wiring: N cores around one shared memory system.
 
 use stfm_cpu::{Core, CoreStats};
-use stfm_dram::CPU_CYCLES_PER_DRAM_CYCLE;
+use stfm_dram::{ClockRatio, DramCycle, CPU_CYCLES_PER_DRAM_CYCLE};
 use stfm_mc::{MemorySystem, ThreadId, ThreadStats};
 
 /// A complete simulated CMP: cores plus the shared DRAM memory system.
@@ -11,7 +11,7 @@ use stfm_mc::{MemorySystem, ThreadId, ThreadStats};
 pub struct System {
     cores: Vec<Core>,
     mem: MemorySystem,
-    dram_cycle: u64,
+    dram_cycle: DramCycle,
 }
 
 /// Outcome of [`System::run`].
@@ -48,7 +48,7 @@ impl System {
         System {
             cores,
             mem,
-            dram_cycle: 0,
+            dram_cycle: DramCycle::ZERO,
         }
     }
 
@@ -130,7 +130,7 @@ impl System {
                     remaining -= 1;
                 }
             }
-            if self.dram_cycle * CPU_CYCLES_PER_DRAM_CYCLE >= max_cpu_cycles {
+            if ClockRatio::PAPER.dram_to_cpu(self.dram_cycle) >= max_cpu_cycles {
                 truncated = true;
                 for (i, core) in self.cores.iter().enumerate() {
                     if baseline[i].is_none() {
@@ -155,7 +155,7 @@ impl System {
         RunOutcome {
             frozen: frozen_core,
             frozen_mem,
-            cpu_cycles: self.dram_cycle * CPU_CYCLES_PER_DRAM_CYCLE,
+            cpu_cycles: ClockRatio::PAPER.dram_to_cpu(self.dram_cycle).get(),
             truncated,
         }
     }

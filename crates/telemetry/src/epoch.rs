@@ -364,7 +364,7 @@ impl Sink for EpochSampler {
         }
         // Events are nondecreasing in time; guard against a stale stamp
         // rather than integrating backwards.
-        let cycle = event.dram_cycle().max(self.last_cycle);
+        let cycle = event.dram_cycle().get().max(self.last_cycle);
         self.advance_to(cycle);
         self.apply(event);
     }
@@ -377,6 +377,7 @@ impl Sink for EpochSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stfm_cycles::{CpuCycle, CpuDelta, DramCycle};
 
     fn sampler(epoch_len: u64, threads: usize) -> EpochSampler {
         EpochSampler::new(EpochConfig {
@@ -388,8 +389,8 @@ mod tests {
 
     fn enqueue(cycle: u64, thread: u32, request: u64) -> Event {
         Event::RequestEnqueued {
-            dram_cycle: cycle,
-            cpu_cycle: cycle * 10,
+            dram_cycle: DramCycle::new(cycle),
+            cpu_cycle: CpuCycle::new(cycle * 10),
             channel: 0,
             bank: 0,
             thread,
@@ -400,20 +401,20 @@ mod tests {
 
     fn service(cycle: u64, thread: u32, request: u64) -> Event {
         Event::RequestServiced {
-            dram_cycle: cycle,
-            cpu_cycle: cycle * 10,
+            dram_cycle: DramCycle::new(cycle),
+            cpu_cycle: CpuCycle::new(cycle * 10),
             channel: 0,
             bank: 0,
             thread,
             request,
             is_write: false,
-            latency_cpu: 300,
+            latency_cpu: CpuDelta::new(300),
         }
     }
 
     fn cas(cycle: u64) -> Event {
         Event::DramCommandIssued {
-            dram_cycle: cycle,
+            dram_cycle: DramCycle::new(cycle),
             channel: 0,
             bank: 0,
             cmd: CmdKind::Read,
@@ -425,7 +426,7 @@ mod tests {
 
     fn activate(cycle: u64) -> Event {
         Event::DramCommandIssued {
-            dram_cycle: cycle,
+            dram_cycle: DramCycle::new(cycle),
             channel: 0,
             bank: 0,
             cmd: CmdKind::Activate,
@@ -499,7 +500,7 @@ mod tests {
     fn slowdowns_carry_forward_and_columns_grow() {
         let mut s = sampler(100, 1);
         s.record(&Event::SchedulerIntervalUpdate {
-            dram_cycle: 50,
+            dram_cycle: DramCycle::new(50),
             scheduler: "stfm",
             slowdowns: vec![(0, 1.5), (1, 2.0)],
             unfairness: Some(4.0 / 3.0),

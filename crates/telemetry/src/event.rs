@@ -1,6 +1,7 @@
 //! The typed event vocabulary and its hand-rolled JSON/CSV encodings.
 
 use std::fmt::Write as _;
+use stfm_cycles::{CpuCycle, CpuDelta, DramCycle};
 
 /// The kind of DRAM command an [`Event::DramCommandIssued`] reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,14 +39,15 @@ impl CmdKind {
 /// One simulator occurrence, stamped with the cycle it happened on.
 ///
 /// Identifiers are primitives (channel/bank/thread as `u32`, request ids
-/// as `u64`, cycles as `u64`) because this crate sits below `stfm-dram`
-/// and cannot name the simulator's newtypes.
+/// as `u64`); cycle stamps use the clock-domain newtypes from
+/// `stfm-cycles`, which sits below this crate, so a DRAM-cycle stamp can
+/// never be confused with a CPU-cycle one.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// The controller issued a DRAM command on a channel's command bus.
     DramCommandIssued {
         /// DRAM cycle of issue.
-        dram_cycle: u64,
+        dram_cycle: DramCycle,
         /// Channel index.
         channel: u32,
         /// Bank index within the channel.
@@ -62,9 +64,9 @@ pub enum Event {
     /// A request entered a controller request buffer.
     RequestEnqueued {
         /// DRAM cycle of arrival at the controller.
-        dram_cycle: u64,
+        dram_cycle: DramCycle,
         /// CPU cycle of arrival.
-        cpu_cycle: u64,
+        cpu_cycle: CpuCycle,
         /// Channel index.
         channel: u32,
         /// Bank index within the channel.
@@ -79,9 +81,9 @@ pub enum Event {
     /// A request finished service (data transferred, latency known).
     RequestServiced {
         /// DRAM cycle of completion.
-        dram_cycle: u64,
+        dram_cycle: DramCycle,
         /// CPU cycle of completion.
-        cpu_cycle: u64,
+        cpu_cycle: CpuCycle,
         /// Channel index.
         channel: u32,
         /// Bank index within the channel.
@@ -93,12 +95,12 @@ pub enum Event {
         /// True for writes.
         is_write: bool,
         /// Arrival-to-completion latency in CPU cycles.
-        latency_cpu: u64,
+        latency_cpu: CpuDelta,
     },
     /// Periodic scheduler-state snapshot (per sampling interval).
     SchedulerIntervalUpdate {
         /// DRAM cycle of the snapshot.
-        dram_cycle: u64,
+        dram_cycle: DramCycle,
         /// Scheduler name (`SchedulerPolicy::name`).
         scheduler: &'static str,
         /// Per-thread estimated slowdowns, `(thread, slowdown)` pairs.
@@ -114,7 +116,7 @@ pub enum Event {
     /// A channel entered write-drain mode.
     WriteDrainStart {
         /// DRAM cycle the drain began.
-        dram_cycle: u64,
+        dram_cycle: DramCycle,
         /// Channel index.
         channel: u32,
         /// Writes queued when the drain began.
@@ -123,7 +125,7 @@ pub enum Event {
     /// A channel left write-drain mode.
     WriteDrainEnd {
         /// DRAM cycle the drain ended.
-        dram_cycle: u64,
+        dram_cycle: DramCycle,
         /// Channel index.
         channel: u32,
         /// Writes still queued when the drain ended.
@@ -132,11 +134,11 @@ pub enum Event {
     /// An all-bank auto refresh began on a channel.
     RefreshIssued {
         /// DRAM cycle the refresh began.
-        dram_cycle: u64,
+        dram_cycle: DramCycle,
         /// Channel index.
         channel: u32,
         /// DRAM cycle the channel becomes usable again.
-        end_cycle: u64,
+        end_cycle: DramCycle,
     },
 }
 
@@ -155,7 +157,7 @@ impl Event {
     }
 
     /// The DRAM cycle the event is stamped with.
-    pub fn dram_cycle(&self) -> u64 {
+    pub fn dram_cycle(&self) -> DramCycle {
         match *self {
             Event::DramCommandIssued { dram_cycle, .. }
             | Event::RequestEnqueued { dram_cycle, .. }
@@ -182,7 +184,7 @@ impl Event {
                 thread,
                 auto_precharge,
             } => {
-                push_u64_field(&mut s, "dram_cycle", *dram_cycle);
+                push_u64_field(&mut s, "dram_cycle", dram_cycle.get());
                 push_u64_field(&mut s, "channel", u64::from(*channel));
                 push_u64_field(&mut s, "bank", u64::from(*bank));
                 push_str_field(&mut s, "cmd", cmd.as_str());
@@ -205,8 +207,8 @@ impl Event {
                 request,
                 is_write,
             } => {
-                push_u64_field(&mut s, "dram_cycle", *dram_cycle);
-                push_u64_field(&mut s, "cpu_cycle", *cpu_cycle);
+                push_u64_field(&mut s, "dram_cycle", dram_cycle.get());
+                push_u64_field(&mut s, "cpu_cycle", cpu_cycle.get());
                 push_u64_field(&mut s, "channel", u64::from(*channel));
                 push_u64_field(&mut s, "bank", u64::from(*bank));
                 push_u64_field(&mut s, "thread", u64::from(*thread));
@@ -223,14 +225,14 @@ impl Event {
                 is_write,
                 latency_cpu,
             } => {
-                push_u64_field(&mut s, "dram_cycle", *dram_cycle);
-                push_u64_field(&mut s, "cpu_cycle", *cpu_cycle);
+                push_u64_field(&mut s, "dram_cycle", dram_cycle.get());
+                push_u64_field(&mut s, "cpu_cycle", cpu_cycle.get());
                 push_u64_field(&mut s, "channel", u64::from(*channel));
                 push_u64_field(&mut s, "bank", u64::from(*bank));
                 push_u64_field(&mut s, "thread", u64::from(*thread));
                 push_u64_field(&mut s, "request", *request);
                 push_str_field(&mut s, "op", if *is_write { "write" } else { "read" });
-                push_u64_field(&mut s, "latency_cpu", *latency_cpu);
+                push_u64_field(&mut s, "latency_cpu", latency_cpu.get());
             }
             Event::SchedulerIntervalUpdate {
                 dram_cycle,
@@ -239,7 +241,7 @@ impl Event {
                 unfairness,
                 fairness_rule_active,
             } => {
-                push_u64_field(&mut s, "dram_cycle", *dram_cycle);
+                push_u64_field(&mut s, "dram_cycle", dram_cycle.get());
                 push_str_field(&mut s, "scheduler", scheduler);
                 s.push_str("\"slowdowns\":{");
                 for (i, (thread, slowdown)) in slowdowns.iter().enumerate() {
@@ -269,7 +271,7 @@ impl Event {
                 channel,
                 queued_writes,
             } => {
-                push_u64_field(&mut s, "dram_cycle", *dram_cycle);
+                push_u64_field(&mut s, "dram_cycle", dram_cycle.get());
                 push_u64_field(&mut s, "channel", u64::from(*channel));
                 push_u64_field(&mut s, "queued_writes", u64::from(*queued_writes));
             }
@@ -278,9 +280,9 @@ impl Event {
                 channel,
                 end_cycle,
             } => {
-                push_u64_field(&mut s, "dram_cycle", *dram_cycle);
+                push_u64_field(&mut s, "dram_cycle", dram_cycle.get());
                 push_u64_field(&mut s, "channel", u64::from(*channel));
-                push_u64_field(&mut s, "end_cycle", *end_cycle);
+                push_u64_field(&mut s, "end_cycle", end_cycle.get());
             }
         }
         // Every field-push leaves a trailing comma; replace the last one.
@@ -446,7 +448,7 @@ mod tests {
     fn json_shapes_are_wellformed() {
         let events = vec![
             Event::DramCommandIssued {
-                dram_cycle: 10,
+                dram_cycle: DramCycle::new(10),
                 channel: 0,
                 bank: 3,
                 cmd: CmdKind::Activate,
@@ -455,8 +457,8 @@ mod tests {
                 auto_precharge: false,
             },
             Event::RequestEnqueued {
-                dram_cycle: 5,
-                cpu_cycle: 50,
+                dram_cycle: DramCycle::new(5),
+                cpu_cycle: CpuCycle::new(50),
                 channel: 1,
                 bank: 0,
                 thread: 0,
@@ -464,16 +466,16 @@ mod tests {
                 is_write: true,
             },
             Event::SchedulerIntervalUpdate {
-                dram_cycle: 100,
+                dram_cycle: DramCycle::new(100),
                 scheduler: "stfm",
                 slowdowns: vec![(0, 1.25), (1, f64::NAN)],
                 unfairness: Some(1.9),
                 fairness_rule_active: Some(true),
             },
             Event::RefreshIssued {
-                dram_cycle: 7800,
+                dram_cycle: DramCycle::new(7800),
                 channel: 0,
-                end_cycle: 7905,
+                end_cycle: DramCycle::new(7905),
             },
         ];
         for e in &events {
@@ -493,27 +495,27 @@ mod tests {
         let header_cols = Event::csv_header().split(',').count();
         let events = vec![
             Event::WriteDrainStart {
-                dram_cycle: 1,
+                dram_cycle: DramCycle::new(1),
                 channel: 0,
                 queued_writes: 24,
             },
             Event::WriteDrainEnd {
-                dram_cycle: 90,
+                dram_cycle: DramCycle::new(90),
                 channel: 0,
                 queued_writes: 8,
             },
             Event::RequestServiced {
-                dram_cycle: 60,
-                cpu_cycle: 600,
+                dram_cycle: DramCycle::new(60),
+                cpu_cycle: CpuCycle::new(600),
                 channel: 0,
                 bank: 2,
                 thread: 3,
                 request: 11,
                 is_write: false,
-                latency_cpu: 540,
+                latency_cpu: CpuDelta::new(540),
             },
             Event::SchedulerIntervalUpdate {
-                dram_cycle: 100,
+                dram_cycle: DramCycle::new(100),
                 scheduler: "fr-fcfs",
                 slowdowns: vec![],
                 unfairness: None,
@@ -528,7 +530,7 @@ mod tests {
     #[test]
     fn dram_cycle_accessor_covers_all_variants() {
         let e = Event::WriteDrainEnd {
-            dram_cycle: 77,
+            dram_cycle: DramCycle::new(77),
             channel: 2,
             queued_writes: 0,
         };

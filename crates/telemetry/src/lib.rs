@@ -22,15 +22,19 @@
 //!   bandwidth, row-hit rate, data-bus utilization, and time-weighted
 //!   queue depth per epoch.
 //!
-//! This crate sits *below* `stfm-dram` in the dependency graph, so all
-//! identifiers are primitives (`u32` channel/bank/thread indices, `u64`
-//! cycles) rather than the simulator's newtypes. It has no external
-//! dependencies — serialization is hand-rolled — so the workspace keeps
-//! building offline.
+//! This crate sits *below* `stfm-dram` in the dependency graph; it
+//! shares only the clock-domain newtypes of `stfm-cycles`, so every
+//! event's cycle stamp is domain-checked while identifiers stay
+//! primitives (`u32` channel/bank/thread indices, `u64` request ids).
+//! It has no external dependencies — serialization is hand-rolled — so
+//! the workspace keeps building offline.
 //!
 //! Tracing must never perturb simulation results: sinks observe, they
 //! do not steer. The determinism regression test in `stfm-sim` holds
 //! the whole stack to that guarantee.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod epoch;
 mod event;

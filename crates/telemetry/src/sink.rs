@@ -14,13 +14,14 @@ use crate::event::Event;
 ///
 /// ```
 /// # use stfm_telemetry::{Event, NullSink, Sink};
+/// # use stfm_cycles::DramCycle;
 /// # let mut sink = NullSink;
 /// # let sink: &mut dyn Sink = &mut sink;
 /// if sink.is_enabled() {
 ///     sink.record(&Event::RefreshIssued {
-///         dram_cycle: 100,
+///         dram_cycle: DramCycle::new(100),
 ///         channel: 0,
-///         end_cycle: 205,
+///         end_cycle: DramCycle::new(205),
 ///     });
 /// }
 /// ```
@@ -171,11 +172,13 @@ impl<A: Sink, B: Sink> Sink for TeeSink<A, B> {
 mod tests {
     use super::*;
 
+    use stfm_cycles::DramCycle;
+
     fn refresh(cycle: u64) -> Event {
         Event::RefreshIssued {
-            dram_cycle: cycle,
+            dram_cycle: DramCycle::new(cycle),
             channel: 0,
-            end_cycle: cycle + 105,
+            end_cycle: DramCycle::new(cycle + 105),
         }
     }
 
@@ -197,7 +200,7 @@ mod tests {
         assert_eq!(ring.len(), 3);
         assert_eq!(ring.dropped(), 2);
         assert_eq!(ring.total_recorded(), 5);
-        let kept: Vec<u64> = ring.events().map(|e| e.dram_cycle()).collect();
+        let kept: Vec<u64> = ring.events().map(|e| e.dram_cycle().get()).collect();
         assert_eq!(kept, vec![2, 3, 4], "oldest events evicted first");
     }
 

@@ -140,10 +140,11 @@ impl<W: Write + 'static> Sink for CsvSink<W> {
 mod tests {
     use super::*;
     use crate::event::CmdKind;
+    use stfm_cycles::DramCycle;
 
     fn cmd(cycle: u64) -> Event {
         Event::DramCommandIssued {
-            dram_cycle: cycle,
+            dram_cycle: DramCycle::new(cycle),
             channel: 0,
             bank: 1,
             cmd: CmdKind::Read,

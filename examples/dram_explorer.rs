@@ -9,8 +9,8 @@
 //! ```
 
 use stfm_repro::dram::{
-    AccessCategory, AddressMapping, BankId, Channel, DramCommand, DramConfig, PhysAddr,
-    TimingChecker, CPU_CYCLES_PER_DRAM_CYCLE,
+    AccessCategory, AddressMapping, BankId, Channel, ClockRatio, DramCommand, DramConfig,
+    DramCycle, PhysAddr, TimingChecker,
 };
 
 fn main() {
@@ -50,17 +50,18 @@ fn main() {
     // Hand-issue a row cycle and audit it.
     let mut ch = Channel::new(&cfg);
     let mut checker = TimingChecker::new(cfg.banks, t);
-    let mut now = 0;
-    let issue = |ch: &mut Channel, checker: &mut TimingChecker, cmd: DramCommand, now: &mut u64| {
-        while !ch.can_issue(&cmd, *now) {
+    let mut now = DramCycle::ZERO;
+    let issue =
+        |ch: &mut Channel, checker: &mut TimingChecker, cmd: DramCommand, now: &mut DramCycle| {
+            while !ch.can_issue(&cmd, *now) {
+                *now += 1;
+            }
+            let done = ch.issue(&cmd, *now);
+            checker.observe(&cmd, *now);
+            println!("  cycle {:>3}: {cmd}   (completes at {done})", *now);
             *now += 1;
-        }
-        let done = ch.issue(&cmd, *now);
-        checker.observe(&cmd, *now);
-        println!("  cycle {:>3}: {cmd}   (completes at {done})", *now);
-        *now += 1;
-        done
-    };
+            done
+        };
 
     println!("\na full row cycle on bank 0:");
     let b = BankId(0);
@@ -72,8 +73,8 @@ fn main() {
     let done = issue(&mut ch, &mut checker, DramCommand::read(b, 7, 0), &mut now);
     println!(
         "  -> uncontended row-closed read: data at DRAM cycle {done} = {} CPU cycles = {} ns",
-        done * CPU_CYCLES_PER_DRAM_CYCLE,
-        done * CPU_CYCLES_PER_DRAM_CYCLE / 4
+        ClockRatio::PAPER.dram_to_cpu(done),
+        ClockRatio::PAPER.dram_to_cpu(done).get() / 4
     );
     issue(&mut ch, &mut checker, DramCommand::read(b, 7, 1), &mut now);
     issue(&mut ch, &mut checker, DramCommand::precharge(b), &mut now);

@@ -2,7 +2,7 @@
 //! request conservation, determinism, and metric plumbing.
 
 use stfm_repro::cpu::Core;
-use stfm_repro::dram::DramConfig;
+use stfm_repro::dram::{ClockRatio, DramConfig, DramCycle};
 use stfm_repro::mc::{MemorySystem, ThreadId};
 use stfm_repro::sim::{AloneCache, Experiment, SchedulerKind, System};
 use stfm_repro::workloads::{mix, spec, SyntheticTrace};
@@ -72,7 +72,7 @@ fn memory_system_conserves_requests() {
         mem.enable_timing_checker();
         let mut accepted = 0u64;
         let mut completed = 0u64;
-        let mut now = 0u64;
+        let mut now = DramCycle::ZERO;
         for i in 0..3_000u64 {
             let thread = ThreadId((i % 4) as u32);
             let addr = PhysAddr((i * 64).wrapping_mul(2654435761) % (1 << 30));
@@ -81,7 +81,7 @@ fn memory_system_conserves_requests() {
             } else {
                 AccessKind::Read
             };
-            if mem.try_enqueue(thread, kind_a, addr, now * 10, 0).is_some() {
+            if mem.try_enqueue(thread, kind_a, addr, ClockRatio::PAPER.dram_to_cpu(now), 0).is_some() {
                 accepted += 1;
             }
             mem.tick(now);
@@ -180,7 +180,7 @@ fn chaos_policy_cannot_break_the_controller() {
         mem.enable_timing_checker();
         let mut accepted = 0u64;
         let mut completed = 0u64;
-        let mut now = 0u64;
+        let mut now = DramCycle::ZERO;
         for i in 0..4_000u64 {
             let addr = PhysAddr((i.wrapping_mul(2654435761 + seed) * 64) % (1 << 31));
             let kind = if i % 4 == 0 {
@@ -189,7 +189,7 @@ fn chaos_policy_cannot_break_the_controller() {
                 AccessKind::Read
             };
             if mem
-                .try_enqueue(ThreadId((i % 4) as u32), kind, addr, now * 10, 0)
+                .try_enqueue(ThreadId((i % 4) as u32), kind, addr, ClockRatio::PAPER.dram_to_cpu(now), 0)
                 .is_some()
             {
                 accepted += 1;

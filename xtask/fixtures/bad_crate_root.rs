@@ -1,0 +1,3 @@
+//! Fixture: a crate root missing both required lint attributes.
+
+pub fn f() {}

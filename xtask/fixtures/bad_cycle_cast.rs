@@ -1,0 +1,9 @@
+//! Fixture: a banned cycle-domain `as` cast.
+
+fn bad(x: u64) -> DramCycle {
+    x as DramCycle
+}
+
+fn also_bad(x: u64) -> u64 {
+    (x as CpuDelta).get()
+}

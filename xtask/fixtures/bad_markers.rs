@@ -1,0 +1,8 @@
+//! Fixture: debug and placeholder markers.
+
+fn noisy(x: u32) -> u32 {
+    // TODO: remove this before shipping
+    dbg!(x)
+}
+
+// FIXME: this comment is also banned

@@ -1,0 +1,3 @@
+// A plain comment is not a module doc.
+
+pub fn undocumented_module() {}

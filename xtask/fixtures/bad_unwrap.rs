@@ -1,0 +1,19 @@
+//! Fixture: `unwrap`/`expect` outside test code.
+
+fn maybe() -> Option<u32> {
+    Some(1)
+}
+
+fn bad() -> u32 {
+    let a = maybe().unwrap();
+    let b = maybe().expect("boom");
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::maybe().unwrap(), 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: a fully clean crate root — zero findings expected.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Adds one, carefully.
+pub fn add_one(x: u64) -> u64 {
+    x + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn works() {
+        let v: Option<u64> = Some(super::add_one(1));
+        assert_eq!(v.unwrap(), 2);
+    }
+}
