@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use stfm_cpu::{Cache, Core, TraceSource};
-use stfm_dram::{BankId, Channel, DramCommand, DramConfig, PhysAddr};
+use stfm_dram::{BankId, Channel, CpuCycle, DramCommand, DramConfig, DramCycle, PhysAddr};
 use stfm_mc::{AccessKind, MemorySystem, ThreadId};
 use stfm_sim::{SchedulerKind, System};
 use stfm_workloads::{spec, SyntheticTrace};
@@ -39,7 +39,7 @@ fn bench_dram_tick() {
     bench("dram_channel_activate_read_precharge", 20, 2_000, || {
         let mut ch = Channel::new(&cfg);
         let t = cfg.timing;
-        let mut now = 0;
+        let mut now = DramCycle::ZERO;
         for i in 0..64u32 {
             let bank = BankId(i % 8);
             ch.issue(&DramCommand::activate(bank, i), now);
@@ -89,12 +89,12 @@ fn bench_scheduler_decision() {
                         ThreadId((i % 4) as u32),
                         AccessKind::Read,
                         PhysAddr((i * 64) ^ ((i % 13) << 20)),
-                        0,
+                        CpuCycle::ZERO,
                         0,
                     );
                 }
-                for now in 0..32 {
-                    mem.tick(now);
+                for now in 0..32u64 {
+                    mem.tick(DramCycle::new(now));
                 }
                 mem.outstanding()
             },

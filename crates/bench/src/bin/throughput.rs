@@ -1,0 +1,144 @@
+//! Simulator throughput benchmark: wall-clock speed of the cycle-accurate
+//! core, measured as simulated-DRAM-cycles/sec and serviced-requests/sec
+//! for a fixed-seed 4-thread mix under all five schedulers.
+//!
+//! Writes `BENCH_<date>.json` in the current directory (via
+//! [`stfm_bench::report::throughput_json`]). To produce the before/after
+//! artifact documented in EXPERIMENTS.md, run this binary at the base
+//! commit and at HEAD with identical arguments and combine the `"results"`
+//! sections as `"before"` / `"after"`.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use stfm_bench::report::{throughput_json, ThroughputRun};
+use stfm_bench::Args;
+use stfm_sim::{AloneCache, Experiment, SchedulerKind};
+use stfm_telemetry::{Event, Sink};
+use stfm_workloads::{spec, Profile};
+
+/// Counts serviced requests without retaining events (sinks only observe,
+/// so attaching one never changes simulated results).
+#[derive(Default)]
+struct CountingSink {
+    serviced: u64,
+}
+
+impl Sink for CountingSink {
+    fn record(&mut self, event: &Event) {
+        if matches!(event, Event::RequestServiced { .. }) {
+            self.serviced += 1;
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn mix() -> Vec<Profile> {
+    vec![
+        spec::mcf(),
+        spec::libquantum(),
+        spec::omnetpp(),
+        spec::gems_fdtd(),
+    ]
+}
+
+/// `YYYY-MM-DD` from the system clock (civil-from-days, Howard Hinnant's
+/// algorithm) — the workspace has no date dependency.
+fn today() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    let args = Args::parse(20_000);
+    let profiles = mix();
+    let cache = AloneCache::new();
+
+    // Warm the alone-baseline cache so the timed runs measure only the
+    // shared (multiprogrammed) simulation — the hot path this benchmark
+    // exists to track.
+    let _ = Experiment::new(profiles.clone())
+        .scheduler(SchedulerKind::FrFcfs)
+        .instructions_per_thread(args.insts)
+        .seed(args.seed)
+        .run_with_cache(&cache);
+
+    let mut runs: Vec<ThroughputRun> = Vec::new();
+    for kind in SchedulerKind::all() {
+        let e = Experiment::new(profiles.clone())
+            .scheduler(kind)
+            .instructions_per_thread(args.insts)
+            .seed(args.seed);
+        let start = Instant::now();
+        let mut traced = e.run_traced(&cache, Box::new(CountingSink::default()));
+        let wall_s = start.elapsed().as_secs_f64();
+        let serviced = traced
+            .sink
+            .as_any_mut()
+            .downcast_mut::<CountingSink>()
+            .map(|c| c.serviced)
+            .unwrap_or(0);
+        runs.push(ThroughputRun {
+            scheduler: kind.name().to_string(),
+            wall_s,
+            dram_cycles: traced.final_dram_cycle,
+            requests: serviced,
+        });
+    }
+
+    let total_wall: f64 = runs.iter().map(|r| r.wall_s).sum();
+    let total_cycles: u64 = runs.iter().map(|r| r.dram_cycles).sum();
+    let total_reqs: u64 = runs.iter().map(|r| r.requests).sum();
+    runs.push(ThroughputRun {
+        scheduler: "TOTAL".to_string(),
+        wall_s: total_wall,
+        dram_cycles: total_cycles,
+        requests: total_reqs,
+    });
+
+    println!(
+        "== Simulator throughput ({} insts/thread, seed {}) ==\n",
+        args.insts, args.seed
+    );
+    println!(
+        "{:<12} {:>9} {:>14} {:>10} {:>16} {:>12}",
+        "scheduler", "wall (s)", "DRAM cycles", "requests", "cycles/sec", "reqs/sec"
+    );
+    for r in &runs {
+        println!(
+            "{:<12} {:>9.3} {:>14} {:>10} {:>16.0} {:>12.0}",
+            r.scheduler,
+            r.wall_s,
+            r.dram_cycles,
+            r.requests,
+            r.dram_cycles_per_sec(),
+            r.requests_per_sec()
+        );
+    }
+
+    let date = today();
+    let config = format!(
+        "4-thread mix (mcf, libquantum, omnetpp, gems_fdtd), {} insts/thread, seed {}",
+        args.insts, args.seed
+    );
+    let json = throughput_json(&date, &config, &[("results", &runs)]);
+    let path = format!("BENCH_{date}.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}

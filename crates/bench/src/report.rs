@@ -1,6 +1,8 @@
 //! Report helpers: the recurring "slowdowns + unfairness + throughput"
-//! layout of the paper's case-study figures, and averaged sweeps.
+//! layout of the paper's case-study figures, averaged sweeps, and the
+//! `BENCH_<date>.json` simulator-throughput artifact.
 
+use std::fmt::Write as _;
 use stfm_sim::{gmean, AloneCache, Experiment, SchedulerKind, Table, WorkloadMetrics};
 use stfm_workloads::Profile;
 
@@ -98,6 +100,75 @@ pub fn averaged_sweep(
         });
     }
     averages
+}
+
+/// One timed simulation run of the throughput benchmark
+/// (`src/bin/throughput.rs`).
+#[derive(Debug, Clone)]
+pub struct ThroughputRun {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Wall-clock seconds of the shared (multiprogrammed) run.
+    pub wall_s: f64,
+    /// Simulated DRAM cycles of the shared run.
+    pub dram_cycles: u64,
+    /// Memory requests serviced during the shared run.
+    pub requests: u64,
+}
+
+impl ThroughputRun {
+    /// Simulated DRAM cycles per wall-clock second.
+    pub fn dram_cycles_per_sec(&self) -> f64 {
+        self.dram_cycles as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Serviced requests per wall-clock second.
+    pub fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// Renders the `BENCH_<date>.json` artifact: machine-readable throughput
+/// sections (e.g. `"before"` / `"after"`), each a list of per-scheduler
+/// [`ThroughputRun`]s. Hand-rolled JSON, like the telemetry serializers —
+/// the workspace carries no serde dependency.
+pub fn throughput_json(date: &str, config: &str, sections: &[(&str, &[ThroughputRun])]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"date\": \"{}\",", escape(date));
+    let _ = writeln!(s, "  \"config\": \"{}\",", escape(config));
+    for (si, (label, runs)) in sections.iter().enumerate() {
+        let _ = writeln!(s, "  \"{}\": [", escape(label));
+        for (i, r) in runs.iter().enumerate() {
+            let comma = if i + 1 == runs.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"scheduler\": \"{}\", \"wall_s\": {:.4}, \"dram_cycles\": {}, \
+                 \"requests\": {}, \"dram_cycles_per_sec\": {:.0}, \"requests_per_sec\": {:.0}}}{comma}",
+                escape(&r.scheduler),
+                r.wall_s,
+                r.dram_cycles,
+                r.requests,
+                r.dram_cycles_per_sec(),
+                r.requests_per_sec(),
+            );
+        }
+        let comma = if si + 1 == sections.len() { "" } else { "," };
+        let _ = writeln!(s, "  ]{comma}");
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Prints [`averaged_sweep`] output in the paper's bar-chart layout.

@@ -116,6 +116,25 @@ pub struct StfmConfig {
     pub tshared_headroom: bool,
 }
 
+/// Per-thread accumulator for [`Stfm::recompute_parallelism`], kept in a
+/// reusable vector (threads are few, so a linear scan beats rebuilding
+/// hash maps every DRAM cycle).
+#[derive(Debug, Clone, Copy)]
+struct ParScratch {
+    thread: ThreadId,
+    /// Bitmask of (channel, bank) slots with a waiting read.
+    waiting: u64,
+    /// Bitmask of (channel, bank) slots this thread is accessing.
+    accessing: u64,
+    /// Number of waiting reads across all banks.
+    depth: u32,
+    /// Age of the oldest waiting read, in CPU cycles.
+    oldest: u64,
+    /// Channels where the thread has a column-ready (row-hit) waiting
+    /// read (time-sampled estimator only).
+    column_ready: u64,
+}
+
 /// Signal selecting which victims count as "slack" for charge damping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DampingKey {
@@ -181,6 +200,10 @@ pub struct Stfm {
     /// Data-bus occupancy per channel: (owning thread, busy-until DRAM
     /// cycle), maintained from issued column commands (time-sampled mode).
     bus_owner: HashMap<u32, (ThreadId, DramCycle)>,
+    /// Reusable per-cycle scratch for `recompute_parallelism`.
+    par_scratch: Vec<ParScratch>,
+    /// Reusable per-cycle thread-dedup scratch for `decide_mode`.
+    mode_scratch: Vec<ThreadId>,
 }
 
 impl Stfm {
@@ -203,6 +226,8 @@ impl Stfm {
             last_reset_cpu: CpuCycle::ZERO,
             charge_totals: [0; 3],
             bus_owner: HashMap::new(),
+            par_scratch: Vec::new(),
+            mode_scratch: Vec::new(),
         }
     }
 
@@ -277,69 +302,91 @@ impl Stfm {
         (boosted / u64::from(parallelism.max(1))) as i64
     }
 
+    /// The scratch accumulator for `thread`, appended on first touch.
+    fn scratch_entry(scratch: &mut Vec<ParScratch>, thread: ThreadId) -> &mut ParScratch {
+        let i = match scratch.iter().position(|e| e.thread == thread) {
+            Some(i) => i,
+            None => {
+                scratch.push(ParScratch {
+                    thread,
+                    waiting: 0,
+                    accessing: 0,
+                    depth: 0,
+                    oldest: 0,
+                    column_ready: 0,
+                });
+                scratch.len() - 1
+            }
+        };
+        &mut scratch[i]
+    }
+
     /// Recomputes `BankWaitingParallelism` / `BankAccessParallelism` from
     /// the request buffers (the paper's per-DRAM-cycle register updates)
     /// and, in time-sampled mode, accrues this cycle's interference.
+    ///
+    /// Hot path: runs every DRAM cycle, so the per-thread accumulators
+    /// live in a reused vector keyed by (channel, bank) bitmasks — bank
+    /// counts are ≤ 16 and channels ≤ 4, so a u64 mask per thread
+    /// suffices — instead of per-cycle hash maps.
     fn recompute_parallelism(&mut self, sys: &SystemView<'_>) {
-        // (thread → bitmask of (channel, bank) pairs). Bank counts are ≤ 16
-        // and channels ≤ 4, so a u64 mask per thread suffices.
-        let mut waiting: HashMap<ThreadId, u64> = HashMap::new();
-        let mut accessing: HashMap<ThreadId, u64> = HashMap::new();
-        let mut depths: HashMap<ThreadId, u32> = HashMap::new();
-        let mut oldest: HashMap<ThreadId, u64> = HashMap::new();
+        let mut scratch = std::mem::take(&mut self.par_scratch);
+        scratch.clear();
+        let time_sampled = self.config.estimator == EstimatorKind::TimeSampled;
         let now_cpu = ClockRatio::PAPER.dram_to_cpu(sys.now);
-        // Bank occupancy: (channel, bank) slot index → occupying thread.
-        let mut occupant: HashMap<u32, ThreadId> = HashMap::new();
-        // Threads with a column-ready (row-hit) waiting read, per channel.
-        let mut column_ready: HashMap<(ThreadId, u32), bool> = HashMap::new();
-        for q in &sys.channels {
+        // Bank occupancy: (channel, bank) slot index → occupying thread
+        // (only consumed by the time-sampled estimator).
+        let mut occupant = [None::<ThreadId>; 64];
+        for q in sys.channels() {
             let base = q.channel_id.0 * 16;
             for r in q.requests {
                 let slot = base + r.loc.bank.0;
-                if r.in_bank_service(sys.now) {
-                    occupant.insert(slot, r.thread);
+                let in_service = r.in_bank_service(sys.now);
+                if in_service && time_sampled {
+                    occupant[slot as usize] = Some(r.thread);
                 }
                 // Writebacks never block commit, so they do not count into
                 // the stall-side bookkeeping below.
                 if r.kind != stfm_mc::AccessKind::Read {
                     continue;
                 }
+                let waiting_now = r.is_waiting() && !r.started();
+                if !waiting_now && !in_service {
+                    continue;
+                }
                 let bit = 1u64 << slot;
-                if r.is_waiting() && !r.started() {
-                    *waiting.entry(r.thread).or_insert(0) |= bit;
-                    *depths.entry(r.thread).or_insert(0) += 1;
+                let e = Self::scratch_entry(&mut scratch, r.thread);
+                if waiting_now {
+                    e.waiting |= bit;
+                    e.depth += 1;
                     let age = now_cpu.saturating_since(r.arrival_cpu).get();
-                    let cur = oldest.entry(r.thread).or_insert(0);
-                    *cur = (*cur).max(age);
-                    if q.is_row_hit(r) {
-                        column_ready.insert((r.thread, q.channel_id.0), true);
+                    e.oldest = e.oldest.max(age);
+                    if time_sampled && q.is_row_hit(r) {
+                        e.column_ready |= 1u64 << q.channel_id.0;
                     }
                 }
-                if r.in_bank_service(sys.now) {
-                    *accessing.entry(r.thread).or_insert(0) |= bit;
+                if in_service {
+                    e.accessing |= bit;
                 }
             }
         }
         for (thread, regs) in self.regs.threads_mut() {
-            regs.bank_waiting_parallelism = waiting.get(&thread).copied().unwrap_or(0).count_ones();
-            regs.bank_access_parallelism =
-                accessing.get(&thread).copied().unwrap_or(0).count_ones();
-            regs.waiting_requests = depths.get(&thread).copied().unwrap_or(0);
-            regs.oldest_wait_cpu = oldest.get(&thread).copied().unwrap_or(0);
+            let e = scratch.iter().find(|e| e.thread == thread);
+            regs.bank_waiting_parallelism = e.map_or(0, |e| e.waiting.count_ones());
+            regs.bank_access_parallelism = e.map_or(0, |e| e.accessing.count_ones());
+            regs.waiting_requests = e.map_or(0, |e| e.depth);
+            regs.oldest_wait_cpu = e.map_or(0, |e| e.oldest);
         }
         // Threads appearing for the first time this cycle.
-        for (&thread, &mask) in &waiting {
-            let regs = self.regs.thread_mut(thread);
-            regs.bank_waiting_parallelism = mask.count_ones();
-        }
-        for (&thread, &mask) in &accessing {
-            let regs = self.regs.thread_mut(thread);
-            regs.bank_access_parallelism = mask.count_ones();
+        for e in &scratch {
+            let regs = self.regs.thread_mut(e.thread);
+            regs.bank_waiting_parallelism = e.waiting.count_ones();
+            regs.bank_access_parallelism = e.accessing.count_ones();
         }
 
         match self.config.estimator {
             EstimatorKind::TimeSampled => {
-                self.time_sampled_charge(sys, &waiting, &occupant, &column_ready);
+                self.time_sampled_charge(sys, &scratch, &occupant);
             }
             EstimatorKind::PerCommandPaced => {
                 // Drain pending charges into Tinterference at wall-clock
@@ -348,8 +395,8 @@ impl Stfm {
                 // haunt the estimate long after the wait ended.
                 let cycle_cpu = CPU_CYCLES_PER_DRAM_CYCLE as i64;
                 let cap = self.config.pending_cap;
-                for &thread in waiting.keys() {
-                    let regs = self.regs.thread_mut(thread);
+                for e in scratch.iter().filter(|e| e.waiting != 0) {
+                    let regs = self.regs.thread_mut(e.thread);
                     if regs.pending_interference > 0 {
                         // Attributed interference can outgrow observed
                         // stall when a thread waits constantly but overlaps
@@ -373,6 +420,7 @@ impl Stfm {
             }
             EstimatorKind::PerCommand => {}
         }
+        self.par_scratch = scratch;
     }
 
     /// Time-sampled interference accrual: one cycle (scaled by the
@@ -381,19 +429,19 @@ impl Stfm {
     fn time_sampled_charge(
         &mut self,
         sys: &SystemView<'_>,
-        waiting: &HashMap<ThreadId, u64>,
-        occupant: &HashMap<u32, ThreadId>,
-        column_ready: &HashMap<(ThreadId, u32), bool>,
+        scratch: &[ParScratch],
+        occupant: &[Option<ThreadId>; 64],
     ) {
         let cycle_cpu = CPU_CYCLES_PER_DRAM_CYCLE as i64;
-        for (&thread, &mask) in waiting {
+        for e in scratch.iter().filter(|e| e.waiting != 0) {
+            let thread = e.thread;
             let mut delayed = false;
             // Blocked behind a foreign bank occupant?
-            let mut m = mask;
+            let mut m = e.waiting;
             while m != 0 {
                 let slot = m.trailing_zeros();
                 m &= m - 1;
-                if let Some(&owner) = occupant.get(&slot) {
+                if let Some(owner) = occupant[slot as usize] {
                     if owner != thread {
                         delayed = true;
                         break;
@@ -402,9 +450,9 @@ impl Stfm {
             }
             // Or column-ready but the data bus carries a foreign burst?
             if !delayed {
-                for q in &sys.channels {
+                for q in sys.channels() {
                     let ch = q.channel_id.0;
-                    if column_ready.get(&(thread, ch)).copied().unwrap_or(false) {
+                    if e.column_ready & (1u64 << ch) != 0 {
                         if let Some(&(owner, until)) = self.bus_owner.get(&ch) {
                             if owner != thread && sys.now < until {
                                 delayed = true;
@@ -425,14 +473,21 @@ impl Stfm {
 
     /// Determines the scheduling mode for this cycle (paper Section 3.2.1
     /// steps 1, 2a, 2b) over threads with at least one buffered request.
+    ///
+    /// Hot path: the slowdown estimate is per thread, so it is computed
+    /// once per distinct thread (first-appearance order, preserving the
+    /// original per-request tie handling) rather than per request.
     fn decide_mode(&mut self, sys: &SystemView<'_>) {
         let mut smax: Option<(ThreadId, Fx8)> = None;
         let mut smin: Option<Fx8> = None;
-        for q in &sys.channels {
+        let mut seen = std::mem::take(&mut self.mode_scratch);
+        seen.clear();
+        for q in sys.channels() {
             for r in q.requests {
-                if !r.is_waiting() {
+                if !r.is_waiting() || seen.contains(&r.thread) {
                     continue;
                 }
+                seen.push(r.thread);
                 let weight = self.weight(r.thread);
                 let regs = self.regs.thread_mut(r.thread);
                 let s = if regs.tshared() < TSHARED_NOISE_FLOOR {
@@ -456,6 +511,7 @@ impl Stfm {
                 }
             }
         }
+        self.mode_scratch = seen;
         match (smax, smin) {
             (Some((tmax, hi)), Some(lo)) => {
                 self.unfairness = hi.saturating_div(lo.max(Fx8::from_raw(1)));
@@ -624,9 +680,8 @@ impl Stfm {
         if let CommandKind::Read { row, .. } | CommandKind::Write { row, .. } = cmd.kind {
             let actual = req.category.unwrap_or(AccessCategory::Hit);
             let alone = self.alone_category(req);
-            let extra_dram =
-                actual.bank_latency(&self.timing).get() as i64
-                    - alone.bank_latency(&self.timing).get() as i64;
+            let extra_dram = actual.bank_latency(&self.timing).get() as i64
+                - alone.bank_latency(&self.timing).get() as i64;
             if extra_dram != 0 {
                 let regs = self.regs.thread_mut(req.thread);
                 let bap = if self.config.use_parallelism {
@@ -692,6 +747,75 @@ impl SchedulerPolicy for Stfm {
         self.decide_mode(sys);
     }
 
+    fn fast_forward(&mut self, sys: &SystemView<'_>, cycles: u64) -> bool {
+        match self.config.estimator {
+            // Per-cycle sampling compares the advancing clock against the
+            // data-bus owner; its charges cannot be replicated without
+            // stepping, so veto the skip.
+            EstimatorKind::TimeSampled => false,
+            // No per-cycle persistent state: interval resets are fenced by
+            // `next_event_hint`, and everything else `on_dram_cycle`
+            // touches is derived state the next real call recomputes from
+            // scratch before any ranking or sampling reads it.
+            EstimatorKind::PerCommand => true,
+            // Replicate the per-cycle pending-interference drain. The
+            // drain set — threads with a waiting, not-yet-started read —
+            // is frozen with the buffers, and each thread's step reads
+            // only its own registers, so a per-thread loop of the exact
+            // stepped update is bit-identical to interleaved stepping.
+            EstimatorKind::PerCommandPaced => {
+                let mut waiting: Vec<ThreadId> = Vec::new();
+                for q in sys.channels() {
+                    for r in q.requests {
+                        if r.kind == stfm_mc::AccessKind::Read
+                            && r.is_waiting()
+                            && !r.started()
+                            && !waiting.contains(&r.thread)
+                        {
+                            waiting.push(r.thread);
+                        }
+                    }
+                }
+                let cycle_cpu = CPU_CYCLES_PER_DRAM_CYCLE as i64;
+                let cap = self.config.pending_cap;
+                let headroom_on = self.config.tshared_headroom;
+                for thread in waiting {
+                    let regs = self.regs.thread_mut(thread);
+                    for _ in 0..cycles {
+                        let before = (regs.tinterference, regs.pending_interference);
+                        if regs.pending_interference > 0 {
+                            let take = if headroom_on {
+                                let ceiling = (regs.tshared() - regs.tshared() / 16) as i64;
+                                let headroom = (ceiling - regs.tinterference).max(0);
+                                regs.pending_interference.min(cycle_cpu).min(headroom)
+                            } else {
+                                regs.pending_interference.min(cycle_cpu)
+                            };
+                            regs.tinterference += take;
+                            regs.pending_interference -= take;
+                        }
+                        regs.pending_interference = regs.pending_interference.min(cap);
+                        // Fixed point: no charges arrive mid-span, so an
+                        // unchanged cycle means all remaining ones match.
+                        if (regs.tinterference, regs.pending_interference) == before {
+                            break;
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn next_event_hint(&self, _now: DramCycle) -> Option<DramCycle> {
+        // The next interval-reset boundary: the first DRAM cycle whose CPU
+        // time reaches `last_reset + interval_length`. Fast-forwards never
+        // cross it, so `maybe_reset_interval` is a no-op on every skipped
+        // cycle and fires exactly on schedule at the resume tick.
+        let due_cpu = self.last_reset_cpu.get() + self.config.interval_length;
+        Some(DramCycle::new(due_cpu.div_ceil(CPU_CYCLES_PER_DRAM_CYCLE)))
+    }
+
     fn on_enqueue(&mut self, req: &Request, tshared: u64) {
         // The core communicates its cumulative stall counter with every
         // request (Section 5.1). Counters are monotonic; outdated values
@@ -702,7 +826,9 @@ impl SchedulerPolicy for Stfm {
         // clock the thread spent memory-stalled since its last request.
         let d_cpu = req.arrival_cpu.saturating_since(regs.last_sample_cpu);
         if d_cpu > 0 {
-            let d_stall = tshared.saturating_sub(regs.last_sample_tshared).min(d_cpu.get());
+            let d_stall = tshared
+                .saturating_sub(regs.last_sample_tshared)
+                .min(d_cpu.get());
             let inst_rate = Fx8::from_ratio(d_stall, d_cpu.get()).min(Fx8::ONE);
             // rate ← (3·rate + sample) / 4.
             let blended = (u64::from(regs.stall_rate.raw()) * 3 + u64::from(inst_rate.raw())) / 4;
@@ -785,10 +911,7 @@ mod tests {
     }
 
     fn sys_view<'a>(q: SchedQuery<'a>) -> SystemView<'a> {
-        SystemView {
-            now: q.now,
-            channels: vec![q],
-        }
+        SystemView::single(q)
     }
 
     #[test]
@@ -1000,10 +1123,7 @@ mod estimator_config_tests {
         p.on_enqueue(&culprit, 0);
         let requests = [victim.clone(), culprit.clone()];
         let q = harness::query(&channel, &requests);
-        p.on_dram_cycle(&SystemView {
-            now: q.now,
-            channels: vec![q],
-        });
+        p.on_dram_cycle(&SystemView::single(q));
         let mut served = culprit.clone();
         served.category = Some(AccessCategory::Hit);
         let q = harness::query(&channel, &requests);
@@ -1053,10 +1173,7 @@ mod estimator_config_tests {
             p.on_enqueue(&culprit, 0);
             let requests = [victim.clone(), culprit.clone()];
             let q = harness::query(&channel, &requests);
-            p.on_dram_cycle(&SystemView {
-                now: q.now,
-                channels: vec![q],
-            });
+            p.on_dram_cycle(&SystemView::single(q));
             let mut served = culprit.clone();
             served.category = Some(AccessCategory::Hit);
             let q = harness::query(&channel, &requests);
@@ -1091,10 +1208,7 @@ mod estimator_config_tests {
             let q = harness::query(&channel, &requests);
             p.on_command(&DramCommand::read(served.loc.bank, 5, 0), &served, &q);
             let q = harness::query(&channel, &requests);
-            p.on_dram_cycle(&SystemView {
-                now: q.now,
-                channels: vec![q],
-            });
+            p.on_dram_cycle(&SystemView::single(q));
         }
         let regs = p.registers().thread(ThreadId(1)).unwrap();
         assert!(

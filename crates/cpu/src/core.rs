@@ -251,6 +251,82 @@ impl Core {
         self.dram_done.push(Reverse((c.finish_cpu, c.id)));
     }
 
+    /// Inertness probe for the dead-cycle fast-forward path.
+    ///
+    /// Returns `None` when the core is *active*: the next [`Core::step`]
+    /// may change architectural state (commit, fetch, or send a request),
+    /// so it must execute for real. Returns `Some(w)` when the core is
+    /// provably inert: every cycle strictly before `w` only advances the
+    /// clock and the memory-stall counter, both of which
+    /// [`Core::fast_forward`] replicates exactly. `w` is the earliest
+    /// queued completion-delivery time ([`CpuCycle::MAX`] when the core
+    /// waits on a DRAM fill that has not completed yet).
+    ///
+    /// Inert means, mirroring [`Core::step`] stage by stage: no unsent
+    /// fill or writeback retries; commit blocked (empty window or an
+    /// incomplete memory op at the head); and fetch blocked (window full,
+    /// a dependence chain on an outstanding miss, or an MSHR-full stall —
+    /// the latter re-checked here with the same non-mutating probes
+    /// `step` uses).
+    pub fn next_wake(&self) -> Option<CpuCycle> {
+        if self.mshrs.has_unsent() || !self.pending_writebacks.is_empty() {
+            return None;
+        }
+        match self.window.front() {
+            None => {}
+            Some(Entry::Mem(e)) if !e.done => {}
+            Some(_) => return None, // bubbles or a done op would commit
+        }
+        if self.window_count < self.cfg.window {
+            let Some(op) = &self.cur_op else {
+                return None; // would pull a fresh trace record
+            };
+            if op.bubbles > 0 {
+                return None; // would insert bubbles into the window
+            }
+            let dep_blocked = op.dependent && !self.last_dram_done;
+            let mshr_blocked = || {
+                let line = op.addr.line_aligned(self.cfg.line_bytes);
+                !self.l1.probe(op.addr)
+                    && !self.l2.probe(op.addr)
+                    && self.mshrs.is_full()
+                    && !self.mshrs.would_merge(line)
+            };
+            if !dep_blocked && !mshr_blocked() {
+                return None;
+            }
+        }
+        let local = self.local_done.peek().map(|Reverse((t, _))| *t);
+        let dram = self.dram_done.peek().map(|Reverse((t, _))| *t);
+        Some(match (local, dram) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => CpuCycle::MAX,
+        })
+    }
+
+    /// Replicates `cycles` consecutive [`Core::step`] calls across an
+    /// inert span. The caller must have established via
+    /// [`Core::next_wake`] that the core is inert and that every skipped
+    /// cycle lies strictly before the wake time. Only the per-cycle
+    /// residue is performed: the clock, the cycle counter, and the
+    /// paper's memory-stall accounting (the head-of-window condition is
+    /// frozen across the span, so it either charges every cycle or none).
+    pub fn fast_forward(&mut self, cycles: u64) {
+        debug_assert!(
+            self.next_wake().is_some_and(|w| self.now + cycles < w),
+            "fast-forwarding an active core or across its wake time"
+        );
+        self.now += cycles;
+        self.stats.cycles += cycles;
+        if let Some(Entry::Mem(e)) = self.window.front() {
+            if !e.done && e.dram && e.kind == MemOpKind::Load {
+                self.stats.mem_stall_cycles += cycles;
+            }
+        }
+    }
+
     /// Executes one CPU cycle against the shared memory system.
     pub fn step(&mut self, mem: &mut MemorySystem) {
         self.now += 1;
@@ -275,19 +351,22 @@ impl Core {
         }
 
         // 2. Retry sends that hit back-pressure: fills first, then
-        //    writebacks.
-        for line in self.mshrs.unsent() {
-            if let Some(id) = mem.try_enqueue(
-                self.thread,
-                AccessKind::Read,
-                line,
-                now,
-                self.stats.mem_stall_cycles,
-            ) {
-                self.mshrs.mark_sent(line);
-                self.inflight.insert(id, line);
-            } else {
-                break;
+        //    writebacks. Guarded: `unsent()` collects into a Vec, which
+        //    the common no-retry cycle must not pay for.
+        if self.mshrs.has_unsent() {
+            for line in self.mshrs.unsent() {
+                if let Some(id) = mem.try_enqueue(
+                    self.thread,
+                    AccessKind::Read,
+                    line,
+                    now,
+                    self.stats.mem_stall_cycles,
+                ) {
+                    self.mshrs.mark_sent(line);
+                    self.inflight.insert(id, line);
+                } else {
+                    break;
+                }
             }
         }
         while let Some(&wb) = self.pending_writebacks.front() {
@@ -572,8 +651,8 @@ impl std::fmt::Debug for Core {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stfm_dram::ClockRatio;
     use crate::trace::VecTrace;
+    use stfm_dram::ClockRatio;
     use stfm_dram::DramConfig;
     use stfm_mc::FrFcfs;
 
@@ -700,8 +779,8 @@ mod tests {
 #[cfg(test)]
 mod dependence_tests {
     use super::*;
-    use stfm_dram::ClockRatio;
     use crate::trace::VecTrace;
+    use stfm_dram::ClockRatio;
     use stfm_dram::DramConfig;
     use stfm_mc::FrFcfs;
 
@@ -752,8 +831,8 @@ mod dependence_tests {
 #[cfg(test)]
 mod prefetch_integration_tests {
     use super::*;
-    use stfm_dram::ClockRatio;
     use crate::trace::VecTrace;
+    use stfm_dram::ClockRatio;
     use stfm_dram::DramConfig;
     use stfm_mc::FrFcfs;
 

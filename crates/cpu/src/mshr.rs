@@ -53,6 +53,9 @@ pub struct MshrFile {
     capacity: usize,
     entries: HashMap<u64, Entry>,
     line_bytes: u32,
+    /// Entries with `sent == false`, maintained incrementally so the
+    /// per-cycle retry guard is O(1).
+    unsent_count: usize,
 }
 
 impl MshrFile {
@@ -62,6 +65,7 @@ impl MshrFile {
             capacity,
             entries: HashMap::with_capacity(capacity),
             line_bytes,
+            unsent_count: 0,
         }
     }
 
@@ -111,6 +115,7 @@ impl MshrFile {
                 prefetch: false,
             },
         );
+        self.unsent_count += 1;
         MshrAlloc::NewEntry
     }
 
@@ -129,14 +134,29 @@ impl MshrFile {
                 ..Entry::default()
             },
         );
+        self.unsent_count += 1;
         true
     }
 
     /// Marks the fill request for `addr` as accepted by the memory system.
     pub fn mark_sent(&mut self, addr: PhysAddr) {
         if let Some(e) = self.entries.get_mut(&self.key(addr)) {
-            e.sent = true;
+            if !e.sent {
+                e.sent = true;
+                self.unsent_count -= 1;
+            }
         }
+    }
+
+    /// True if any entry's fill request is still waiting to be accepted
+    /// (cheap emptiness probe; avoids the allocation of
+    /// [`MshrFile::unsent`]).
+    pub fn has_unsent(&self) -> bool {
+        debug_assert_eq!(
+            self.unsent_count,
+            self.entries.values().filter(|e| !e.sent).count()
+        );
+        self.unsent_count > 0
     }
 
     /// Line addresses whose fill request has not been accepted yet
@@ -156,10 +176,15 @@ impl MshrFile {
     /// Completes the fill of the line containing `addr`, returning the
     /// waiters to wake and the fill's provenance.
     pub fn complete(&mut self, addr: PhysAddr) -> Option<FillOutcome> {
-        self.entries.remove(&self.key(addr)).map(|e| FillOutcome {
-            waiters: e.waiters,
-            any_store: e.any_store,
-            prefetch: e.prefetch,
+        self.entries.remove(&self.key(addr)).map(|e| {
+            if !e.sent {
+                self.unsent_count -= 1;
+            }
+            FillOutcome {
+                waiters: e.waiters,
+                any_store: e.any_store,
+                prefetch: e.prefetch,
+            }
         })
     }
 }

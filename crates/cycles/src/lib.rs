@@ -447,7 +447,7 @@ impl ClockRatio {
     /// True when CPU instant `t` lands exactly on a DRAM clock edge.
     #[inline]
     pub const fn is_dram_edge(self, t: CpuCycle) -> bool {
-        t.0 % self.cpu_per_dram == 0
+        t.0.is_multiple_of(self.cpu_per_dram)
     }
 }
 

@@ -74,6 +74,25 @@ impl Bank {
         self.busy_until
     }
 
+    /// The earliest cycle at which `cmd` satisfies the *bank-local* timing
+    /// constraints, assuming the bank receives no other command first.
+    /// `None` when the row-buffer state precondition fails (e.g. a READ
+    /// whose row is not open) — then no amount of waiting helps; the bank
+    /// needs a different command first. Exact mirror of
+    /// [`Bank::can_issue`]: for `Some(at)`, `can_issue(cmd, c)` is false
+    /// for all `c < at` and true at `at` (state frozen).
+    pub fn earliest_issue(&self, cmd: &DramCommand) -> Option<DramCycle> {
+        match cmd.kind {
+            CommandKind::Activate { .. } => self.open_row.is_none().then_some(self.next_activate),
+            CommandKind::Precharge => self.open_row.is_some().then_some(self.next_precharge),
+            CommandKind::Read { row, .. } => (self.open_row == Some(row)).then_some(self.next_read),
+            CommandKind::Write { row, .. } => {
+                (self.open_row == Some(row)).then_some(self.next_write)
+            }
+            CommandKind::Refresh => self.open_row.is_none().then_some(self.next_activate),
+        }
+    }
+
     /// Checks bank-local timing constraints for `cmd` at cycle `now`.
     pub fn can_issue(&self, cmd: &DramCommand, now: DramCycle) -> bool {
         match cmd.kind {
@@ -279,8 +298,11 @@ mod auto_precharge_tests {
         let tp = TimingParams::ddr2_800();
         let mut b = Bank::new();
         b.issue(&DramCommand::activate(BankId(0), 5), DramCycle::ZERO, &tp);
-        let done =
-            b.issue_auto_precharge(&DramCommand::read(BankId(0), 5, 0), tp.t_rcd.after_zero(), &tp);
+        let done = b.issue_auto_precharge(
+            &DramCommand::read(BankId(0), 5, 0),
+            tp.t_rcd.after_zero(),
+            &tp,
+        );
         assert_eq!(done, (tp.t_rcd + tp.read_latency()).after_zero());
         assert_eq!(b.open_row(), None);
         // The row reopens only after the internal precharge completes:
@@ -296,7 +318,11 @@ mod auto_precharge_tests {
         let tp = TimingParams::ddr2_800();
         let mut b = Bank::new();
         b.issue(&DramCommand::activate(BankId(0), 5), DramCycle::ZERO, &tp);
-        b.issue_auto_precharge(&DramCommand::read(BankId(0), 5, 0), tp.t_rcd.after_zero(), &tp);
+        b.issue_auto_precharge(
+            &DramCommand::read(BankId(0), 5, 0),
+            tp.t_rcd.after_zero(),
+            &tp,
+        );
         assert!(!b.can_issue(&DramCommand::read(BankId(0), 5, 1), DramCycle::new(1000)));
     }
 }

@@ -90,8 +90,7 @@ impl Channel {
             recent_activates: [DramCycle::ZERO; FAW_WINDOW],
             refresh: RefreshState::new(config.refresh_enabled, config.timing.t_refi),
             #[cfg(feature = "debug-audit")]
-            audit: cfg!(debug_assertions)
-                .then(|| TimingChecker::new(config.banks, config.timing)),
+            audit: cfg!(debug_assertions).then(|| TimingChecker::new(config.banks, config.timing)),
             stats: ChannelStats::default(),
         }
     }
@@ -200,6 +199,66 @@ impl Channel {
             }
             CommandKind::Precharge | CommandKind::Refresh => true,
         }
+    }
+
+    /// The earliest cycle `at >= now` at which [`Channel::can_issue`]
+    /// would accept `cmd`, assuming the channel state is frozen until then
+    /// (no other command issues, no refresh starts). `None` when the bank's
+    /// row-buffer state precondition fails — waiting alone can never make
+    /// the command legal.
+    ///
+    /// This is an exact mirror of `can_issue`: every constraint there is of
+    /// the form `now >= threshold`, so the earliest legal cycle is the
+    /// maximum of the thresholds (cross-validated by a randomized test).
+    pub fn earliest_issue(&self, cmd: &DramCommand, now: DramCycle) -> Option<DramCycle> {
+        let bank = self.banks.get(cmd.bank.0 as usize)?;
+        let mut at = now.max(self.cmd_bus_free).max(bank.earliest_issue(cmd)?);
+        if let Some(end) = self.refresh.busy_end() {
+            at = at.max(end);
+        }
+        let t = &self.timing;
+        match cmd.kind {
+            CommandKind::Activate { .. } => {
+                at = at.max(self.next_activate_any).max(self.faw_earliest());
+            }
+            CommandKind::Read { .. } => {
+                at = at
+                    .max(self.next_read_issue)
+                    .max(self.data_bus_free.saturating_sub(t.t_cl));
+            }
+            CommandKind::Write { .. } => {
+                at = at
+                    .max(self.next_write_issue)
+                    .max(self.data_bus_free.saturating_sub(t.t_cwl));
+            }
+            CommandKind::Precharge | CommandKind::Refresh => {}
+        }
+        Some(at)
+    }
+
+    /// The cycle at which the next refresh-related state change happens,
+    /// given a frozen channel (no commands issue in between): the end of
+    /// the in-flight refresh, or the start cycle of the next one
+    /// (`max(next_due, drain completion)` — both monotone conditions).
+    /// `None` when refresh is disabled.
+    pub fn next_refresh_event(&self, now: DramCycle) -> Option<DramCycle> {
+        if !self.refresh.enabled() {
+            return None;
+        }
+        if let Some(end) = self.refresh.busy_end() {
+            if end > now {
+                return Some(end);
+            }
+        }
+        Some(self.refresh.next_due().max(self.earliest_drained()))
+    }
+
+    /// The earliest cycle at which the channel counts as drained (see
+    /// [`Channel::drained`]): data bus idle and every bank quiescent.
+    pub fn earliest_drained(&self) -> DramCycle {
+        self.banks
+            .iter()
+            .fold(self.data_bus_free, |acc, b| acc.max(b.busy_until()))
     }
 
     /// Earliest cycle at which a new ACTIVATE satisfies tFAW.
@@ -400,7 +459,10 @@ mod tests {
         // tRRD also applies; a PRECHARGE-class command only waits for the bus.
         let mut ch2 = Channel::new(&cfg);
         ch2.issue(&DramCommand::activate(BankId(0), 1), DramCycle::ZERO);
-        ch2.issue(&DramCommand::activate(BankId(1), 1), cfg.timing.t_rrd.after_zero());
+        ch2.issue(
+            &DramCommand::activate(BankId(1), 1),
+            cfg.timing.t_rrd.after_zero(),
+        );
         assert!(ch2.stats().activates == 2);
     }
 
@@ -538,6 +600,71 @@ mod randomized_tests {
                 "seed {seed}: {:?}",
                 checker.violations().first()
             );
+        }
+    }
+
+    /// [`Channel::earliest_issue`] must be the exact threshold of
+    /// [`Channel::can_issue`] under frozen state: `can_issue` is false
+    /// strictly before the returned cycle and true at it. All constraints
+    /// are monotone in `now`, so checking the boundary pair suffices.
+    #[test]
+    fn earliest_issue_is_the_exact_can_issue_threshold() {
+        for seed in 0..64u64 {
+            let mut rng = SmallRng::seed_from_u64(0xEA57_0000 ^ seed);
+            let cfg = DramConfig {
+                refresh_enabled: seed % 2 == 0,
+                ..DramConfig::ddr2_800()
+            };
+            let mut ch = Channel::new(&cfg);
+            let mut now = DramCycle::ZERO;
+            for _ in 0..200 {
+                now += rng.random_range(1u64..6);
+                ch.tick(now);
+                // Probe a spread of commands against the current state.
+                for k in 0..4u32 {
+                    let bank = BankId(rng.random_range(0u32..8));
+                    let row = rng.random_range(0u32..4);
+                    let cmd = match k {
+                        0 => DramCommand::activate(bank, row),
+                        1 => DramCommand::precharge(bank),
+                        2 => DramCommand::read(bank, row, 0),
+                        _ => DramCommand::write(bank, row, 0),
+                    };
+                    match ch.earliest_issue(&cmd, now) {
+                        None => {
+                            // Row-state precondition failed: waiting never
+                            // helps while the state is frozen.
+                            assert!(!ch.can_issue(&cmd, now), "seed {seed}: {cmd} at {now}");
+                            assert!(!ch.can_issue(&cmd, now + 100_000));
+                        }
+                        Some(at) => {
+                            assert!(at >= now);
+                            assert!(
+                                ch.can_issue(&cmd, at),
+                                "seed {seed}: {cmd} not ready at {at}"
+                            );
+                            if at > now {
+                                assert!(
+                                    !ch.can_issue(&cmd, at - 1),
+                                    "seed {seed}: {cmd} ready before {at}"
+                                );
+                            }
+                        }
+                    }
+                }
+                // Evolve the state with a random legal command, if any.
+                let bank = BankId(rng.random_range(0u32..8));
+                let row = rng.random_range(0u32..4);
+                let cmd = match ch.bank(bank).open_row() {
+                    None => DramCommand::activate(bank, row),
+                    Some(_) if rng.random_range(0u32..3) == 0 => DramCommand::precharge(bank),
+                    Some(r) if rng.random_range(0u32..2) == 0 => DramCommand::read(bank, r, 0),
+                    Some(r) => DramCommand::write(bank, r, 0),
+                };
+                if ch.can_issue(&cmd, now) {
+                    ch.issue(&cmd, now);
+                }
+            }
         }
     }
 }

@@ -351,7 +351,10 @@ mod tests {
         let t = TimingParams::ddr2_800();
         let mut c = checker();
         c.observe(&DramCommand::activate(BankId(0), 3), DramCycle::ZERO);
-        c.observe(&DramCommand::precharge(BankId(0)), (t.t_ras - 1).after_zero());
+        c.observe(
+            &DramCommand::precharge(BankId(0)),
+            (t.t_ras - 1).after_zero(),
+        );
         assert!(c.violations().iter().any(|v| v.constraint == "tRAS"));
     }
 
@@ -360,10 +363,16 @@ mod tests {
         let t = TimingParams::ddr2_800();
         let mut c = checker();
         for b in 0..4u32 {
-            c.observe(&DramCommand::activate(BankId(b), 1), (u64::from(b) * t.t_rrd).after_zero());
+            c.observe(
+                &DramCommand::activate(BankId(b), 1),
+                (u64::from(b) * t.t_rrd).after_zero(),
+            );
         }
         // Fifth ACT only 4·tRRD after the first: inside the tFAW window.
-        c.observe(&DramCommand::activate(BankId(4), 1), (4 * t.t_rrd).after_zero());
+        c.observe(
+            &DramCommand::activate(BankId(4), 1),
+            (4 * t.t_rrd).after_zero(),
+        );
         assert!(c.violations().iter().any(|v| v.constraint == "tFAW"));
     }
 

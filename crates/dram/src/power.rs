@@ -137,6 +137,16 @@ impl EnergyModel {
         self.cycles += 1;
     }
 
+    /// Advances `n` DRAM cycles with a constant row-buffer state: the
+    /// fast-forward path's replacement for `n` [`EnergyModel::tick`] calls.
+    /// Implemented as the literal loop so the floating-point accumulation
+    /// (and thus the booked energy) is bit-identical to stepping.
+    pub fn tick_n(&mut self, n: u64, any_open: bool) {
+        for _ in 0..n {
+            self.tick(any_open);
+        }
+    }
+
     /// The accumulated breakdown.
     pub fn breakdown(&self) -> &EnergyBreakdown {
         &self.breakdown

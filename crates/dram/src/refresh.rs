@@ -72,6 +72,25 @@ impl RefreshState {
     pub fn completed(&self) -> u64 {
         self.completed
     }
+
+    /// Whether periodic refresh is modeled at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Cycle at which the next refresh becomes due.
+    #[inline]
+    pub fn next_due(&self) -> DramCycle {
+        self.next_due
+    }
+
+    /// End of the in-flight refresh, if one is underway (may already be in
+    /// the past if [`RefreshState::retire`] has not run since).
+    #[inline]
+    pub fn busy_end(&self) -> Option<DramCycle> {
+        self.busy_until
+    }
 }
 
 #[cfg(test)]

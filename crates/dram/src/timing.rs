@@ -50,21 +50,21 @@ impl TimingParams {
     /// Micron DDR2-800 (-25 speed grade) parameters, matching paper Table 2.
     pub const fn ddr2_800() -> Self {
         TimingParams {
-            t_cl: DramDelta::new(6),         // 15 ns
-            t_cwl: DramDelta::new(5),        // tCL − 1
-            t_rcd: DramDelta::new(6),        // 15 ns
-            t_rp: DramDelta::new(6),         // 15 ns
-            t_ras: DramDelta::new(18),       // 45 ns
-            t_rc: DramDelta::new(24),        // 60 ns
-            t_rrd: DramDelta::new(3),        // 7.5 ns
-            t_faw: DramDelta::new(18),       // 45 ns
-            t_wr: DramDelta::new(6),         // 15 ns
-            t_wtr: DramDelta::new(3),        // 7.5 ns
-            t_rtp: DramDelta::new(3),        // 7.5 ns
-            t_ccd: DramDelta::new(2),        // 5 ns
-            burst_length: 8, // BL/2 = 10 ns
-            t_rfc: DramDelta::new(51),       // 127.5 ns
-            t_refi: DramDelta::new(3120),    // 7.8 µs
+            t_cl: DramDelta::new(6),      // 15 ns
+            t_cwl: DramDelta::new(5),     // tCL − 1
+            t_rcd: DramDelta::new(6),     // 15 ns
+            t_rp: DramDelta::new(6),      // 15 ns
+            t_ras: DramDelta::new(18),    // 45 ns
+            t_rc: DramDelta::new(24),     // 60 ns
+            t_rrd: DramDelta::new(3),     // 7.5 ns
+            t_faw: DramDelta::new(18),    // 45 ns
+            t_wr: DramDelta::new(6),      // 15 ns
+            t_wtr: DramDelta::new(3),     // 7.5 ns
+            t_rtp: DramDelta::new(3),     // 7.5 ns
+            t_ccd: DramDelta::new(2),     // 5 ns
+            burst_length: 8,              // BL/2 = 10 ns
+            t_rfc: DramDelta::new(51),    // 127.5 ns
+            t_refi: DramDelta::new(3120), // 7.8 µs
         }
     }
 

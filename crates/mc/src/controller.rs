@@ -77,23 +77,133 @@ pub struct Completion {
     pub finish_cpu: CpuCycle,
 }
 
-/// Per-channel controller state: the device plus its request buffer.
+/// Per-channel controller state: the device plus its request buffer and
+/// the incrementally maintained indexes over it.
+///
+/// Index invariants (checked in debug builds by [`ChannelCtrl::audit`]):
+///
+/// * `bank_waiting[b]` holds the buffer indices of exactly the requests
+///   with [`Request::is_waiting`] targeting bank `b`, in ascending index
+///   (= arrival) order;
+/// * `queued_reads` / `queued_writes` count the buffered requests per
+///   [`AccessKind`] (the buffer never holds completed requests between
+///   ticks);
+/// * `waiting_reads` counts buffered reads still in the `Queued` state.
 #[derive(Debug)]
-struct ChannelCtrl {
-    channel: Channel,
-    requests: Vec<Request>,
+pub(crate) struct ChannelCtrl {
+    pub(crate) channel: Channel,
+    pub(crate) requests: Vec<Request>,
     drain_active: bool,
     checker: Option<TimingChecker>,
     energy: Option<EnergyModel>,
+    /// Per-bank waiting-request indices into `requests`, ascending.
+    bank_waiting: Vec<Vec<usize>>,
+    /// Buffered reads (any state).
+    queued_reads: usize,
+    /// Buffered writes (any state).
+    queued_writes: usize,
+    /// Buffered reads still waiting (no column command issued).
+    waiting_reads: usize,
+    /// Scratch for per-bank candidate ranks, reused across cycles so the
+    /// hot path never allocates.
+    rank_scratch: Vec<(usize, Rank)>,
 }
 
 impl ChannelCtrl {
     fn queued_count(&self, kind: AccessKind) -> usize {
-        self.requests
-            .iter()
-            .filter(|r| r.kind == kind && !r.is_completed())
-            .count()
+        match kind {
+            AccessKind::Read => self.queued_reads,
+            AccessKind::Write => self.queued_writes,
+        }
     }
+
+    pub(crate) fn query(&self, channel_id: ChannelId, now: DramCycle) -> SchedQuery<'_> {
+        SchedQuery {
+            channel_id,
+            now,
+            channel: &self.channel,
+            requests: &self.requests,
+            bank_waiting: Some(&self.bank_waiting),
+        }
+    }
+
+    /// Registers a freshly pushed request (must be the last buffer entry).
+    fn index_enqueue(&mut self) {
+        let idx = self.requests.len() - 1;
+        let r = &self.requests[idx];
+        debug_assert!(r.is_waiting());
+        self.bank_waiting[r.loc.bank.0 as usize].push(idx);
+        match r.kind {
+            AccessKind::Read => {
+                self.queued_reads += 1;
+                self.waiting_reads += 1;
+            }
+            AccessKind::Write => self.queued_writes += 1,
+        }
+    }
+
+    /// Removes `idx` from its bank's waiting list (the request left the
+    /// `Queued` state via a column command).
+    fn index_unwait(&mut self, idx: usize) {
+        let r = &self.requests[idx];
+        let list = &mut self.bank_waiting[r.loc.bank.0 as usize];
+        if let Ok(pos) = list.binary_search(&idx) {
+            list.remove(pos);
+        } else {
+            debug_assert!(false, "waiting index missing from bank list");
+        }
+        if r.kind == AccessKind::Read {
+            self.waiting_reads -= 1;
+        }
+    }
+
+    /// Rebuilds the per-bank waiting lists from scratch. Needed after
+    /// completed requests are removed from the buffer (positions shift);
+    /// completions are rare relative to cycles, so the O(buffer) cost is
+    /// amortized away.
+    fn rebuild_bank_lists(&mut self) {
+        for list in &mut self.bank_waiting {
+            list.clear();
+        }
+        for (i, r) in self.requests.iter().enumerate() {
+            if r.is_waiting() {
+                self.bank_waiting[r.loc.bank.0 as usize].push(i);
+            }
+        }
+    }
+
+    /// Debug-build check of all index invariants.
+    #[cfg(debug_assertions)]
+    fn audit(&self) {
+        let reads = self
+            .requests
+            .iter()
+            .filter(|r| r.kind == AccessKind::Read)
+            .count();
+        let writes = self.requests.len() - reads;
+        debug_assert_eq!(self.queued_reads, reads);
+        debug_assert_eq!(self.queued_writes, writes);
+        let waiting_reads = self
+            .requests
+            .iter()
+            .filter(|r| r.kind == AccessKind::Read && r.is_waiting())
+            .count();
+        debug_assert_eq!(self.waiting_reads, waiting_reads);
+        let mut seen = 0usize;
+        for (b, list) in self.bank_waiting.iter().enumerate() {
+            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "bank list unsorted");
+            for &i in list {
+                let r = &self.requests[i];
+                debug_assert!(r.is_waiting() && r.loc.bank.0 as usize == b);
+            }
+            seen += list.len();
+        }
+        let waiting = self.requests.iter().filter(|r| r.is_waiting()).count();
+        debug_assert_eq!(seen, waiting);
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn audit(&self) {}
 }
 
 /// The shared DRAM memory system: one controller per channel, driven by a
@@ -140,6 +250,11 @@ impl MemorySystem {
                 drain_active: false,
                 checker: None,
                 energy: None,
+                bank_waiting: (0..config.banks).map(|_| Vec::new()).collect(),
+                queued_reads: 0,
+                queued_writes: 0,
+                waiting_reads: 0,
+                rank_scratch: Vec::new(),
             })
             .collect();
         MemorySystem {
@@ -284,7 +399,13 @@ impl MemorySystem {
         let loc = self
             .mapping
             .decode(addr.line_aligned(self.config.line_bytes));
-        let ctrl = &self.channels[loc.channel.0 as usize];
+        self.can_accept_at(loc.channel, kind)
+    }
+
+    /// [`MemorySystem::can_accept`] for an already-decoded channel, so the
+    /// enqueue path decodes each address exactly once.
+    fn can_accept_at(&self, channel: ChannelId, kind: AccessKind) -> bool {
+        let ctrl = &self.channels[channel.0 as usize];
         let cap = match kind {
             AccessKind::Read => self.ctrl_config.read_capacity,
             AccessKind::Write => self.ctrl_config.write_capacity,
@@ -307,11 +428,11 @@ impl MemorySystem {
         now_cpu: CpuCycle,
         tshared: u64,
     ) -> Option<RequestId> {
-        if !self.can_accept(addr, kind) {
-            return None;
-        }
         let line = addr.line_aligned(self.config.line_bytes);
         let loc = self.mapping.decode(line);
+        if !self.can_accept_at(loc.channel, kind) {
+            return None;
+        }
         let id = RequestId(self.next_id);
         self.next_id += 1;
         let req = Request {
@@ -338,7 +459,9 @@ impl MemorySystem {
                 is_write: kind == AccessKind::Write,
             });
         }
-        self.channels[loc.channel.0 as usize].requests.push(req);
+        let ctrl = &mut self.channels[loc.channel.0 as usize];
+        ctrl.requests.push(req);
+        ctrl.index_enqueue();
         Some(id)
     }
 
@@ -378,23 +501,10 @@ impl MemorySystem {
             }
         }
 
-        // Global per-cycle policy hook (slowdown updates, etc.).
-        let view = SystemView {
-            now,
-            channels: self
-                .channels
-                .iter()
-                .enumerate()
-                .map(|(i, c)| SchedQuery {
-                    channel_id: ChannelId(i as u32),
-                    now,
-                    channel: &c.channel,
-                    requests: &c.requests,
-                })
-                .collect(),
-        };
+        // Global per-cycle policy hook (slowdown updates, etc.). The view
+        // borrows the channel array directly — no per-cycle allocation.
+        let view = SystemView::from_ctrls(now, &self.channels);
         self.policy.on_dram_cycle(&view);
-        drop(view);
 
         // Periodic scheduler snapshot for attached trace sinks.
         if self.sink.is_enabled() && now >= self.next_sample {
@@ -435,8 +545,114 @@ impl MemorySystem {
     pub fn outstanding(&self) -> usize {
         self.channels
             .iter()
-            .map(|c| c.requests.iter().filter(|r| !r.is_completed()).count())
+            .map(|c| c.queued_reads + c.queued_writes)
             .sum()
+    }
+
+    /// A lower bound on the next DRAM cycle at which *anything* can happen
+    /// inside the memory system, assuming no new requests arrive: the
+    /// earliest in-service data completion, the earliest cycle any waiting
+    /// eligible request's next command becomes issuable, the next refresh
+    /// transition, the next telemetry sampling point, and the policy's own
+    /// [`SchedulerPolicy::next_event_hint`]. `None` means the memory
+    /// system is fully idle (no event will ever fire without new input).
+    ///
+    /// A return of `Some(e)` with `e > now` guarantees that
+    /// [`MemorySystem::tick`] is a no-op (issues nothing, completes
+    /// nothing, emits nothing) for every cycle in `now..e`, *except* for
+    /// per-cycle policy and energy accounting — which
+    /// [`MemorySystem::fast_forward`] replicates. The bound is
+    /// conservative: stopping early is always safe.
+    pub fn next_event_at(&self, now: DramCycle) -> Option<DramCycle> {
+        let mut next: Option<DramCycle> = None;
+        let mut consider = |c: DramCycle| {
+            next = Some(match next {
+                Some(n) => n.min(c),
+                None => c,
+            });
+        };
+        for ctrl in &self.channels {
+            // The write-drain hysteresis is evaluated against queue counts
+            // that may have changed *after* the last `update_drain` ran
+            // (reaps and enqueues happen later in the tick). If the flag
+            // would flip at the next tick, stop the span here so the
+            // transition (and its telemetry event) lands on its exact
+            // cycle.
+            let drain_flips = if ctrl.drain_active {
+                ctrl.queued_writes <= self.ctrl_config.drain_low
+            } else {
+                ctrl.queued_writes >= self.ctrl_config.drain_high
+            };
+            if drain_flips {
+                consider(now);
+                continue;
+            }
+            // Past that fence, drain mode and the read/write election are
+            // frozen while no request arrives or completes, so the
+            // eligible kind at `now` holds for the whole span.
+            let eligible_kind = if ctrl.drain_active || ctrl.waiting_reads == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            for r in &ctrl.requests {
+                if let RequestState::InService { data_done } = r.state {
+                    consider(data_done);
+                }
+            }
+            for list in &ctrl.bank_waiting {
+                for &i in list {
+                    let r = &ctrl.requests[i];
+                    if r.kind != eligible_kind {
+                        continue;
+                    }
+                    let cmd = Self::next_command(&ctrl.channel, r);
+                    if let Some(at) = ctrl.channel.earliest_issue(&cmd, now) {
+                        consider(at);
+                    }
+                }
+            }
+            if let Some(at) = ctrl.channel.next_refresh_event(now) {
+                consider(at);
+            }
+        }
+        if self.sink.is_enabled() {
+            consider(self.next_sample);
+        }
+        if let Some(h) = self.policy.next_event_hint(now) {
+            consider(h);
+        }
+        next
+    }
+
+    /// Replicates `cycles` consecutive [`MemorySystem::tick`] calls (at
+    /// `now`, `now + 1`, …) across a dead span — the caller must have
+    /// established via [`MemorySystem::next_event_at`] that no event fires
+    /// before `now + cycles`. Only the per-cycle residue is performed:
+    /// background-energy accounting and the policy's cycle hook (via
+    /// [`SchedulerPolicy::fast_forward`]). Returns `false` without any
+    /// state change if the policy vetoes the skip; the caller then steps
+    /// cycle by cycle.
+    pub fn fast_forward(&mut self, now: DramCycle, cycles: u64) -> bool {
+        debug_assert!(cycles > 0);
+        debug_assert!(now >= self.now);
+        debug_assert!(
+            self.next_event_at(now).is_none_or(|e| e >= now + cycles),
+            "fast-forward across a live memory event"
+        );
+        {
+            let view = SystemView::from_ctrls(now, &self.channels);
+            if !self.policy.fast_forward(&view, cycles) {
+                return false;
+            }
+        }
+        for ctrl in &mut self.channels {
+            if let Some(energy) = &mut ctrl.energy {
+                energy.tick_n(cycles, ctrl.channel.open_banks() > 0);
+            }
+        }
+        self.now = now + (cycles - 1);
+        true
     }
 
     fn update_drain(
@@ -446,7 +662,7 @@ impl MemorySystem {
         now: DramCycle,
         sink: &mut dyn Sink,
     ) {
-        let writes = ctrl.queued_count(AccessKind::Write);
+        let writes = ctrl.queued_writes;
         if ctrl.drain_active {
             if writes <= cfg.drain_low {
                 ctrl.drain_active = false;
@@ -480,10 +696,7 @@ impl MemorySystem {
         row_policy: RowPolicy,
         sink: &mut dyn Sink,
     ) {
-        let reads_pending = ctrl
-            .requests
-            .iter()
-            .any(|r| r.kind == AccessKind::Read && r.is_waiting());
+        let reads_pending = ctrl.waiting_reads > 0;
         let drain = ctrl.drain_active;
         let eligible_kind = if drain || !reads_pending {
             AccessKind::Write
@@ -492,18 +705,20 @@ impl MemorySystem {
         };
 
         // Phase 1 (immutable): per-bank top request, then the globally
-        // best *ready* command.
+        // best *ready* command. Each bank visits only its own waiting
+        // requests (the `bank_waiting` index), and every candidate's rank
+        // is computed exactly once per cycle (the scratch buffer carries
+        // it into the hit-slip pass). Selection is order-independent: the
+        // comparison key `(rank, older_first(id))` is unique per request.
+        let mut scratch = std::mem::take(&mut ctrl.rank_scratch);
         let best = {
-            let q = SchedQuery {
-                channel_id,
-                now,
-                channel: &ctrl.channel,
-                requests: &ctrl.requests,
-            };
-            let banks = ctrl.channel.num_banks();
+            let q = ctrl.query(channel_id, now);
             let mut best: Option<(usize, DramCommand)> = None;
             let mut best_key = (Rank::MIN, 0u64);
-            for bank in 0..banks {
+            for bank_list in &ctrl.bank_waiting {
+                if bank_list.is_empty() {
+                    continue;
+                }
                 // Highest-priority waiting request for this bank. The bank
                 // scheduler drives this request's commands; while its next
                 // command is not ready (tRAS, tRP, bus...), lower-priority
@@ -512,39 +727,36 @@ impl MemorySystem {
                 // state against the selected request's interest. This
                 // mirrors hardware two-level schedulers that consider only
                 // ready commands (paper footnote 4).
-                let top = ctrl
-                    .requests
+                scratch.clear();
+                for &i in bank_list {
+                    let r = &ctrl.requests[i];
+                    if r.kind == eligible_kind {
+                        scratch.push((i, policy.rank(r, &q)));
+                    }
+                }
+                let top = scratch
                     .iter()
-                    .enumerate()
-                    .filter(|(_, r)| {
-                        r.loc.bank.0 == bank && r.is_waiting() && r.kind == eligible_kind
-                    })
-                    .map(|(i, r)| (i, r, policy.rank(r, &q)))
-                    .max_by_key(|(_, r, rank)| (*rank, Rank::older_first(r.id)));
-                let Some((top_idx, top_req, top_rank)) = top else {
+                    .max_by_key(|(i, rank)| (*rank, Rank::older_first(ctrl.requests[*i].id)))
+                    .copied();
+                let Some((top_idx, top_rank)) = top else {
                     continue;
                 };
-                let top_cmd = Self::next_command(&ctrl.channel, top_req);
+                let top_cmd = Self::next_command(&ctrl.channel, &ctrl.requests[top_idx]);
                 let candidate = if ctrl.channel.can_issue(&top_cmd, now) {
-                    Some((top_idx, top_cmd, top_rank, top_req.id))
+                    Some((top_idx, top_cmd, top_rank, ctrl.requests[top_idx].id))
                 } else {
-                    ctrl.requests
+                    scratch
                         .iter()
-                        .enumerate()
-                        .filter(|(i, r)| {
-                            *i != top_idx
-                                && r.loc.bank.0 == bank
-                                && r.is_waiting()
-                                && r.kind == eligible_kind
-                                && q.is_row_hit(r)
-                        })
-                        .map(|(i, r)| (i, r, policy.rank(r, &q)))
-                        .max_by_key(|(_, r, rank)| (*rank, Rank::older_first(r.id)))
-                        .and_then(|(i, r, rank)| {
-                            let cmd = Self::next_command(&ctrl.channel, r);
-                            ctrl.channel
-                                .can_issue(&cmd, now)
-                                .then_some((i, cmd, rank, r.id))
+                        .filter(|(i, _)| *i != top_idx && q.is_row_hit(&ctrl.requests[*i]))
+                        .max_by_key(|(i, rank)| (*rank, Rank::older_first(ctrl.requests[*i].id)))
+                        .and_then(|&(i, rank)| {
+                            let cmd = Self::next_command(&ctrl.channel, &ctrl.requests[i]);
+                            ctrl.channel.can_issue(&cmd, now).then_some((
+                                i,
+                                cmd,
+                                rank,
+                                ctrl.requests[i].id,
+                            ))
                         })
                 };
                 let Some((idx, cmd, rank, id)) = candidate else {
@@ -558,6 +770,8 @@ impl MemorySystem {
             }
             best
         };
+        scratch.clear();
+        ctrl.rank_scratch = scratch;
 
         let Some((idx, cmd)) = best else {
             return;
@@ -569,12 +783,9 @@ impl MemorySystem {
         let pre_open = ctrl.channel.bank(cmd.bank).open_row();
         let auto_pre = row_policy == RowPolicy::ClosedPage
             && cmd.is_column()
-            && !ctrl.requests.iter().enumerate().any(|(i, r)| {
-                i != idx
-                    && r.is_waiting()
-                    && r.loc.bank == cmd.bank
-                    && r.loc.row == ctrl.requests[idx].loc.row
-            });
+            && !ctrl.bank_waiting[cmd.bank.0 as usize]
+                .iter()
+                .any(|&i| i != idx && ctrl.requests[i].loc.row == ctrl.requests[idx].loc.row);
         let thread = Some(ctrl.requests[idx].thread.0);
         let done = if auto_pre {
             ctrl.channel
@@ -603,6 +814,9 @@ impl MemorySystem {
                 req.state = RequestState::InService { data_done: done };
             }
         }
+        if cmd.is_column() {
+            ctrl.index_unwait(idx);
+        }
         stats.record_command(&cmd);
         let req_copy = ctrl.requests[idx].clone();
         let q = SchedQuery {
@@ -610,6 +824,7 @@ impl MemorySystem {
             now,
             channel: &ctrl.channel,
             requests: &ctrl.requests,
+            bank_waiting: Some(&ctrl.bank_waiting),
         };
         policy.on_command(&cmd, &req_copy, &q);
     }
@@ -639,40 +854,58 @@ impl MemorySystem {
         stats: &mut SystemStats,
         sink: &mut dyn Sink,
     ) {
-        let mut i = 0;
-        while i < ctrl.requests.len() {
-            let finished = match ctrl.requests[i].state {
-                RequestState::InService { data_done } if data_done <= now => Some(data_done),
-                _ => None,
-            };
-            if let Some(data_done) = finished {
-                let mut req = ctrl.requests.swap_remove(i);
-                let finish_cpu = ClockRatio::PAPER.dram_to_cpu(data_done + overhead);
-                req.state = RequestState::Completed { finish_cpu };
-                stats.record_completion(&req, finish_cpu);
-                policy.on_complete(&req);
-                if sink.is_enabled() {
-                    sink.record(&Event::RequestServiced {
-                        dram_cycle: now,
-                        cpu_cycle: finish_cpu,
-                        channel,
-                        bank: req.loc.bank.0,
-                        thread: req.thread.0,
-                        request: req.id.0,
-                        is_write: req.kind == AccessKind::Write,
-                        latency_cpu: finish_cpu.saturating_since(req.arrival_cpu),
-                    });
+        // Collect finished requests and emit them in `(data_done, id)`
+        // order — deterministic by construction, independent of buffer
+        // positions, so re-indexing optimizations can never reorder the
+        // completion stream.
+        let mut finished: Vec<(DramCycle, crate::request::RequestId, usize)> = Vec::new();
+        for (i, r) in ctrl.requests.iter().enumerate() {
+            if let RequestState::InService { data_done } = r.state {
+                if data_done <= now {
+                    finished.push((data_done, r.id, i));
                 }
-                out.push(Completion {
-                    id: req.id,
-                    thread: req.thread,
-                    kind: req.kind,
-                    finish_cpu,
-                });
-            } else {
-                i += 1;
             }
         }
+        if finished.is_empty() {
+            return;
+        }
+        finished.sort_unstable();
+        let (mut reads, mut writes) = (0usize, 0usize);
+        for &(data_done, _, i) in &finished {
+            let finish_cpu = ClockRatio::PAPER.dram_to_cpu(data_done + overhead);
+            ctrl.requests[i].state = RequestState::Completed { finish_cpu };
+            let req = ctrl.requests[i].clone();
+            match req.kind {
+                AccessKind::Read => reads += 1,
+                AccessKind::Write => writes += 1,
+            }
+            stats.record_completion(&req, finish_cpu);
+            policy.on_complete(&req);
+            if sink.is_enabled() {
+                sink.record(&Event::RequestServiced {
+                    dram_cycle: now,
+                    cpu_cycle: finish_cpu,
+                    channel,
+                    bank: req.loc.bank.0,
+                    thread: req.thread.0,
+                    request: req.id.0,
+                    is_write: req.kind == AccessKind::Write,
+                    latency_cpu: finish_cpu.saturating_since(req.arrival_cpu),
+                });
+            }
+            out.push(Completion {
+                id: req.id,
+                thread: req.thread,
+                kind: req.kind,
+                finish_cpu,
+            });
+        }
+        ctrl.requests
+            .retain(|r| !matches!(r.state, RequestState::Completed { .. }));
+        ctrl.queued_reads -= reads;
+        ctrl.queued_writes -= writes;
+        ctrl.rebuild_bank_lists();
+        ctrl.audit();
     }
 }
 
@@ -690,7 +923,7 @@ impl std::fmt::Debug for MemorySystem {
 mod tests {
     use super::*;
     use crate::frfcfs::FrFcfs;
-        fn no_refresh_cfg() -> DramConfig {
+    fn no_refresh_cfg() -> DramConfig {
         DramConfig {
             refresh_enabled: false,
             ..DramConfig::ddr2_800()
@@ -721,7 +954,13 @@ mod tests {
 
         // Closed: very first access to a bank.
         let id0 = sys
-            .try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(0), CpuCycle::ZERO, 0)
+            .try_enqueue(
+                ThreadId(0),
+                AccessKind::Read,
+                PhysAddr(0),
+                CpuCycle::ZERO,
+                0,
+            )
             .unwrap();
         let (done, now) = run_until_idle(&mut sys, DramCycle::ZERO);
         assert_eq!(done[0].id, id0);
@@ -761,6 +1000,75 @@ mod tests {
     }
 
     #[test]
+    fn completions_emit_in_deterministic_order() {
+        // Channels are serviced independently, so one tick can complete
+        // several requests. Emission order must be fully deterministic:
+        // ascending channel, and within a channel ascending
+        // (data-ready cycle, id) — never request-buffer order, which
+        // compaction strategies may permute.
+        use stfm_telemetry::{Event, RingSink};
+        let cfg = DramConfig {
+            refresh_enabled: false,
+            ..DramConfig::for_cores(8)
+        };
+        assert!(cfg.channels > 1, "test needs a multi-channel config");
+        let mut sys = MemorySystem::new(cfg, Box::new(FrFcfs::new()));
+        sys.set_sink(Box::new(RingSink::new(4096)));
+        for i in 0..64u64 {
+            // Stride across banks and channels; ids ascend as enqueued.
+            sys.try_enqueue(
+                ThreadId((i % 8) as u32),
+                AccessKind::Read,
+                PhysAddr(i.wrapping_mul(0x0004_0940)),
+                CpuCycle::ZERO,
+                0,
+            );
+        }
+        let mut now = DramCycle::ZERO;
+        while sys.outstanding() > 0 {
+            sys.tick(now);
+            sys.drain_completions();
+            now += 1;
+            assert!(now < 1_000_000, "memory system wedged");
+        }
+        let mut sink = sys.take_sink();
+        let ring = sink
+            .as_any_mut()
+            .downcast_mut::<RingSink>()
+            .expect("ring sink");
+        assert_eq!(ring.dropped(), 0);
+        let serviced: Vec<(u64, u32, u64)> = ring
+            .events()
+            .filter_map(|e| match e {
+                Event::RequestServiced {
+                    dram_cycle,
+                    channel,
+                    request,
+                    ..
+                } => Some((dram_cycle.get(), *channel, *request)),
+                _ => None,
+            })
+            .collect();
+        let mut multi_completion_ticks = 0;
+        for w in serviced.windows(2) {
+            let ((c0, ch0, id0), (c1, ch1, id1)) = (w[0], w[1]);
+            if c0 == c1 {
+                multi_completion_ticks += 1;
+                assert!(
+                    ch0 < ch1 || (ch0 == ch1 && id0 < id1),
+                    "same-cycle completions out of order: \
+                     cycle {c0}: (ch {ch0}, id {id0}) then (ch {ch1}, id {id1})"
+                );
+            }
+        }
+        assert!(
+            multi_completion_ticks > 0,
+            "workload never completed two requests on one cycle; \
+             the ordering path went unexercised"
+        );
+    }
+
+    #[test]
     fn back_pressure_on_full_write_buffer() {
         let mut sys = system();
         let mut accepted = 0;
@@ -784,8 +1092,14 @@ mod tests {
     #[test]
     fn writes_drain_when_no_reads_pending() {
         let mut sys = system();
-        sys.try_enqueue(ThreadId(0), AccessKind::Write, PhysAddr(0), CpuCycle::ZERO, 0)
-            .unwrap();
+        sys.try_enqueue(
+            ThreadId(0),
+            AccessKind::Write,
+            PhysAddr(0),
+            CpuCycle::ZERO,
+            0,
+        )
+        .unwrap();
         let (done, _) = run_until_idle(&mut sys, DramCycle::ZERO);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].kind, AccessKind::Write);
@@ -805,8 +1119,14 @@ mod tests {
             )
             .unwrap();
         }
-        sys.try_enqueue(ThreadId(1), AccessKind::Read, PhysAddr(0x500_0000), CpuCycle::ZERO, 0)
-            .unwrap();
+        sys.try_enqueue(
+            ThreadId(1),
+            AccessKind::Read,
+            PhysAddr(0x500_0000),
+            CpuCycle::ZERO,
+            0,
+        )
+        .unwrap();
         let mut first_done = None;
         let mut now = DramCycle::ZERO;
         while sys.outstanding() > 0 {
@@ -858,8 +1178,14 @@ mod tests {
         let mut sys = system();
         // 32 sequential lines: 1 closed access then 31 hits.
         for i in 0..32u64 {
-            sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * 64), CpuCycle::ZERO, 0)
-                .unwrap();
+            sys.try_enqueue(
+                ThreadId(0),
+                AccessKind::Read,
+                PhysAddr(i * 64),
+                CpuCycle::ZERO,
+                0,
+            )
+            .unwrap();
         }
         let (_, _) = run_until_idle(&mut sys, DramCycle::ZERO);
         let ts = sys.thread_stats(ThreadId(0));
@@ -894,8 +1220,14 @@ mod scheduling_tests {
         let row_stride = u64::from(sys.dram_config().row_bytes()) * 8 * 8;
 
         // Open row 0 of bank 0 first.
-        sys.try_enqueue(ThreadId(1), AccessKind::Read, PhysAddr(0), CpuCycle::ZERO, 0)
-            .unwrap();
+        sys.try_enqueue(
+            ThreadId(1),
+            AccessKind::Read,
+            PhysAddr(0),
+            CpuCycle::ZERO,
+            0,
+        )
+        .unwrap();
         let mut now = DramCycle::ZERO;
         while sys.outstanding() > 0 {
             sys.tick(now);
@@ -949,8 +1281,14 @@ mod scheduling_tests {
     fn fcfs_still_exploits_hits_within_a_single_stream() {
         let mut sys = MemorySystem::new(no_refresh_cfg(), Box::new(Fcfs::new()));
         for i in 0..64u64 {
-            sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * 64), CpuCycle::ZERO, 0)
-                .unwrap();
+            sys.try_enqueue(
+                ThreadId(0),
+                AccessKind::Read,
+                PhysAddr(i * 64),
+                CpuCycle::ZERO,
+                0,
+            )
+            .unwrap();
         }
         let mut now = DramCycle::ZERO;
         while sys.outstanding() > 0 {
@@ -967,8 +1305,14 @@ mod scheduling_tests {
         let mut sys = MemorySystem::new(no_refresh_cfg(), Box::new(FrFcfs::new()));
         assert!(sys.energy().is_none());
         sys.enable_energy_model();
-        sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(0), CpuCycle::ZERO, 0)
-            .unwrap();
+        sys.try_enqueue(
+            ThreadId(0),
+            AccessKind::Read,
+            PhysAddr(0),
+            CpuCycle::ZERO,
+            0,
+        )
+        .unwrap();
         for now in 0..40 {
             sys.tick(DramCycle::new(now));
         }
@@ -1006,8 +1350,14 @@ mod row_policy_tests {
 
     fn run_stream(sys: &mut MemorySystem, n: u64, stride: u64) -> (DramCycle, f64) {
         for i in 0..n {
-            sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * stride), CpuCycle::ZERO, 0)
-                .unwrap();
+            sys.try_enqueue(
+                ThreadId(0),
+                AccessKind::Read,
+                PhysAddr(i * stride),
+                CpuCycle::ZERO,
+                0,
+            )
+            .unwrap();
         }
         let mut now = DramCycle::ZERO;
         while sys.outstanding() > 0 {
@@ -1030,8 +1380,14 @@ mod row_policy_tests {
         for sys in [&mut open_sys, &mut closed_sys] {
             let mut now = DramCycle::ZERO;
             for i in 0..32u64 {
-                sys.try_enqueue(ThreadId(0), AccessKind::Read, PhysAddr(i * 64), ClockRatio::PAPER.dram_to_cpu(now), 0)
-                    .unwrap();
+                sys.try_enqueue(
+                    ThreadId(0),
+                    AccessKind::Read,
+                    PhysAddr(i * 64),
+                    ClockRatio::PAPER.dram_to_cpu(now),
+                    0,
+                )
+                .unwrap();
                 while sys.outstanding() > 0 {
                     sys.tick(now);
                     sys.drain_completions();
@@ -1066,8 +1422,14 @@ mod row_policy_tests {
             let mut now = DramCycle::ZERO;
             for i in 0..24u64 {
                 let addr = PhysAddr((i % 2) * row_stride);
-                sys.try_enqueue(ThreadId(0), AccessKind::Read, addr, ClockRatio::PAPER.dram_to_cpu(now), 0)
-                    .unwrap();
+                sys.try_enqueue(
+                    ThreadId(0),
+                    AccessKind::Read,
+                    addr,
+                    ClockRatio::PAPER.dram_to_cpu(now),
+                    0,
+                )
+                .unwrap();
                 while sys.outstanding() > 0 {
                     sys.tick(now);
                     sys.drain_completions();

@@ -5,7 +5,7 @@
 //! and it still implicitly favors memory-intensive threads whose requests
 //! dominate the front of the queue.
 
-use crate::policy::{Rank, SchedQuery, SchedulerPolicy};
+use crate::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
 use crate::request::Request;
 
 /// The FCFS scheduling policy.
@@ -30,6 +30,11 @@ impl SchedulerPolicy for Fcfs {
 
     fn rank(&self, req: &Request, _q: &SchedQuery<'_>) -> Rank {
         Rank([Rank::older_first(req.id), 0, 0])
+    }
+
+    fn fast_forward(&mut self, _sys: &SystemView<'_>, _cycles: u64) -> bool {
+        // Stateless per cycle: skipping is always safe.
+        true
     }
 }
 

@@ -5,7 +5,7 @@
 //! row-buffer hit rate and therefore DRAM throughput — and, as the paper
 //! shows, starves threads with poor row-buffer locality.
 
-use crate::policy::{Rank, SchedQuery, SchedulerPolicy};
+use crate::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
 use crate::request::Request;
 
 /// The FR-FCFS scheduling policy.
@@ -38,6 +38,11 @@ impl SchedulerPolicy for FrFcfs {
 
     fn rank(&self, req: &Request, q: &SchedQuery<'_>) -> Rank {
         Self::base_rank(req, q)
+    }
+
+    fn fast_forward(&mut self, _sys: &SystemView<'_>, _cycles: u64) -> bool {
+        // Stateless per cycle: skipping is always safe.
+        true
     }
 }
 

@@ -25,23 +25,31 @@ use crate::request::{Request, ThreadId};
 use std::collections::{HashMap, HashSet};
 use stfm_dram::{ChannelId, DramCycle, DramDelta, TimingParams};
 
+/// Per-channel stride of the flat (channel, bank) slot space used by the
+/// virtual-finish-time table; banks per channel stay well below this.
+const VFT_STRIDE: usize = 64;
+
 /// The NFQ (FQ-VFTF) scheduling policy.
 #[derive(Debug, Clone)]
 pub struct Nfq {
     timing: TimingParams,
     /// Virtual finish time per (thread, channel, bank), in scaled DRAM
-    /// cycles.
-    vft: HashMap<(ThreadId, ChannelId, u32), u64>,
+    /// cycles. Indexed `[thread][channel * VFT_STRIDE + bank]` and grown
+    /// on demand (thread ids are dense, core-assigned); O(1) lookups on
+    /// the per-cycle ranking path instead of hashing a tuple key.
+    vft: Vec<Vec<u64>>,
     /// Bandwidth share per thread (paper Section 7.5's "NFQ-shares").
     shares: HashMap<ThreadId, u32>,
     /// Threads that have issued at least one request.
     active: HashSet<ThreadId>,
     /// Per-bank earliest-deadline head request and the cycle it became
-    /// head, for the priority-inversion-prevention timer.
-    bank_heads: HashMap<(ChannelId, u32), (crate::request::RequestId, DramCycle)>,
+    /// head, for the priority-inversion-prevention timer; indexed
+    /// `[channel][bank]`, grown on demand.
+    bank_heads: Vec<Vec<Option<(crate::request::RequestId, DramCycle)>>>,
     /// Banks where hit-bypass is currently disabled by the inversion
-    /// prevention threshold; refreshed every DRAM cycle.
-    blocked_banks: HashSet<(ChannelId, u32)>,
+    /// prevention threshold; one bank bitmask per channel, refreshed
+    /// every DRAM cycle (banks per channel stay below 64).
+    blocked_banks: Vec<u64>,
 }
 
 impl Nfq {
@@ -49,11 +57,11 @@ impl Nfq {
     pub fn new(timing: TimingParams) -> Self {
         Nfq {
             timing,
-            vft: HashMap::new(),
+            vft: Vec::new(),
             shares: HashMap::new(),
             active: HashSet::new(),
-            bank_heads: HashMap::new(),
-            blocked_banks: HashSet::new(),
+            bank_heads: Vec::new(),
+            blocked_banks: Vec::new(),
         }
     }
 
@@ -80,7 +88,12 @@ impl Nfq {
 
     /// Current virtual finish time of (thread, channel, bank).
     pub fn virtual_finish_time(&self, thread: ThreadId, channel: ChannelId, bank: u32) -> u64 {
-        self.vft.get(&(thread, channel, bank)).copied().unwrap_or(0)
+        debug_assert!((bank as usize) < VFT_STRIDE);
+        let slot = channel.0 as usize * VFT_STRIDE + bank as usize;
+        self.vft
+            .get(thread.0 as usize)
+            .and_then(|slots| slots.get(slot).copied())
+            .unwrap_or(0)
     }
 }
 
@@ -95,7 +108,10 @@ impl SchedulerPolicy for Nfq {
 
     fn rank(&self, req: &Request, q: &SchedQuery<'_>) -> Rank {
         let bank = req.loc.bank.0;
-        let bypass_ok = !self.blocked_banks.contains(&(q.channel_id, bank));
+        let bypass_ok = self
+            .blocked_banks
+            .get(q.channel_id.0 as usize)
+            .is_none_or(|m| m >> bank & 1 == 0);
         let hit = u64::from(bypass_ok && q.is_row_hit(req));
         let deadline = self.virtual_finish_time(req.thread, q.channel_id, bank);
         Rank([hit, u64::MAX - deadline, Rank::older_first(req.id)])
@@ -107,33 +123,58 @@ impl SchedulerPolicy for Nfq {
         // only for up to tRAS; once the current head request has been head
         // for longer, the bank falls back to strict deadline order. The
         // timer restarts whenever the head request changes.
-        self.blocked_banks.clear();
+        for mask in &mut self.blocked_banks {
+            *mask = 0;
+        }
         let threshold: DramDelta = self.timing.t_ras;
-        for q in &sys.channels {
+        for q in sys.channels() {
+            let ch = q.channel_id.0 as usize;
+            let banks = q.channel.num_banks() as usize;
+            debug_assert!(banks <= 64);
+            if self.blocked_banks.len() <= ch {
+                self.blocked_banks.resize(ch + 1, 0);
+            }
+            if self.bank_heads.len() <= ch {
+                self.bank_heads.resize(ch + 1, Vec::new());
+            }
+            if self.bank_heads[ch].len() < banks {
+                self.bank_heads[ch].resize(banks, None);
+            }
             for bank in 0..q.channel.num_banks() {
                 let head = q
-                    .requests
-                    .iter()
-                    .filter(|r| r.is_waiting() && r.loc.bank.0 == bank)
+                    .waiting_in_bank(bank)
                     .min_by_key(|r| (self.virtual_finish_time(r.thread, q.channel_id, bank), r.id));
-                let key = (q.channel_id, bank);
+                let slot = &mut self.bank_heads[ch][bank as usize];
                 match head {
-                    None => {
-                        self.bank_heads.remove(&key);
-                    }
+                    None => *slot = None,
                     Some(r) => {
-                        let since = match self.bank_heads.get(&key) {
-                            Some(&(id, since)) if id == r.id => since,
-                            _ => sys.now,
+                        let since = match *slot {
+                            // Head unchanged: keep its timer (the
+                            // steady-state case needs no rewrite).
+                            Some((id, since)) if id == r.id => since,
+                            _ => {
+                                *slot = Some((r.id, sys.now));
+                                sys.now
+                            }
                         };
-                        self.bank_heads.insert(key, (r.id, since));
                         if sys.now.saturating_since(since) > threshold {
-                            self.blocked_banks.insert(key);
+                            self.blocked_banks[ch] |= 1 << bank;
                         }
                     }
                 }
             }
         }
+    }
+
+    fn fast_forward(&mut self, sys: &SystemView<'_>, _cycles: u64) -> bool {
+        // Replicates the whole span with one real cycle hook: the first
+        // skipped cycle may observe changes since the last stepped call
+        // (a new bank head starts its tRAS timer at `sys.now`), and with the request buffers and device state frozen,
+        // every further call is idempotent on the persistent state
+        // (same head, `since` preserved). Derived per-cycle state is recomputed
+        // from scratch by the next real `on_dram_cycle` before any ranking.
+        self.on_dram_cycle(sys);
+        true
     }
 
     fn on_enqueue(&mut self, req: &Request, _tshared: u64) {
@@ -147,12 +188,23 @@ impl SchedulerPolicy for Nfq {
             .unwrap_or_else(|| self.timing.read_latency())
             .get();
         let scale = self.total_shares() / u64::from(self.share(req.thread)).max(1);
-        let key = (req.thread, req.loc.channel, req.loc.bank.0);
-        *self.vft.entry(key).or_insert(0) += latency * scale.max(1);
+        debug_assert!((req.loc.bank.0 as usize) < VFT_STRIDE);
+        let slot = req.loc.channel.0 as usize * VFT_STRIDE + req.loc.bank.0 as usize;
+        let t = req.thread.0 as usize;
+        if self.vft.len() <= t {
+            self.vft.resize(t + 1, Vec::new());
+        }
+        let slots = &mut self.vft[t];
+        if slots.len() <= slot {
+            slots.resize(slot + 1, 0);
+        }
+        slots[slot] += latency * scale.max(1);
     }
 
     fn on_thread_reset(&mut self, thread: ThreadId) {
-        self.vft.retain(|(t, _, _), _| *t != thread);
+        if let Some(slots) = self.vft.get_mut(thread.0 as usize) {
+            slots.clear();
+        }
         self.active.remove(&thread);
     }
 }
@@ -229,10 +281,7 @@ mod tests {
         let t_ras = TimingParams::ddr2_800().t_ras;
 
         // Cycle N: old_miss becomes the bank head; bypass still allowed.
-        let mk = |now| SystemView {
-            now,
-            channels: vec![stfm_mc_sched_query(&channel, &requests, now)],
-        };
+        let mk = |now| SystemView::single(stfm_mc_sched_query(&channel, &requests, now));
         p.on_dram_cycle(&mk(harness::NOW));
         let q = harness::query(&channel, &requests);
         assert!(
@@ -259,6 +308,7 @@ mod tests {
             now,
             channel,
             requests,
+            bank_waiting: None,
         }
     }
 

@@ -62,7 +62,7 @@ impl ParBs {
         self.marked.clear();
         // Oldest `marking_cap` waiting requests per (thread, channel, bank).
         let mut per_slot: HashMap<(ThreadId, u32, u32), Vec<(RequestId, u64)>> = HashMap::new();
-        for q in &sys.channels {
+        for q in sys.channels() {
             for r in q.requests {
                 if r.is_waiting() {
                     per_slot
@@ -128,7 +128,7 @@ impl SchedulerPolicy for ParBs {
         // current one is exhausted.
         if !self.marked.is_empty() {
             let mut live: HashSet<RequestId> = HashSet::with_capacity(self.marked.len());
-            for q in &sys.channels {
+            for q in sys.channels() {
                 for r in q.requests {
                     if r.is_waiting() && self.marked.contains(&r.id) {
                         live.insert(r.id);
@@ -142,6 +142,17 @@ impl SchedulerPolicy for ParBs {
         }
     }
 
+    fn fast_forward(&mut self, sys: &SystemView<'_>, _cycles: u64) -> bool {
+        // Replicates the whole span with one real cycle hook: the first
+        // skipped cycle may observe changes since the last stepped call
+        // (batch exhaustion triggers formation), and with the request buffers and device state frozen,
+        // every further call is idempotent on the persistent state
+        // (pruning converges, batches only re-form when emptied). Derived per-cycle state is recomputed
+        // from scratch by the next real `on_dram_cycle` before any ranking.
+        self.on_dram_cycle(sys);
+        true
+    }
+
     fn on_thread_reset(&mut self, thread: ThreadId) {
         self.thread_rank.remove(&thread);
     }
@@ -153,10 +164,7 @@ mod tests {
     use crate::test_util::{harness, req_to};
 
     fn view<'a>(q: crate::policy::SchedQuery<'a>) -> SystemView<'a> {
-        SystemView {
-            now: q.now,
-            channels: vec![q],
-        }
+        SystemView::single(q)
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub struct SchedQuery<'a> {
     /// All live entries of this channel's request buffer (queued,
     /// in-service, and just-completed requests awaiting reaping).
     pub requests: &'a [Request],
+    /// Controller-maintained per-bank waiting-request index (ascending
+    /// positions into `requests`), present on the hot path; hand-built
+    /// test queries leave it `None` and fall back to scanning.
+    pub(crate) bank_waiting: Option<&'a [Vec<usize>]>,
 }
 
 impl SchedQuery<'_> {
@@ -77,14 +81,135 @@ impl SchedQuery<'_> {
     }
 }
 
+impl<'a> SchedQuery<'a> {
+    /// Iterates this channel's *waiting* requests targeting `bank`, in
+    /// ascending buffer position (= enqueue order). Served from the
+    /// controller's per-bank index when available, otherwise by scanning
+    /// `requests`; the yielded sequence is identical either way, so
+    /// policies can use this unconditionally.
+    pub fn waiting_in_bank(&self, bank: u32) -> WaitingInBank<'a> {
+        WaitingInBank {
+            inner: match self.bank_waiting {
+                Some(lists) => BankIter::Indexed {
+                    idx: lists[bank as usize].iter(),
+                    requests: self.requests,
+                },
+                None => BankIter::Scan {
+                    iter: self.requests.iter(),
+                    bank,
+                },
+            },
+        }
+    }
+}
+
+/// Iterator over one bank's waiting requests; see
+/// [`SchedQuery::waiting_in_bank`].
+pub struct WaitingInBank<'a> {
+    inner: BankIter<'a>,
+}
+
+enum BankIter<'a> {
+    Indexed {
+        idx: std::slice::Iter<'a, usize>,
+        requests: &'a [Request],
+    },
+    Scan {
+        iter: std::slice::Iter<'a, Request>,
+        bank: u32,
+    },
+}
+
+impl<'a> Iterator for WaitingInBank<'a> {
+    type Item = &'a Request;
+
+    fn next(&mut self) -> Option<&'a Request> {
+        match &mut self.inner {
+            BankIter::Indexed { idx, requests } => idx.next().map(|&i| &requests[i]),
+            BankIter::Scan { iter, bank } => iter
+                .by_ref()
+                .find(|r| r.is_waiting() && r.loc.bank.0 == *bank),
+        }
+    }
+}
+
 /// Read-only view of the whole memory system (all channels), handed to
 /// policies once per DRAM cycle for global bookkeeping such as STFM's
 /// `BankWaitingParallelism` recomputation.
+///
+/// The view is backed either by the controller's channel array directly
+/// (the hot path — no per-cycle allocation) or by a caller-provided slice
+/// of [`SchedQuery`]s (tests and harnesses). Iterate with
+/// [`SystemView::channels`]; queries are `Copy` and constructed on demand.
 pub struct SystemView<'a> {
     /// Current DRAM cycle.
     pub now: DramCycle,
-    /// Per-channel (device, request-buffer) pairs, indexed by channel id.
-    pub channels: Vec<SchedQuery<'a>>,
+    backing: ViewBacking<'a>,
+}
+
+enum ViewBacking<'a> {
+    /// A single channel, stored inline (test convenience).
+    One(SchedQuery<'a>),
+    /// Caller-provided queries, one per channel.
+    Queries(&'a [SchedQuery<'a>]),
+    /// The controller's channel array, viewed without allocating.
+    Ctrls(&'a [crate::controller::ChannelCtrl]),
+}
+
+impl<'a> SystemView<'a> {
+    /// A view of a single channel (the common case in policy unit tests).
+    pub fn single(q: SchedQuery<'a>) -> Self {
+        SystemView {
+            now: q.now,
+            backing: ViewBacking::One(q),
+        }
+    }
+
+    /// A view over caller-assembled per-channel queries. `queries[i]` must
+    /// describe channel `i`.
+    pub fn from_queries(now: DramCycle, queries: &'a [SchedQuery<'a>]) -> Self {
+        SystemView {
+            now,
+            backing: ViewBacking::Queries(queries),
+        }
+    }
+
+    pub(crate) fn from_ctrls(now: DramCycle, ctrls: &'a [crate::controller::ChannelCtrl]) -> Self {
+        SystemView {
+            now,
+            backing: ViewBacking::Ctrls(ctrls),
+        }
+    }
+
+    /// Number of channels in the view.
+    pub fn num_channels(&self) -> usize {
+        match &self.backing {
+            ViewBacking::One(_) => 1,
+            ViewBacking::Queries(qs) => qs.len(),
+            ViewBacking::Ctrls(cs) => cs.len(),
+        }
+    }
+
+    /// The scheduling query for channel `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn channel(&self, i: usize) -> SchedQuery<'a> {
+        match &self.backing {
+            ViewBacking::One(q) => {
+                assert!(i == 0, "channel {i} out of range");
+                *q
+            }
+            ViewBacking::Queries(qs) => qs[i],
+            ViewBacking::Ctrls(cs) => cs[i].query(ChannelId(i as u32), self.now),
+        }
+    }
+
+    /// Iterates over all channels' queries in channel-id order.
+    pub fn channels(&self) -> impl Iterator<Item = SchedQuery<'a>> + '_ {
+        (0..self.num_channels()).map(|i| self.channel(i))
+    }
 }
 
 /// A DRAM scheduling policy.
@@ -152,6 +277,30 @@ pub trait SchedulerPolicy {
     /// should return it; the default is a generic placeholder.
     fn static_name(&self) -> &'static str {
         "scheduler"
+    }
+
+    /// Fast-forward support: replicate the persistent effects of `cycles`
+    /// consecutive [`SchedulerPolicy::on_dram_cycle`] calls (at
+    /// `sys.now`, `sys.now + 1`, …) under the guarantee that the request
+    /// buffers, device state, and request lifecycles in `sys` are frozen
+    /// for the whole span (no command can issue, nothing arrives or
+    /// completes). Return `false` to veto the skip — the controller then
+    /// falls back to stepping cycle by cycle, so the conservative default
+    /// is always correct. Implementations returning `true` must leave the
+    /// policy in a state **bit-identical** to `cycles` stepped calls;
+    /// derived state that the next real `on_dram_cycle` recomputes from
+    /// scratch may be left stale.
+    fn fast_forward(&mut self, _sys: &SystemView<'_>, _cycles: u64) -> bool {
+        false
+    }
+
+    /// The next DRAM cycle (strictly after `now`) at which this policy's
+    /// per-cycle state transitions in a way [`SchedulerPolicy::fast_forward`]
+    /// cannot replicate (e.g. STFM's interval reset). The controller never
+    /// fast-forwards across the returned boundary. `None` means no such
+    /// boundary.
+    fn next_event_hint(&self, _now: DramCycle) -> Option<DramCycle> {
+        None
     }
 }
 

@@ -138,12 +138,16 @@ mod tests {
         assert!(r.in_bank_service(DramCycle::new(10)));
         assert!(r.is_waiting()); // column not yet issued
 
-        r.state = RequestState::InService { data_done: DramCycle::new(20) };
+        r.state = RequestState::InService {
+            data_done: DramCycle::new(20),
+        };
         assert!(r.in_bank_service(DramCycle::new(19)));
         assert!(!r.in_bank_service(DramCycle::new(20)));
         assert!(!r.is_waiting());
 
-        r.state = RequestState::Completed { finish_cpu: CpuCycle::new(300) };
+        r.state = RequestState::Completed {
+            finish_cpu: CpuCycle::new(300),
+        };
         assert!(r.is_completed());
         assert!(!r.in_bank_service(DramCycle::new(25)));
     }

@@ -65,6 +65,7 @@ pub mod harness {
             now: NOW,
             channel,
             requests,
+            bank_waiting: None,
         }
     }
 }

@@ -154,6 +154,7 @@ pub struct Experiment {
     row_policy: RowPolicy,
     prefetch: Option<PrefetchConfig>,
     sample_interval: Option<u64>,
+    fast_forward: bool,
 }
 
 /// Result of [`Experiment::run_traced`]: the usual metrics plus the sink
@@ -193,7 +194,17 @@ impl Experiment {
             row_policy: RowPolicy::OpenPage,
             prefetch: None,
             sample_interval: None,
+            fast_forward: true,
         }
+    }
+
+    /// Enables or disables dead-cycle fast-forwarding in the shared run
+    /// (default: on). Results are bit-identical either way; the
+    /// equivalence tests use this to pit the two paths against each
+    /// other.
+    pub fn fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
+        self
     }
 
     /// Selects the scheduler.
@@ -346,6 +357,7 @@ impl Experiment {
             })
             .collect();
         let mut sys = System::new(cores, mem);
+        sys.set_fast_forward(self.fast_forward);
         let out = sys.run_with_warmup(
             default_warmup(self.insts),
             self.insts,

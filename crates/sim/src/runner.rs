@@ -38,9 +38,7 @@ pub fn run_all_with_cache(experiments: &[Experiment], cache: &AloneCache) -> Vec
                 // A poisoned slot only means another worker panicked while
                 // holding the lock; the metrics value itself is still sound
                 // (it is replaced wholesale), so recover rather than panic.
-                *results[i]
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner) = Some(m);
+                *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(m);
             });
         }
     });

@@ -12,6 +12,11 @@ pub struct System {
     cores: Vec<Core>,
     mem: MemorySystem,
     dram_cycle: DramCycle,
+    /// Dead-cycle fast-forwarding (on by default): provably-idle DRAM
+    /// cycles are skipped in one step instead of ticking one by one.
+    fast_forward: bool,
+    /// DRAM cycles skipped by fast-forwarding so far.
+    skipped: u64,
 }
 
 /// Outcome of [`System::run`].
@@ -49,7 +54,24 @@ impl System {
             cores,
             mem,
             dram_cycle: DramCycle::ZERO,
+            fast_forward: true,
+            skipped: 0,
         }
+    }
+
+    /// Enables or disables dead-cycle fast-forwarding (on by default).
+    /// Simulated results are bit-identical either way; turning it off
+    /// forces the reference cycle-by-cycle path (used by the equivalence
+    /// tests and for debugging).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// DRAM cycles skipped by fast-forwarding so far (0 when disabled).
+    /// Lets tests and benchmarks confirm the optimization engages rather
+    /// than merely doing no harm.
+    pub fn fast_forwarded_cycles(&self) -> u64 {
+        self.skipped
     }
 
     /// The shared memory system.
@@ -79,6 +101,56 @@ impl System {
             }
         }
         self.dram_cycle += 1;
+    }
+
+    /// Number of upcoming DRAM ticks, starting at `self.dram_cycle`, that
+    /// are provably dead: the memory system issues and completes nothing
+    /// ([`MemorySystem::next_event_at`]) and every core is inert
+    /// ([`Core::next_wake`]), so skipping them cannot change any simulated
+    /// outcome. `limit` caps the span (truncation boundary).
+    fn dead_ticks(&self, limit: u64) -> u64 {
+        if !self.fast_forward || limit == 0 {
+            return 0;
+        }
+        let d = self.dram_cycle;
+        let mut n = match self.mem.next_event_at(d) {
+            Some(e) if e <= d => return 0,
+            Some(e) => e.get() - d.get(),
+            None => limit,
+        }
+        .min(limit);
+        for core in &self.cores {
+            let Some(w) = core.next_wake() else {
+                return 0;
+            };
+            // Core cpu cycles during dram ticks d..d+n are
+            // 10·d + 1 ..= 10·(d + n); the wake cycle must lie beyond.
+            let head = w
+                .get()
+                .saturating_sub(CPU_CYCLES_PER_DRAM_CYCLE * d.get() + 1);
+            n = n.min(head / CPU_CYCLES_PER_DRAM_CYCLE);
+            if n == 0 {
+                return 0;
+            }
+        }
+        n
+    }
+
+    /// Advances by one DRAM cycle, first fast-forwarding across any dead
+    /// span (capped at `limit` ticks). Always performs exactly one real
+    /// [`System::tick`], so callers observe every interesting cycle.
+    fn advance(&mut self, limit: u64) {
+        let n = self.dead_ticks(limit);
+        // The policy may veto (it cannot replicate its per-cycle state
+        // changes in closed form); fall back to stepping.
+        if n > 0 && self.mem.fast_forward(self.dram_cycle, n) {
+            for core in &mut self.cores {
+                core.fast_forward(n * CPU_CYCLES_PER_DRAM_CYCLE);
+            }
+            self.dram_cycle += n;
+            self.skipped += n;
+        }
+        self.tick();
     }
 
     /// Runs until every core has committed `insts_per_thread` instructions
@@ -114,8 +186,11 @@ impl System {
         let budget = warmup_insts + insts_per_thread;
         let mut remaining = n;
         let mut truncated = false;
+        // First DRAM cycle count at which the truncation check fires; dead
+        // spans must not skip past it (`cpu_cycles` stays bit-identical).
+        let trunc_at = max_cpu_cycles.div_ceil(CPU_CYCLES_PER_DRAM_CYCLE);
         while remaining > 0 {
-            self.tick();
+            self.advance(trunc_at.saturating_sub(self.dram_cycle.get() + 1));
             for (i, core) in self.cores.iter().enumerate() {
                 let insts = core.stats().instructions;
                 if baseline[i].is_none() && insts >= warmup_insts {

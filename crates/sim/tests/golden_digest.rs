@@ -1,0 +1,88 @@
+//! Cross-scheduler golden digests: a fixed 4-thread workload must produce
+//! a bit-identical completion stream on every run, for every scheduler,
+//! with fast-forwarding on (the default). Any change to scheduling,
+//! timing, completion ordering, or the fast-forward machinery that moves
+//! a single request by a single cycle shows up here.
+//!
+//! To regenerate after an *intentional* behavior change, run this test
+//! and copy the digests from the failure message.
+
+use stfm_sim::{AloneCache, Experiment, SchedulerKind};
+use stfm_telemetry::{Event, RingSink};
+use stfm_workloads::spec;
+
+/// FNV-1a over the serviced-request stream: (request id, completion
+/// cycles, thread, direction, latency) in emission order.
+fn completion_digest(events: &[Event]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for e in events {
+        if let Event::RequestServiced {
+            dram_cycle,
+            cpu_cycle,
+            thread,
+            request,
+            is_write,
+            latency_cpu,
+            ..
+        } = e
+        {
+            mix(*request);
+            mix(dram_cycle.get());
+            mix(cpu_cycle.get());
+            mix(u64::from(*thread));
+            mix(u64::from(*is_write));
+            mix(latency_cpu.get());
+        }
+    }
+    h
+}
+
+#[test]
+fn completion_streams_match_goldens() {
+    // Golden digests for the workload below (mcf, libquantum, omnetpp,
+    // gems_fdtd; 3 000 instructions per thread; seed 11).
+    let golden: &[(SchedulerKind, u64)] = &[
+        (SchedulerKind::FrFcfs, 0x516443d7429d06c7),
+        (SchedulerKind::Fcfs, 0xe2573d87c5116701),
+        (SchedulerKind::FrFcfsCap { cap: 4 }, 0xf414530b2bb7a865),
+        (SchedulerKind::Nfq, 0xa5c2ee8152755867),
+        (SchedulerKind::Stfm, 0xb0ca41e7e50d5377),
+    ];
+    let cache = AloneCache::new();
+    let mut failures = String::new();
+    for &(kind, expect) in golden {
+        let run = Experiment::new(vec![
+            spec::mcf(),
+            spec::libquantum(),
+            spec::omnetpp(),
+            spec::gems_fdtd(),
+        ])
+        .scheduler(kind)
+        .instructions_per_thread(3_000)
+        .seed(11)
+        .run_traced(&cache, Box::new(RingSink::new(1 << 21)));
+        let mut sink = run.sink;
+        let ring = sink
+            .as_any_mut()
+            .downcast_mut::<RingSink>()
+            .expect("RingSink comes back out");
+        assert_eq!(ring.dropped(), 0, "ring too small for the run");
+        let events: Vec<Event> = ring.events().cloned().collect();
+        let got = completion_digest(&events);
+        if got != expect {
+            failures.push_str(&format!("        (SchedulerKind::{kind:?}, {got:#x}),\n"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "completion digests diverged; current values:\n{failures}"
+    );
+}

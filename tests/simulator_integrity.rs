@@ -81,7 +81,10 @@ fn memory_system_conserves_requests() {
             } else {
                 AccessKind::Read
             };
-            if mem.try_enqueue(thread, kind_a, addr, ClockRatio::PAPER.dram_to_cpu(now), 0).is_some() {
+            if mem
+                .try_enqueue(thread, kind_a, addr, ClockRatio::PAPER.dram_to_cpu(now), 0)
+                .is_some()
+            {
                 accepted += 1;
             }
             mem.tick(now);
@@ -189,7 +192,13 @@ fn chaos_policy_cannot_break_the_controller() {
                 AccessKind::Read
             };
             if mem
-                .try_enqueue(ThreadId((i % 4) as u32), kind, addr, ClockRatio::PAPER.dram_to_cpu(now), 0)
+                .try_enqueue(
+                    ThreadId((i % 4) as u32),
+                    kind,
+                    addr,
+                    ClockRatio::PAPER.dram_to_cpu(now),
+                    0,
+                )
                 .is_some()
             {
                 accepted += 1;

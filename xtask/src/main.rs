@@ -50,7 +50,11 @@ struct Finding {
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.text)
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.text
+        )
     }
 }
 
@@ -63,7 +67,9 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <task>\n\ntasks:\n  tidy    run the static-analysis harness");
+            eprintln!(
+                "usage: cargo xtask <task>\n\ntasks:\n  tidy    run the static-analysis harness"
+            );
             ExitCode::FAILURE
         }
     }
@@ -123,14 +129,20 @@ fn tidy() -> ExitCode {
         for f in &findings {
             println!("{f}");
         }
-        println!("tidy: {} finding(s) in {} files scanned", findings.len(), files.len());
+        println!(
+            "tidy: {} finding(s) in {} files scanned",
+            findings.len(),
+            files.len()
+        );
         ExitCode::FAILURE
     }
 }
 
 /// The repository root: the parent of this crate's manifest directory.
 fn repo_root() -> Option<PathBuf> {
-    Path::new(env!("CARGO_MANIFEST_DIR")).parent().map(Path::to_path_buf)
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map(Path::to_path_buf)
 }
 
 /// `path` relative to `root`, `/`-separated.
@@ -199,12 +211,7 @@ fn parse_allowlist(src: &str) -> Vec<AllowEntry> {
 }
 
 /// Runs all per-file lints.
-fn check_file(
-    rel: &str,
-    src: &str,
-    allowlist: &[AllowEntry],
-    used: &mut [bool],
-) -> Vec<Finding> {
+fn check_file(rel: &str, src: &str, allowlist: &[AllowEntry], used: &mut [bool]) -> Vec<Finding> {
     let mut findings = Vec::new();
     let code = code_only(src);
     let in_tests_dir = rel.split('/').any(|c| c == "tests");
@@ -582,9 +589,7 @@ mod tests {
     #[test]
     fn allowlisted_unwrap_is_accepted_and_marked_used() {
         let src = fixture("bad_unwrap.rs");
-        let allow = parse_allowlist(
-            "# vetted\ncrates/x/src/bad.rs: let a = maybe().unwrap();\n",
-        );
+        let allow = parse_allowlist("# vetted\ncrates/x/src/bad.rs: let a = maybe().unwrap();\n");
         let mut used = vec![false];
         let findings = check_file("crates/x/src/bad.rs", &src, &allow, &mut used);
         assert_eq!(
@@ -613,7 +618,10 @@ mod tests {
         let src = fixture("bad_crate_root.rs");
         let findings = check_file("crates/x/src/lib.rs", &src, &[], &mut []);
         assert_eq!(
-            findings.iter().filter(|f| f.rule == "crate-root-lints").count(),
+            findings
+                .iter()
+                .filter(|f| f.rule == "crate-root-lints")
+                .count(),
             2,
             "{findings:?}"
         );
@@ -634,7 +642,10 @@ mod tests {
         let src = "//! Doc.\nfn f() -> &'static str {\n    \".unwrap() dbg!(\"\n}\n";
         assert_eq!(rules_hit("crates/x/src/s.rs", src), Vec::<&str>::new());
         let cast_in_doc = "//! `x as DramCycle` is banned.\nfn f() {}\n";
-        assert_eq!(rules_hit("crates/x/src/t.rs", cast_in_doc), Vec::<&str>::new());
+        assert_eq!(
+            rules_hit("crates/x/src/t.rs", cast_in_doc),
+            Vec::<&str>::new()
+        );
     }
 
     #[test]
