@@ -29,6 +29,7 @@ fn main() {
             &kinds,
             args.insts,
             args.seed,
+            args.jobs,
         );
     }
 }

@@ -16,9 +16,16 @@ fn main() {
             &SchedulerKind::all(),
             args.insts,
             args.seed,
+            args.jobs,
         );
     }
-    let averages = report::averaged_sweep(&mixes, &SchedulerKind::all(), args.insts, args.seed);
+    let averages = report::averaged_sweep(
+        &mixes,
+        &SchedulerKind::all(),
+        args.insts,
+        args.seed,
+        args.jobs,
+    );
     report::print_averages(
         "Figure 11: geometric means over the 32 8-core workloads",
         &averages,

@@ -15,9 +15,16 @@ fn main() {
             &SchedulerKind::all(),
             args.insts,
             args.seed,
+            args.jobs,
         );
     }
     let bare: Vec<_> = mixes.into_iter().map(|(_, m)| m).collect();
-    let averages = report::averaged_sweep(&bare, &SchedulerKind::all(), args.insts, args.seed);
+    let averages = report::averaged_sweep(
+        &bare,
+        &SchedulerKind::all(),
+        args.insts,
+        args.seed,
+        args.jobs,
+    );
     report::print_averages("Figure 12: geometric means over the 3 workloads", &averages);
 }

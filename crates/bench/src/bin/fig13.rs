@@ -14,5 +14,6 @@ fn main() {
         &SchedulerKind::all(),
         args.insts,
         args.seed,
+        args.jobs,
     );
 }

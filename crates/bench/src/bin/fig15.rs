@@ -1,41 +1,48 @@
 //! Figure 15: effect of STFM's α parameter on unfairness and throughput
 //! (α ∈ {1, 1.05, 1.1, 1.2, 2, 5, 20} vs plain FR-FCFS).
+//!
+//! The α sweep is expressed as a JSONL spec grid and runs through the
+//! shared `stfm-serve` runner — the same cells `stfm sweep` would
+//! produce for this spec, exercising the data-driven path end to end.
 
-use stfm_bench::Args;
-use stfm_sim::{AloneCache, Experiment, SchedulerKind, Table};
-use stfm_workloads::mix;
+use stfm_bench::{report, Args};
+use stfm_serve::expand_line;
+use stfm_sim::{AloneCache, Table};
 
 fn main() {
     let args = Args::parse(150_000);
-    let cache = AloneCache::new();
-    let profiles = mix::case_study_intensive();
+    let spec = format!(
+        "{{\"scheduler\": \"stfm\", \"alpha\": [1, 1.05, 1.1, 1.2, 2, 5, 20], \
+         \"mix\": \"case_study_intensive\", \"insts\": {}, \"seed\": {}}}",
+        args.insts, args.seed
+    );
+    let baseline = format!(
+        "{{\"scheduler\": \"frfcfs\", \"mix\": \"case_study_intensive\", \
+         \"insts\": {}, \"seed\": {}}}",
+        args.insts, args.seed
+    );
+    let mut cells = match expand_line(&spec) {
+        Ok(cells) => cells,
+        Err(e) => panic!("fig15 spec: {e}"),
+    };
+    match expand_line(&baseline) {
+        Ok(more) => cells.extend(more),
+        Err(e) => panic!("fig15 baseline spec: {e}"),
+    }
+
+    let results = report::run_cells(&cells, &AloneCache::new(), args.jobs);
     let mut t = Table::new(["config", "unfairness", "w-speedup", "sum-ipc", "hmean"]);
-    for alpha in [1.0, 1.05, 1.1, 1.2, 2.0, 5.0, 20.0] {
-        let m = Experiment::new(profiles.clone())
-            .scheduler(SchedulerKind::Stfm)
-            .alpha(alpha)
-            .instructions_per_thread(args.insts)
-            .seed(args.seed)
-            .run_with_cache(&cache);
+    for (cell, m) in cells.iter().zip(&results) {
+        let label = cell
+            .alpha
+            .map_or_else(|| "FR-FCFS".to_string(), |a| format!("Alpha={a}"));
         t.row([
-            format!("Alpha={alpha}"),
+            label,
             format!("{:.2}", m.unfairness()),
             format!("{:.2}", m.weighted_speedup()),
             format!("{:.2}", m.sum_of_ipcs()),
             format!("{:.3}", m.hmean_speedup()),
         ]);
     }
-    let m = Experiment::new(profiles)
-        .scheduler(SchedulerKind::FrFcfs)
-        .instructions_per_thread(args.insts)
-        .seed(args.seed)
-        .run_with_cache(&cache);
-    t.row([
-        "FR-FCFS".to_string(),
-        format!("{:.2}", m.unfairness()),
-        format!("{:.2}", m.weighted_speedup()),
-        format!("{:.2}", m.sum_of_ipcs()),
-        format!("{:.3}", m.hmean_speedup()),
-    ]);
     println!("== Figure 15: α sweep (case-study-I workload) ==\n\n{t}");
 }

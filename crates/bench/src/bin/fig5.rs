@@ -34,7 +34,7 @@ fn main() {
                     .seed(args.seed)
             })
             .collect();
-        let r = stfm_sim::run_all_with_cache(&exps, &cache);
+        let r = stfm_sim::run_all_jobs(&exps, &cache, args.jobs);
         let (fr, st) = (&r[0], &r[1]);
         unfair.0.push(fr.unfairness());
         unfair.1.push(st.unfairness());

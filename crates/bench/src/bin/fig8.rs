@@ -13,5 +13,6 @@ fn main() {
         &SchedulerKind::all(),
         args.insts,
         args.seed,
+        args.jobs,
     );
 }

@@ -29,10 +29,17 @@ fn main() {
             &SchedulerKind::all(),
             args.insts,
             args.seed,
+            args.jobs,
         );
     }
 
-    let averages = report::averaged_sweep(&mixes, &SchedulerKind::all(), args.insts, args.seed);
+    let averages = report::averaged_sweep(
+        &mixes,
+        &SchedulerKind::all(),
+        args.insts,
+        args.seed,
+        args.jobs,
+    );
     report::print_averages(
         "Figure 9 (right): geometric means over all mixes",
         &averages,

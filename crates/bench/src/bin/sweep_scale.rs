@@ -1,0 +1,157 @@
+//! Sweep-scale benchmark: throughput of the `stfm-serve` runner on a
+//! 200-cell spec grid, cold (every cell simulated) and warm (every cell
+//! replayed from the persistent cache after a simulated process
+//! restart). Writes `BENCH_<date>.json` with cells/sec, cache hit rate,
+//! and wall-clock per pass, next to the `throughput` binary's artifact.
+//!
+//! Protocol (EXPERIMENTS.md "Sweep scale"): run at the base commit and
+//! at HEAD with identical arguments and compare the sections.
+
+use std::fmt::Write as _;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use stfm_bench::Args;
+use stfm_serve::{expand_line, run_sweep, Cell, ResultCache};
+use stfm_sim::AloneCache;
+
+/// `YYYY-MM-DD` from the system clock (civil-from-days, Howard Hinnant's
+/// algorithm) — the workspace has no date dependency.
+fn today() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// The 200-cell grid: 5 schedulers x 5 two-thread mixes x 8 seeds.
+fn grid(insts: u64) -> Vec<Cell> {
+    let line = format!(
+        "{{\"scheduler\": \"all\", \
+         \"mixes\": [[\"mcf\", \"libquantum\"], [\"mcf\", \"hmmer\"], \
+         [\"libquantum\", \"omnetpp\"], [\"GemsFDTD\", \"astar\"], \
+         [\"mcf\", \"omnetpp\"]], \
+         \"insts\": {insts}, \"seed\": [1, 2, 3, 4, 5, 6, 7, 8]}}"
+    );
+    match expand_line(&line) {
+        Ok(cells) => cells,
+        Err(e) => panic!("sweep_scale grid spec: {e}"),
+    }
+}
+
+struct Pass {
+    label: &'static str,
+    wall_s: f64,
+    cells: usize,
+    cache_hits: usize,
+}
+
+impl Pass {
+    fn cells_per_sec(&self) -> f64 {
+        self.cells as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn hit_rate(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cells as f64
+        }
+    }
+}
+
+fn run_pass(
+    label: &'static str,
+    cells: &[Cell],
+    cache_dir: &std::path::Path,
+    jobs: Option<usize>,
+) -> Pass {
+    // Fresh cache handles over the same directory each pass: the warm
+    // pass must hit disk like a restarted process, not the memo.
+    let alone = match AloneCache::with_dir(cache_dir.join("alone")) {
+        Ok(c) => c,
+        Err(e) => panic!("alone cache dir: {e}"),
+    };
+    let results = match ResultCache::with_dir(cache_dir.join("cells")) {
+        Ok(c) => c,
+        Err(e) => panic!("result cache dir: {e}"),
+    };
+    let started = Instant::now();
+    let summary = match run_sweep(cells, &alone, &results, jobs, |_| {}) {
+        Ok(s) => s,
+        Err(e) => panic!("sweep failed: {e}"),
+    };
+    Pass {
+        label,
+        wall_s: started.elapsed().as_secs_f64(),
+        cells: summary.cells,
+        cache_hits: summary.cache_hits,
+    }
+}
+
+fn main() {
+    let args = Args::parse(3_000);
+    let cells = grid(args.insts);
+    assert!(cells.len() >= 200, "grid must hold at least 200 cells");
+
+    let cache_dir = std::env::temp_dir().join(format!("stfm-sweep-scale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let cold = run_pass("cold", &cells, &cache_dir, args.jobs);
+    let warm = run_pass("warm", &cells, &cache_dir, args.jobs);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    assert_eq!(warm.cache_hits, warm.cells, "warm pass must hit every cell");
+
+    let date = today();
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"date\": \"{date}\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": \"sweep_scale: {} cells (5 schedulers x 5 mixes x 8 seeds), {} insts/thread, persistent cache\",",
+        cells.len(),
+        args.insts
+    );
+    json.push_str("  \"sweep_scale\": [\n");
+    for (i, p) in [&cold, &warm].iter().enumerate() {
+        let comma = if i == 1 { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"pass\": \"{}\", \"wall_s\": {:.4}, \"cells\": {}, \"cache_hits\": {}, \
+             \"hit_rate\": {:.3}, \"cells_per_sec\": {:.1}}}{comma}",
+            p.label,
+            p.wall_s,
+            p.cells,
+            p.cache_hits,
+            p.hit_rate(),
+            p.cells_per_sec(),
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = format!("BENCH_{date}.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => panic!("{path}: {e}"),
+    }
+    for p in [&cold, &warm] {
+        println!(
+            "{:>4}: {} cells in {:.2}s  ({:.1} cells/s, hit rate {:.0}%)",
+            p.label,
+            p.cells,
+            p.wall_s,
+            p.cells_per_sec(),
+            p.hit_rate() * 100.0
+        );
+    }
+}

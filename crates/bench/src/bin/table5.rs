@@ -33,7 +33,7 @@ fn sweep(
                     .seed(args.seed)
             })
             .collect();
-        for r in stfm_sim::run_all_with_cache(&exps, &cache) {
+        for r in stfm_sim::run_all_jobs(&exps, &cache, args.jobs) {
             acc.0.push(r.unfairness());
             acc.1.push(r.weighted_speedup());
         }

@@ -9,6 +9,8 @@ pub struct Args {
     pub seed: u64,
     /// Run the full-scale sweep where the default subsamples (`--full`).
     pub full: bool,
+    /// Worker-thread cap (`--jobs N`; `None` = all cores).
+    pub jobs: Option<usize>,
 }
 
 impl Args {
@@ -22,6 +24,7 @@ impl Args {
             insts: default_insts,
             seed: 1,
             full: false,
+            jobs: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -39,6 +42,13 @@ impl Args {
                         .unwrap_or_else(|| panic!("--seed needs a number"));
                 }
                 "--full" => args.full = true,
+                "--jobs" => {
+                    let n: usize = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--jobs needs a number"));
+                    args.jobs = (n > 0).then_some(n);
+                }
                 // `cargo bench --workspace` invokes every binary with
                 // --bench; the figure harnesses are run explicitly, not as
                 // Criterion benchmarks, so exit cleanly.
@@ -47,7 +57,7 @@ impl Args {
                     std::process::exit(0);
                 }
                 "--help" | "-h" => {
-                    println!("usage: [--insts N] [--seed N] [--full]");
+                    println!("usage: [--insts N] [--seed N] [--full] [--jobs N]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument: {other}"),

@@ -3,8 +3,44 @@
 //! `BENCH_<date>.json` simulator-throughput artifact.
 
 use std::fmt::Write as _;
-use stfm_sim::{gmean, AloneCache, Experiment, SchedulerKind, Table, WorkloadMetrics};
+use stfm_serve::{run_sweep, Cell, ResultCache, SchedSpec};
+use stfm_sim::{gmean, AloneCache, SchedulerKind, Table, WorkloadMetrics};
 use stfm_workloads::Profile;
+
+/// Builds one spec cell per scheduler for a fixed mix (the building block
+/// every figure harness shares with `stfm sweep` / `stfm serve`).
+pub fn cells_for(
+    profiles: &[Profile],
+    kinds: &[SchedulerKind],
+    insts: u64,
+    seed: u64,
+) -> Vec<Cell> {
+    let names: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
+    kinds
+        .iter()
+        .map(|k| {
+            Cell::new(SchedSpec::from_kind(*k), names.clone())
+                .insts(insts)
+                .seed(seed)
+        })
+        .collect()
+}
+
+/// Runs cells through the shared service runner and returns metrics in
+/// input order.
+///
+/// # Panics
+///
+/// Panics on the unknown-benchmark error, which is unreachable for cells
+/// built from real [`Profile`]s.
+pub fn run_cells(cells: &[Cell], alone: &AloneCache, jobs: Option<usize>) -> Vec<WorkloadMetrics> {
+    let results = ResultCache::in_memory();
+    let mut out = Vec::with_capacity(cells.len());
+    match run_sweep(cells, alone, &results, jobs, |o| out.push(o.metrics)) {
+        Ok(_) => out,
+        Err(e) => panic!("cell sweep failed: {e}"),
+    }
+}
 
 /// Runs `profiles` under every scheduler in `kinds` and prints the
 /// case-study layout (per-thread memory slowdowns, unfairness, and the
@@ -15,18 +51,10 @@ pub fn compare_schedulers(
     kinds: &[SchedulerKind],
     insts: u64,
     seed: u64,
+    jobs: Option<usize>,
 ) -> Vec<WorkloadMetrics> {
-    let cache = AloneCache::new();
-    let experiments: Vec<Experiment> = kinds
-        .iter()
-        .map(|k| {
-            Experiment::new(profiles.to_vec())
-                .scheduler(*k)
-                .instructions_per_thread(insts)
-                .seed(seed)
-        })
-        .collect();
-    let results = stfm_sim::run_all_with_cache(&experiments, &cache);
+    let cells = cells_for(profiles, kinds, insts, seed);
+    let results = run_cells(&cells, &AloneCache::new(), jobs);
     print_comparison(title, profiles, &results);
     results
 }
@@ -77,29 +105,27 @@ pub fn averaged_sweep(
     kinds: &[SchedulerKind],
     insts: u64,
     seed: u64,
+    jobs: Option<usize>,
 ) -> Vec<SchedulerAverages> {
-    let cache = AloneCache::new();
-    let mut averages = Vec::new();
+    let alone = AloneCache::new();
+    let mut cells = Vec::with_capacity(kinds.len() * mixes.len());
     for kind in kinds {
-        let experiments: Vec<Experiment> = mixes
-            .iter()
-            .map(|mix| {
-                Experiment::new(mix.clone())
-                    .scheduler(*kind)
-                    .instructions_per_thread(insts)
-                    .seed(seed)
-            })
-            .collect();
-        let results = stfm_sim::run_all_with_cache(&experiments, &cache);
-        averages.push(SchedulerAverages {
+        for mix in mixes {
+            cells.extend(cells_for(mix, std::slice::from_ref(kind), insts, seed));
+        }
+    }
+    let all = run_cells(&cells, &alone, jobs);
+    kinds
+        .iter()
+        .zip(all.chunks(mixes.len().max(1)))
+        .map(|(kind, results)| SchedulerAverages {
             scheduler: kind.name().to_string(),
             unfairness: gmean(results.iter().map(|m| m.unfairness())),
             weighted_speedup: gmean(results.iter().map(|m| m.weighted_speedup())),
             sum_of_ipcs: gmean(results.iter().map(|m| m.sum_of_ipcs())),
             hmean_speedup: gmean(results.iter().map(|m| m.hmean_speedup())),
-        });
-    }
-    averages
+        })
+        .collect()
 }
 
 /// One timed simulation run of the throughput benchmark

@@ -2,14 +2,16 @@
 
 use crate::args::Flags;
 use std::fs::File;
-use std::io::BufWriter;
+use std::io::{self, BufReader, BufWriter, Write as _};
 use std::path::Path;
 use stfm_core::StfmConfig;
 use stfm_cpu::{trace_io, Core, FileTrace};
 use stfm_dram::DramConfig;
 use stfm_mc::{MemorySystem, ThreadId, DEFAULT_SAMPLE_INTERVAL};
+use stfm_serve::{expand_line, run_sweep, ResultCache};
 use stfm_sim::{
-    AloneCache, Experiment, SchedulerKind, System, Table, ThreadMetrics, WorkloadMetrics,
+    run_all_jobs, AloneCache, Experiment, SchedulerKind, System, Table, ThreadMetrics,
+    WorkloadMetrics,
 };
 use stfm_telemetry::{EpochConfig, EpochSampler, JsonLinesSink, Sink, TeeSink};
 use stfm_workloads::{desktop, spec, Profile, SyntheticTrace};
@@ -21,13 +23,27 @@ stfm — Stall-Time Fair Memory scheduling reproduction
 USAGE:
   stfm run --workload <b1,b2,...> [--scheduler frfcfs|fcfs|cap|nfq|stfm|all]
            [--insts N] [--seed N] [--alpha X] [--weights w1,w2,...]
-           [--banks N] [--row-kb N] [--check] [--energy]
+           [--banks N] [--row-kb N] [--jobs N] [--check] [--energy]
   stfm trace --workload <b1,b2,...> [--scheduler frfcfs|fcfs|cap|nfq|stfm]
            [--insts N] [--seed N] [--epoch N] [--sample N] [--out-dir DIR]
+  stfm sweep <spec-file> [--jobs N] [--cache-dir DIR] [--quiet]
+  stfm serve [--jobs N] [--cache-dir DIR] [--tcp ADDR]
   stfm list
   stfm capture --benchmark <name> --ops N --out <file> [--seed N] [--cores N]
   stfm replay --traces <f1,f2,...> [--scheduler ...] [--insts N]
   stfm help
+
+`sweep` expands a JSONL spec file (one experiment grid per line; see
+DESIGN.md section 10) into cells, runs them across --jobs workers
+(default: all cores), and streams one JSON result line per cell to
+stdout in input order. Malformed lines print a one-line Err to stderr
+with the offending line number; the rest of the file still runs. With
+--cache-dir, completed cells persist and later runs replay them.
+
+`serve` is the long-running form: it reads spec lines from stdin (or
+accepts sequential connections with --tcp host:port), streams result
+lines plus per-line `epoch` telemetry, answers {\"cmd\":\"ping\"|\"stats\"}
+in stream order, and exits gracefully on {\"cmd\":\"shutdown\"} or EOF.
 
 `trace` runs one workload under one scheduler (default: stfm) with the
 telemetry sink attached and writes <out-dir>/events.jsonl (full event
@@ -107,7 +123,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 
     let cache = AloneCache::new();
-    let mut results = Vec::new();
+    let mut experiments = Vec::new();
     for kind in &kinds {
         let mut e = Experiment::new(profiles.clone())
             .scheduler(*kind)
@@ -124,8 +140,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 _ => e.weight(i as u32, *w),
             };
         }
-        results.push(e.run_with_cache(&cache));
+        experiments.push(e);
     }
+    let results = run_all_jobs(&experiments, &cache, jobs_flag(&f)?);
     if !f.has("quiet") {
         println!(
             "workload {:?}, {} instructions/thread, seed {}\n",
@@ -329,5 +346,147 @@ pub fn replay(args: &[String]) -> Result<(), String> {
     }
     print_metrics(&names, &results);
     let _ = StfmConfig::default(); // keep the core crate in the public surface
+    Ok(())
+}
+
+/// Resolves `--jobs` (0 or absent means "all cores").
+fn jobs_flag(f: &Flags) -> Result<Option<usize>, String> {
+    let n: usize = f.num("jobs", 0)?;
+    Ok((n > 0).then_some(n))
+}
+
+/// Builds the alone-run and result caches, persistent when `--cache-dir`
+/// is given (`DIR/alone` and `DIR/cells` respectively).
+fn sweep_caches(f: &Flags) -> Result<(AloneCache, ResultCache), String> {
+    match f.get("cache-dir") {
+        Some(dir) => {
+            let base = Path::new(dir);
+            let alone = AloneCache::with_dir(base.join("alone"))
+                .map_err(|e| format!("--cache-dir {dir}: {e}"))?;
+            let results = ResultCache::with_dir(base.join("cells"))
+                .map_err(|e| format!("--cache-dir {dir}: {e}"))?;
+            Ok((alone, results))
+        }
+        None => Ok((AloneCache::new(), ResultCache::in_memory())),
+    }
+}
+
+/// `stfm sweep`: expand a JSONL spec file and run every cell through the
+/// shared work-stealing runner, streaming result lines to stdout.
+pub fn sweep(args: &[String]) -> Result<(), String> {
+    // The spec file is the one positional argument; accept it anywhere
+    // relative to the flags.
+    let mut flag_args: Vec<String> = Vec::new();
+    let mut positionals: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a.starts_with("--") {
+            flag_args.push(a.clone());
+            if a != "--quiet" {
+                if let Some(v) = it.next() {
+                    flag_args.push(v.clone());
+                }
+            }
+        } else {
+            positionals.push(a);
+        }
+    }
+    let [path] = positionals[..] else {
+        return Err("usage: stfm sweep <spec-file> [--jobs N] [--cache-dir DIR] [--quiet]".into());
+    };
+    let f = Flags::parse(&flag_args)?;
+    let (alone, results) = sweep_caches(&f)?;
+    let quiet = f.has("quiet");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+
+    // Expand up front; malformed lines report and are skipped, the rest
+    // of the file still runs.
+    let mut cells = Vec::new();
+    let mut bad_lines = 0u64;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match expand_line(trimmed) {
+            Ok(batch) => cells.extend(batch),
+            Err(e) => {
+                bad_lines += 1;
+                eprintln!("{path}:{line_no}: Err: {e}");
+            }
+        }
+    }
+
+    let total = cells.len();
+    let started = std::time::Instant::now();
+    let mut out = io::stdout().lock();
+    let mut emitted = 0usize;
+    let mut write_failed = false;
+    let summary = run_sweep(&cells, &alone, &results, jobs_flag(&f)?, |o| {
+        if writeln!(out, "{}", o.line).is_err() {
+            write_failed = true;
+        }
+        emitted += 1;
+        if !quiet {
+            let c = &cells[o.index];
+            eprintln!(
+                "[{emitted}/{total}] {} {} insts={} seed={} -> {} ({} ms)",
+                c.scheduler.token(),
+                c.mix.join("+"),
+                c.insts,
+                c.seed,
+                if o.from_cache { "cache" } else { "run" },
+                o.wall.as_millis()
+            );
+        }
+    })?;
+    out.flush().map_err(|e| format!("stdout: {e}"))?;
+    if write_failed {
+        return Err("stdout: write failed".into());
+    }
+
+    let wall = started.elapsed().as_secs_f64();
+    if !quiet {
+        let rate = if wall > 0.0 {
+            summary.cells as f64 / wall
+        } else {
+            0.0
+        };
+        eprintln!(
+            "{} cells ({} cached, {} simulated, {} bad lines) on {} workers in {:.2}s ({:.1} cells/s)",
+            summary.cells,
+            summary.cache_hits,
+            summary.cells - summary.cache_hits,
+            bad_lines,
+            summary.workers,
+            wall,
+            rate
+        );
+    }
+    Ok(())
+}
+
+/// `stfm serve`: the long-running experiment service (stdin/stdout line
+/// protocol, or sequential TCP connections with `--tcp`).
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let (alone, results) = sweep_caches(&f)?;
+    let jobs = jobs_flag(&f)?;
+    if let Some(addr) = f.get("tcp") {
+        eprintln!("stfm serve: listening on {addr}");
+        stfm_serve::serve_tcp(addr, &alone, &results, jobs).map_err(|e| format!("{addr}: {e}"))?;
+        return Ok(());
+    }
+    // `StdinLock` is not `Send` (the reader runs on its own thread), so
+    // wrap the handle in a `BufReader` instead of locking it.
+    let stdin = BufReader::new(io::stdin());
+    let stdout = io::stdout().lock();
+    let totals = stfm_serve::serve(stdin, stdout, &alone, &results, jobs)
+        .map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "stfm serve: {} lines, {} cells ({} cached), {} errors",
+        totals.lines, totals.cells, totals.cache_hits, totals.errors
+    );
     Ok(())
 }

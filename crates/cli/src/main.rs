@@ -3,6 +3,8 @@
 //! ```text
 //! stfm run --workload mcf,libquantum,GemsFDTD,astar --scheduler stfm
 //! stfm run --workload mcf,libquantum --scheduler all --insts 100000
+//! stfm sweep experiments.jsonl --jobs 8 --cache-dir .stfm-cache
+//! stfm serve --cache-dir .stfm-cache < spec.jsonl
 //! stfm trace --workload mcf,libquantum --out-dir trace-out
 //! stfm list
 //! stfm capture --benchmark mcf --ops 50000 --out mcf.trace
@@ -21,6 +23,8 @@ fn main() {
         // `cargo bench --workspace` invokes binaries with --bench.
         Some("--bench") => Ok(()),
         Some("run") => commands::run(&argv[1..]),
+        Some("sweep") => commands::sweep(&argv[1..]),
+        Some("serve") => commands::serve(&argv[1..]),
         Some("trace") => commands::trace(&argv[1..]),
         Some("list") => commands::list(&argv[1..]),
         Some("capture") => commands::capture(&argv[1..]),

@@ -1,0 +1,211 @@
+//! Content-addressed persistent result cache.
+//!
+//! Keys are the FNV-1a hex digests of a cell's canonical form
+//! ([`crate::spec::Cell::key`]); values are complete, verbatim result
+//! lines ([`crate::result::result_line`]). Because a stored line is
+//! byte-identical to what a fresh run would emit, a cache hit can be
+//! replayed directly onto the output stream without breaking the
+//! determinism guarantee.
+//!
+//! The cache has two tiers: an in-process memo (a mutex-guarded map,
+//! shared by all worker threads of a sweep or serve session) and an
+//! optional on-disk tier (`cell-<key>.json` files under a cache
+//! directory, written atomically via a temp file and rename). Disk
+//! entries are validated on load — a truncated or hand-edited file
+//! parses as a miss, never as an error.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use stfm_sim::WorkloadMetrics;
+
+use crate::result::parse_result_line;
+
+/// A validated cache hit: the stored line plus its parsed metrics.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// The verbatim result line to replay.
+    pub line: String,
+    /// Metrics reconstructed from the line's integer counters.
+    pub metrics: WorkloadMetrics,
+}
+
+/// Two-tier (memory + optional disk) result cache, safe to share across
+/// worker threads.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    memo: Mutex<HashMap<String, String>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// A purely in-memory cache (no persistence).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// A cache backed by `dir`, created if missing. Entries written by
+    /// earlier processes are visible immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error if the directory cannot be created.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir: Some(dir),
+            ..Self::default()
+        })
+    }
+
+    /// The backing directory, if this cache persists to disk.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn entry_path(&self, key: &str) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("cell-{key}.json")))
+    }
+
+    /// Looks up a cell by content-address. Counts a hit or a miss.
+    pub fn lookup(&self, key: &str) -> Option<CachedResult> {
+        let memo_line = match self.memo.lock() {
+            Ok(memo) => memo.get(key).cloned(),
+            Err(_) => None,
+        };
+        let line = memo_line.or_else(|| self.load_disk(key));
+        match line {
+            Some(line) => {
+                // A stored line that no longer parses (or was filed under
+                // the wrong key) is treated as a miss, not an error.
+                match parse_result_line(&line) {
+                    Ok(parsed) if parsed.key == key => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        Some(CachedResult {
+                            line,
+                            metrics: parsed.metrics,
+                        })
+                    }
+                    _ => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn load_disk(&self, key: &str) -> Option<String> {
+        let path = self.entry_path(key)?;
+        let raw = fs::read_to_string(path).ok()?;
+        let line = raw.trim_end_matches('\n').to_string();
+        if let Ok(mut memo) = self.memo.lock() {
+            memo.insert(key.to_string(), line.clone());
+        }
+        Some(line)
+    }
+
+    /// Stores a freshly computed result line. Disk failures are
+    /// swallowed: persistence is an optimization, not a correctness
+    /// requirement.
+    pub fn store(&self, key: &str, line: &str) {
+        if let Ok(mut memo) = self.memo.lock() {
+            memo.insert(key.to_string(), line.to_string());
+        }
+        if let Some(path) = self.entry_path(key) {
+            let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+            if fs::write(&tmp, format!("{line}\n")).is_ok() && fs::rename(&tmp, &path).is_err() {
+                let _ = fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// Number of successful lookups so far.
+    #[must_use]
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of failed lookups so far.
+    #[must_use]
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::result_line;
+    use crate::spec::{Cell, SchedSpec};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stfm-serve-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_line() -> (String, String) {
+        let cell = Cell::new(SchedSpec::Fcfs, vec!["mcf".into()]).insts(1_000);
+        let metrics = cell.to_experiment().unwrap().run();
+        (cell.key(), result_line(&cell, &metrics))
+    }
+
+    #[test]
+    fn memory_tier_hits_after_store() {
+        let cache = ResultCache::in_memory();
+        let (key, line) = sample_line();
+        assert!(cache.lookup(&key).is_none());
+        cache.store(&key, &line);
+        let hit = cache.lookup(&key).unwrap();
+        assert_eq!(hit.line, line);
+        assert_eq!(cache.hit_count(), 1);
+        assert_eq!(cache.miss_count(), 1);
+    }
+
+    #[test]
+    fn disk_tier_survives_process_restart() {
+        let dir = scratch_dir("restart");
+        let (key, line) = sample_line();
+        {
+            let cache = ResultCache::with_dir(&dir).unwrap();
+            cache.store(&key, &line);
+        }
+        // A brand-new cache over the same directory sees the entry.
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        let hit = cache.lookup(&key).unwrap();
+        assert_eq!(hit.line, line);
+        assert!(!hit.metrics.threads.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_entries_are_misses() {
+        let dir = scratch_dir("corrupt");
+        let (key, line) = sample_line();
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        fs::write(dir.join(format!("cell-{key}.json")), "{ truncated").unwrap();
+        assert!(cache.lookup(&key).is_none());
+        // A valid line filed under a different key is also a miss.
+        cache.store("0000000000000000", &line);
+        assert!(cache.lookup("0000000000000000").is_none());
+        assert_eq!(cache.hit_count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,43 @@
+//! Experiment service: run the simulator as long-lived infrastructure.
+//!
+//! Everything upstream of this crate answers "what does one experiment
+//! say?"; this crate answers "how do we run thousands of them, repeatedly,
+//! without redoing work?". It adds three layers on top of
+//! [`stfm_sim::Experiment`]:
+//!
+//! 1. **Specs as data** ([`spec`]) — experiments are described by
+//!    dependency-free JSONL lines (scheduler, mix, instruction budget,
+//!    seed, DRAM geometry). A line may hold axis *lists*, which expand
+//!    into the full cross-product of concrete [`Cell`]s in a fixed,
+//!    documented order.
+//! 2. **Content-addressed results** ([`cache`]) — each cell's canonical
+//!    form is FNV-1a hashed into a key; completed [`result`] lines are
+//!    memoized in memory and optionally persisted to a cache directory,
+//!    so re-running a spec replays finished cells byte-for-byte and only
+//!    simulates what changed.
+//! 3. **Execution** ([`runner`], [`serve`]) — a work-stealing sharded
+//!    runner for batch sweeps (`stfm sweep`), and a long-running stdin/TCP
+//!    service (`stfm serve`) that streams result lines with backpressure,
+//!    per-line telemetry epochs, structured error responses, and graceful
+//!    shutdown.
+//!
+//! The whole stack preserves the repository's determinism contract: the
+//! result-line stream for a spec is byte-identical across worker counts,
+//! across `sweep`/`serve`/in-process entry points, and across cold and
+//! warm caches.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod result;
+pub mod runner;
+pub mod serve;
+pub mod spec;
+
+pub use cache::{CachedResult, ResultCache};
+pub use result::{parse_result_line, result_line, ParsedResult};
+pub use runner::{run_cell, run_sweep, CellOutcome, SweepSummary};
+pub use serve::{serve, serve_tcp, ServeTotals};
+pub use spec::{expand_line, Cell, SchedSpec, MAX_CELLS_PER_LINE, MAX_THREADS_PER_MIX};

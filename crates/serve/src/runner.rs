@@ -1,0 +1,216 @@
+//! Work-stealing sharded sweep runner.
+//!
+//! Generalizes the fixed-shard runner in `stfm_sim::runner` to arbitrary
+//! spec cells: a shared atomic cursor hands the next pending cell to
+//! whichever worker frees up first (natural work stealing — no shard can
+//! straggle), completed cells flow back over a channel, and the caller's
+//! emit hook observes them **in input order** regardless of completion
+//! order or worker count. That reordering is what makes the output stream
+//! byte-identical for every `--jobs` setting.
+//!
+//! Each cell consults the [`ResultCache`] first; a hit replays the stored
+//! line verbatim and skips the simulation entirely, which is how resumed
+//! sweeps fast-forward over already-completed cells.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use stfm_sim::{runner::resolve_jobs, AloneCache, WorkloadMetrics};
+
+use crate::cache::ResultCache;
+use crate::result::result_line;
+use crate::spec::Cell;
+
+/// One completed cell, as observed by the emit hook.
+#[derive(Debug)]
+pub struct CellOutcome {
+    /// Position of the cell in the input slice.
+    pub index: usize,
+    /// Content-address of the cell.
+    pub key: String,
+    /// The canonical result line (deterministic).
+    pub line: String,
+    /// The reconstructed or freshly computed metrics.
+    pub metrics: WorkloadMetrics,
+    /// Whether the result was replayed from the cache.
+    pub from_cache: bool,
+    /// Wall-clock time spent on this cell (lookup or simulation).
+    pub wall: Duration,
+}
+
+/// Aggregate accounting for one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Total cells processed.
+    pub cells: usize,
+    /// Cells satisfied by the result cache.
+    pub cache_hits: usize,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
+/// Runs one cell to completion: cache lookup, else simulate and store.
+///
+/// # Errors
+///
+/// Returns the message if the cell references an unknown benchmark
+/// (unreachable for cells produced by `spec::expand_line`, which
+/// validates names up front).
+pub fn run_cell(
+    cell: &Cell,
+    alone: &AloneCache,
+    results: &ResultCache,
+) -> Result<(String, WorkloadMetrics, bool), String> {
+    let key = cell.key();
+    if let Some(hit) = results.lookup(&key) {
+        return Ok((hit.line, hit.metrics, true));
+    }
+    let metrics = cell.to_experiment()?.run_with_cache(alone);
+    let line = result_line(cell, &metrics);
+    results.store(&key, &line);
+    Ok((line, metrics, false))
+}
+
+/// Runs every cell across a bounded worker pool, invoking `emit` once per
+/// cell **in input order**.
+///
+/// `jobs = None` (or `Some(0)`) uses the host's available parallelism.
+///
+/// # Errors
+///
+/// Returns the first per-cell error (unknown benchmark); cells after the
+/// failing one are still drained so workers shut down cleanly.
+pub fn run_sweep<F>(
+    cells: &[Cell],
+    alone: &AloneCache,
+    results: &ResultCache,
+    jobs: Option<usize>,
+    mut emit: F,
+) -> Result<SweepSummary, String>
+where
+    F: FnMut(CellOutcome),
+{
+    let workers = resolve_jobs(jobs).min(cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<Result<CellOutcome, String>>();
+    let mut cache_hits = 0usize;
+    let mut first_err: Option<String> = None;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(index) else { break };
+                let start = Instant::now();
+                let outcome =
+                    run_cell(cell, alone, results).map(|(line, metrics, from_cache)| CellOutcome {
+                        index,
+                        key: cell.key(),
+                        line,
+                        metrics,
+                        from_cache,
+                        wall: start.elapsed(),
+                    });
+                if tx.send(outcome).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // Reorder completions so `emit` sees input order.
+        let mut pending: BTreeMap<usize, CellOutcome> = BTreeMap::new();
+        let mut emitted = 0usize;
+        for completion in rx {
+            match completion {
+                Ok(outcome) => {
+                    pending.insert(outcome.index, outcome);
+                    while let Some(outcome) = pending.remove(&emitted) {
+                        emitted += 1;
+                        cache_hits += usize::from(outcome.from_cache);
+                        emit(outcome);
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+    });
+
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(SweepSummary {
+            cells: cells.len(),
+            cache_hits,
+            workers,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::expand_line;
+
+    fn small_grid() -> Vec<Cell> {
+        expand_line(
+            r#"{"scheduler": ["fcfs", "frfcfs", "stfm"], "mix": ["mcf", "libquantum"],
+                "insts": [500, 1000], "seed": [1, 2]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn emits_every_cell_in_input_order() {
+        let cells = small_grid();
+        let alone = AloneCache::new();
+        let results = ResultCache::in_memory();
+        let mut seen = Vec::new();
+        let summary = run_sweep(&cells, &alone, &results, Some(4), |o| seen.push(o.index)).unwrap();
+        assert_eq!(summary.cells, cells.len());
+        assert_eq!(summary.cache_hits, 0);
+        assert_eq!(seen, (0..cells.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn output_is_identical_for_any_worker_count() {
+        let cells = small_grid();
+        let mut streams = Vec::new();
+        for jobs in [Some(1), Some(3), None] {
+            let alone = AloneCache::new();
+            let results = ResultCache::in_memory();
+            let mut lines = String::new();
+            run_sweep(&cells, &alone, &results, jobs, |o| {
+                lines.push_str(&o.line);
+                lines.push('\n');
+            })
+            .unwrap();
+            streams.push(lines);
+        }
+        assert_eq!(streams[0], streams[1]);
+        assert_eq!(streams[0], streams[2]);
+    }
+
+    #[test]
+    fn second_pass_is_all_cache_hits() {
+        let cells = small_grid();
+        let alone = AloneCache::new();
+        let results = ResultCache::in_memory();
+        let cold = run_sweep(&cells, &alone, &results, Some(2), |_| {}).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        let mut replayed = Vec::new();
+        let warm = run_sweep(&cells, &alone, &results, Some(2), |o| {
+            replayed.push(o.from_cache);
+        })
+        .unwrap();
+        assert_eq!(warm.cache_hits, cells.len());
+        assert!(replayed.iter().all(|&hit| hit));
+    }
+}

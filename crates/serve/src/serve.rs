@@ -1,0 +1,519 @@
+//! The long-running `stfm serve` loop.
+//!
+//! Reads JSONL spec lines from an input stream, runs their cells through
+//! a bounded worker pool, and streams one JSON line per cell back in
+//! input order, followed by a per-line `epoch` telemetry summary. The
+//! design is a three-stage pipeline sharing one global sequence space:
+//!
+//! * **reader** (thread) — parses each input line, expands it into cells,
+//!   and pushes jobs into a *bounded* queue. When the queue is full the
+//!   reader blocks, which stops it consuming input: backpressure reaches
+//!   all the way back to the client's pipe.
+//! * **workers** (threads) — pull jobs work-stealing style and run each
+//!   cell (result-cache lookup, else simulate).
+//! * **emitter** (caller's thread) — reorders completions by sequence
+//!   number so the output stream is byte-identical for any `--jobs`.
+//!
+//! Malformed lines never crash the service: they produce a structured
+//! `{"type":"error","line":N,...}` response and processing continues.
+//! Result lines are deterministic; wall-clock and cache telemetry appear
+//! only in `epoch`/`stats`/`bye` lines, so filtering the stream to
+//! `"type":"result"` yields a reproducible transcript.
+//!
+//! Control commands (JSON objects with a `cmd` field) are answered in
+//! stream order: `{"cmd":"ping"}` → `pong`, `{"cmd":"stats"}` → running
+//! totals, `{"cmd":"shutdown"}` → drain queued work, emit `bye`, exit.
+//! EOF is an implicit graceful shutdown.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use stfm_sim::{runner::resolve_jobs, AloneCache};
+
+use crate::cache::ResultCache;
+use crate::json::{self, escape};
+use crate::runner::run_cell;
+use crate::spec::{expand_line, Cell};
+
+/// Running totals reported by `stats` and `bye` lines.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeTotals {
+    /// Spec lines processed (successful expansions plus errors).
+    pub lines: u64,
+    /// Cells completed.
+    pub cells: u64,
+    /// Cells replayed from the result cache.
+    pub cache_hits: u64,
+    /// Malformed or failed lines.
+    pub errors: u64,
+    /// Whether an explicit `shutdown` command ended the session (as
+    /// opposed to end-of-input).
+    pub shutdown_requested: bool,
+}
+
+/// One unit of work handed to the worker pool.
+struct Job {
+    seq: u64,
+    line_no: u64,
+    cell: Cell,
+}
+
+/// A completion or control event, tagged with its slot in the output
+/// sequence.
+enum Event {
+    Cell {
+        seq: u64,
+        line_no: u64,
+        line: String,
+        from_cache: bool,
+        wall: Duration,
+        error: Option<String>,
+    },
+    Error {
+        seq: u64,
+        line_no: u64,
+        message: String,
+    },
+    Epoch {
+        seq: u64,
+        line_no: u64,
+        cells: u64,
+    },
+    Pong {
+        seq: u64,
+    },
+    Stats {
+        seq: u64,
+    },
+    Bye {
+        seq: u64,
+    },
+}
+
+impl Event {
+    fn seq(&self) -> u64 {
+        match self {
+            Event::Cell { seq, .. }
+            | Event::Error { seq, .. }
+            | Event::Epoch { seq, .. }
+            | Event::Pong { seq }
+            | Event::Stats { seq }
+            | Event::Bye { seq } => *seq,
+        }
+    }
+}
+
+fn wall_ms(wall: Duration) -> u64 {
+    u64::try_from(wall.as_millis()).unwrap_or(u64::MAX)
+}
+
+fn totals_fields(t: &ServeTotals) -> String {
+    format!(
+        "\"lines\":{},\"cells\":{},\"cache_hits\":{},\"errors\":{}",
+        t.lines, t.cells, t.cache_hits, t.errors
+    )
+}
+
+/// Reads the input stream to completion (or `shutdown`), streaming
+/// responses to `output`. Returns the session totals.
+///
+/// # Errors
+///
+/// Only output I/O failures are errors; malformed input lines are
+/// reported in-band and never abort the session.
+pub fn serve(
+    input: impl BufRead + Send,
+    mut output: impl Write,
+    alone: &AloneCache,
+    results: &ResultCache,
+    jobs: Option<usize>,
+) -> io::Result<ServeTotals> {
+    let workers = resolve_jobs(jobs);
+    let queue_cap = (workers * 4).max(16);
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(queue_cap);
+    let job_rx = Mutex::new(job_rx);
+    let (event_tx, event_rx) = mpsc::channel::<Event>();
+    let shutdown_flag = AtomicBool::new(false);
+    // Set when the output stream fails: the reader stops consuming input
+    // and workers drain the queue without simulating, so nothing blocks.
+    let abort_flag = AtomicBool::new(false);
+
+    let mut totals = ServeTotals::default();
+    let mut write_err: Option<io::Error> = None;
+
+    std::thread::scope(|scope| {
+        // Reader: input lines -> jobs + control events.
+        let reader_tx = event_tx.clone();
+        let shutdown = &shutdown_flag;
+        let reader_abort = &abort_flag;
+        scope.spawn(move || {
+            let mut seq = 0u64;
+            let next = |s: &mut u64| {
+                let v = *s;
+                *s += 1;
+                v
+            };
+            for (idx, read) in input.lines().enumerate() {
+                if reader_abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                let line_no = idx as u64 + 1;
+                let Ok(raw) = read else { break };
+                let trimmed = raw.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                if let Some(cmd) = control_command(trimmed) {
+                    let event = match cmd.as_str() {
+                        "shutdown" => {
+                            shutdown.store(true, Ordering::Relaxed);
+                            Event::Bye {
+                                seq: next(&mut seq),
+                            }
+                        }
+                        "ping" => Event::Pong {
+                            seq: next(&mut seq),
+                        },
+                        "stats" => Event::Stats {
+                            seq: next(&mut seq),
+                        },
+                        other => Event::Error {
+                            seq: next(&mut seq),
+                            line_no,
+                            message: format!("unknown command '{other}'"),
+                        },
+                    };
+                    let stop = matches!(event, Event::Bye { .. });
+                    if reader_tx.send(event).is_err() || stop {
+                        return;
+                    }
+                    continue;
+                }
+                match expand_line(trimmed) {
+                    Ok(cells) => {
+                        let count = cells.len() as u64;
+                        for cell in cells {
+                            let job = Job {
+                                seq: next(&mut seq),
+                                line_no,
+                                cell,
+                            };
+                            if job_tx.send(job).is_err() {
+                                return;
+                            }
+                        }
+                        let epoch = Event::Epoch {
+                            seq: next(&mut seq),
+                            line_no,
+                            cells: count,
+                        };
+                        if reader_tx.send(epoch).is_err() {
+                            return;
+                        }
+                    }
+                    Err(message) => {
+                        let event = Event::Error {
+                            seq: next(&mut seq),
+                            line_no,
+                            message,
+                        };
+                        if reader_tx.send(event).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+            // EOF: implicit graceful shutdown.
+            let _ = reader_tx.send(Event::Bye {
+                seq: next(&mut seq),
+            });
+        });
+
+        // Workers: jobs -> cell completions.
+        for _ in 0..workers {
+            let worker_tx = event_tx.clone();
+            let job_rx = &job_rx;
+            let worker_abort = &abort_flag;
+            scope.spawn(move || loop {
+                let job = {
+                    let Ok(rx) = job_rx.lock() else { break };
+                    rx.recv()
+                };
+                let Ok(job) = job else { break };
+                if worker_abort.load(Ordering::Relaxed) {
+                    // Output already failed: drain without simulating so
+                    // the reader's bounded send never wedges.
+                    continue;
+                }
+                let start = Instant::now();
+                let event = match run_cell(&job.cell, alone, results) {
+                    Ok((line, _metrics, from_cache)) => Event::Cell {
+                        seq: job.seq,
+                        line_no: job.line_no,
+                        line,
+                        from_cache,
+                        wall: start.elapsed(),
+                        error: None,
+                    },
+                    Err(message) => Event::Cell {
+                        seq: job.seq,
+                        line_no: job.line_no,
+                        line: String::new(),
+                        from_cache: false,
+                        wall: start.elapsed(),
+                        error: Some(message),
+                    },
+                };
+                if worker_tx.send(event).is_err() {
+                    // Emitter gone: keep draining rather than exiting so
+                    // the job queue keeps moving.
+                    continue;
+                }
+            });
+        }
+        drop(event_tx);
+
+        // Emitter: reorder by sequence number, write in input order.
+        let mut pending: BTreeMap<u64, Event> = BTreeMap::new();
+        let mut line_agg: HashMap<u64, (u64, Duration)> = HashMap::new();
+        let mut next_seq = 0u64;
+        'drain: for event in event_rx {
+            pending.insert(event.seq(), event);
+            while let Some(event) = pending.remove(&next_seq) {
+                next_seq += 1;
+                let rendered = render(event, &mut totals, &mut line_agg);
+                for out_line in rendered {
+                    if let Err(e) = writeln!(output, "{out_line}").and_then(|()| output.flush()) {
+                        write_err = Some(e);
+                        abort_flag.store(true, Ordering::Relaxed);
+                        break 'drain;
+                    }
+                }
+            }
+        }
+    });
+
+    totals.shutdown_requested = shutdown_flag.load(Ordering::Relaxed);
+    match write_err {
+        Some(e) => Err(e),
+        None => Ok(totals),
+    }
+}
+
+/// Extracts the `cmd` value if the line is a control command.
+fn control_command(line: &str) -> Option<String> {
+    let v = json::parse(line).ok()?;
+    Some(v.get("cmd")?.as_str().unwrap_or_default().to_string())
+}
+
+/// Renders one in-order event to zero or more output lines, updating
+/// running totals and per-line aggregates.
+fn render(
+    event: Event,
+    totals: &mut ServeTotals,
+    line_agg: &mut HashMap<u64, (u64, Duration)>,
+) -> Vec<String> {
+    match event {
+        Event::Cell {
+            line_no,
+            line,
+            from_cache,
+            wall,
+            error,
+            ..
+        } => {
+            totals.cells += 1;
+            totals.cache_hits += u64::from(from_cache);
+            let agg = line_agg.entry(line_no).or_default();
+            agg.0 += u64::from(from_cache);
+            agg.1 += wall;
+            match error {
+                Some(message) => {
+                    totals.errors += 1;
+                    vec![format!(
+                        "{{\"type\":\"error\",\"line\":{line_no},\"error\":\"{}\"}}",
+                        escape(&message)
+                    )]
+                }
+                None => vec![line],
+            }
+        }
+        Event::Error {
+            line_no, message, ..
+        } => {
+            totals.lines += 1;
+            totals.errors += 1;
+            vec![format!(
+                "{{\"type\":\"error\",\"line\":{line_no},\"error\":\"{}\"}}",
+                escape(&message)
+            )]
+        }
+        Event::Epoch { line_no, cells, .. } => {
+            totals.lines += 1;
+            let (hits, wall) = line_agg.remove(&line_no).unwrap_or_default();
+            vec![format!(
+                "{{\"type\":\"epoch\",\"line\":{line_no},\"cells\":{cells},\"cache_hits\":{hits},\"wall_ms\":{}}}",
+                wall_ms(wall)
+            )]
+        }
+        Event::Pong { .. } => vec!["{\"type\":\"pong\"}".to_string()],
+        Event::Stats { .. } => {
+            vec![format!("{{\"type\":\"stats\",{}}}", totals_fields(totals))]
+        }
+        Event::Bye { .. } => vec![format!("{{\"type\":\"bye\",{}}}", totals_fields(totals))],
+    }
+}
+
+/// Serves sequential TCP connections on `addr` until one of them issues a
+/// `shutdown` command. Each connection gets the full line protocol;
+/// caches are shared across connections.
+///
+/// # Errors
+///
+/// Propagates bind/accept failures; per-connection I/O errors only end
+/// that connection.
+pub fn serve_tcp(
+    addr: &str,
+    alone: &AloneCache,
+    results: &ResultCache,
+    jobs: Option<usize>,
+) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = BufReader::new(stream.try_clone()?);
+        match serve(reader, stream, alone, results, jobs) {
+            Ok(totals) if totals.shutdown_requested => break,
+            Ok(_) | Err(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use std::io::Cursor;
+
+    fn run(input: &str, jobs: Option<usize>) -> (Vec<String>, ServeTotals) {
+        let alone = AloneCache::new();
+        let results = ResultCache::in_memory();
+        run_with(input, jobs, &alone, &results)
+    }
+
+    fn run_with(
+        input: &str,
+        jobs: Option<usize>,
+        alone: &AloneCache,
+        results: &ResultCache,
+    ) -> (Vec<String>, ServeTotals) {
+        let mut out = Vec::new();
+        let totals = serve(
+            Cursor::new(input.to_string()),
+            &mut out,
+            alone,
+            results,
+            jobs,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        (text.lines().map(str::to_string).collect(), totals)
+    }
+
+    fn kind(line: &str) -> String {
+        json::parse(line)
+            .unwrap()
+            .get("type")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn streams_results_then_epoch_then_bye() {
+        let spec = r#"{"scheduler": ["fcfs", "stfm"], "mix": ["mcf", "hmmer"], "insts": 600}"#;
+        let (lines, totals) = run(spec, Some(2));
+        let kinds: Vec<_> = lines.iter().map(|l| kind(l)).collect();
+        assert_eq!(kinds, ["result", "result", "epoch", "bye"]);
+        assert_eq!(totals.lines, 1);
+        assert_eq!(totals.cells, 2);
+        assert_eq!(totals.errors, 0);
+        assert!(!totals.shutdown_requested);
+    }
+
+    #[test]
+    fn malformed_lines_answer_in_band_and_never_crash() {
+        let input = concat!(
+            "{\"scheduler\": \"fcfs\", \"mix\": [\"mcf\"], \"insts\": 500}\n",
+            "this is not json\n",
+            "{\"scheduler\": \"warlock\", \"mix\": [\"mcf\"]}\n",
+            "{\"scheduler\": \"fcfs\", \"mix\": [\"mcf\"], \"insts\": 500}\n",
+        );
+        let (lines, totals) = run(input, Some(2));
+        let kinds: Vec<_> = lines.iter().map(|l| kind(l)).collect();
+        assert_eq!(
+            kinds,
+            ["result", "epoch", "error", "error", "result", "epoch", "bye"]
+        );
+        assert_eq!(totals.errors, 2);
+        assert_eq!(totals.lines, 4);
+        // Error lines carry the offending 1-based input line number.
+        let err = json::parse(&lines[2]).unwrap();
+        assert_eq!(err.get("line").and_then(Value::as_u64), Some(2));
+        let err = json::parse(&lines[3]).unwrap();
+        assert_eq!(err.get("line").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn control_commands_answer_in_stream_order() {
+        let input = concat!(
+            "{\"cmd\": \"ping\"}\n",
+            "{\"scheduler\": \"fcfs\", \"mix\": [\"mcf\"], \"insts\": 500}\n",
+            "{\"cmd\": \"stats\"}\n",
+            "{\"cmd\": \"shutdown\"}\n",
+            "{\"scheduler\": \"fcfs\", \"mix\": [\"hmmer\"], \"insts\": 500}\n",
+        );
+        let (lines, totals) = run(input, Some(2));
+        let kinds: Vec<_> = lines.iter().map(|l| kind(l)).collect();
+        // The line after shutdown is never processed.
+        assert_eq!(kinds, ["pong", "result", "epoch", "stats", "bye"]);
+        assert!(totals.shutdown_requested);
+        let stats = json::parse(&lines[3]).unwrap();
+        assert_eq!(stats.get("cells").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn result_stream_is_identical_for_any_worker_count() {
+        let input = concat!(
+            "{\"scheduler\": \"all\", \"mix\": [\"mcf\", \"libquantum\"], \"insts\": 500}\n",
+            "{\"scheduler\": \"stfm\", \"alpha\": [1.05, 1.2], \"mix\": \"case_study_mixed\", \"insts\": 400}\n",
+        );
+        let filter = |lines: Vec<String>| -> Vec<String> {
+            lines.into_iter().filter(|l| kind(l) == "result").collect()
+        };
+        let (a, _) = run(input, Some(1));
+        let (b, _) = run(input, Some(4));
+        assert_eq!(filter(a), filter(b));
+    }
+
+    #[test]
+    fn warm_cache_replays_identical_lines() {
+        let input = "{\"scheduler\": [\"fcfs\", \"nfq\"], \"mix\": [\"mcf\"], \"insts\": 500}\n";
+        let alone = AloneCache::new();
+        let results = ResultCache::in_memory();
+        let (cold, t_cold) = run_with(input, Some(2), &alone, &results);
+        let (warm, t_warm) = run_with(input, Some(2), &alone, &results);
+        assert_eq!(t_cold.cache_hits, 0);
+        assert_eq!(t_warm.cache_hits, 2);
+        let only_results = |v: &[String]| -> Vec<String> {
+            v.iter().filter(|l| kind(l) == "result").cloned().collect()
+        };
+        assert_eq!(only_results(&cold), only_results(&warm));
+    }
+}

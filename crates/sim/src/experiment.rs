@@ -10,6 +10,8 @@ use crate::metrics::{ThreadMetrics, WorkloadMetrics};
 use crate::scheduler_kind::SchedulerKind;
 use crate::system::System;
 use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError};
 use stfm_core::StfmConfig;
 use stfm_cpu::{Core, CoreConfig, CoreStats, PrefetchConfig};
@@ -33,15 +35,42 @@ type AloneKey = (String, DramConfig, u64, u64, bool);
 
 /// Memoizes alone-run baselines keyed by (benchmark, DRAM config, budget,
 /// seed). Thread-safe: the parallel runner shares one cache.
+///
+/// With [`AloneCache::with_dir`] the cache is additionally backed by a
+/// directory on disk, so baselines survive across process invocations
+/// (the sweep runner and `stfm serve` amortize them over thousands of
+/// cells). Disk entries are keyed by an FNV digest of the full cache key
+/// and self-validating: a file whose stored key string does not match is
+/// treated as a miss and rewritten.
 #[derive(Debug, Default)]
 pub struct AloneCache {
     inner: Mutex<HashMap<AloneKey, CoreStats>>,
+    dir: Option<PathBuf>,
 }
+
+/// First line of every persisted baseline file (format version gate).
+const ALONE_FILE_HEADER: &str = "stfm-alone v1";
 
 impl AloneCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a cache persisted under `dir` (created if missing):
+    /// baselines computed by any run land there and seed later
+    /// invocations.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(AloneCache {
+            inner: Mutex::new(HashMap::new()),
+            dir: Some(dir),
+        })
     }
 
     /// Number of memoized baselines.
@@ -82,12 +111,96 @@ impl AloneCache {
         {
             return *hit;
         }
+        let key_str = Self::key_string(&key);
+        if let Some(dir) = &self.dir {
+            if let Some(hit) = Self::load_disk(&Self::disk_path(dir, &key_str), &key_str) {
+                self.inner
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(key, hit);
+                return hit;
+            }
+        }
         let stats = run_alone_with(profile, dram, insts, seed, prefetch);
+        if let Some(dir) = &self.dir {
+            Self::store_disk(&Self::disk_path(dir, &key_str), &key_str, &stats);
+        }
         self.inner
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(key, stats);
         stats
+    }
+
+    /// Canonical one-line rendering of an [`AloneKey`]. The derived
+    /// `Debug` of `DramConfig` spells out every timing and geometry field,
+    /// so two keys collide only if the configurations are identical; a
+    /// format change across versions merely misses (and refreshes) the
+    /// disk entry.
+    fn key_string(key: &AloneKey) -> String {
+        format!(
+            "alone-v1|{}|{:?}|insts={}|seed={}|prefetch={}",
+            key.0, key.1, key.2, key.3, key.4
+        )
+    }
+
+    fn disk_path(dir: &Path, key_str: &str) -> PathBuf {
+        dir.join(format!("alone-{}.txt", crate::digest::hex_digest(key_str)))
+    }
+
+    /// Reads a persisted baseline; any mismatch (version, key string,
+    /// unknown field, parse failure) is a miss, never an error.
+    fn load_disk(path: &Path, key_str: &str) -> Option<CoreStats> {
+        let src = std::fs::read_to_string(path).ok()?;
+        let mut lines = src.lines();
+        if lines.next()? != ALONE_FILE_HEADER || lines.next()? != key_str {
+            return None;
+        }
+        let mut stats = CoreStats::default();
+        for line in lines {
+            let (field, value) = line.split_once(' ')?;
+            let v: u64 = value.parse().ok()?;
+            match field {
+                "cycles" => stats.cycles = v,
+                "instructions" => stats.instructions = v,
+                "mem_stall_cycles" => stats.mem_stall_cycles = v,
+                "loads" => stats.loads = v,
+                "stores" => stats.stores = v,
+                "l2_misses" => stats.l2_misses = v,
+                "l2_merged" => stats.l2_merged = v,
+                "writebacks" => stats.writebacks = v,
+                "prefetches" => stats.prefetches = v,
+                "prefetch_hits" => stats.prefetch_hits = v,
+                _ => return None,
+            }
+        }
+        Some(stats)
+    }
+
+    /// Persists a baseline via write-to-temp + rename, so concurrent
+    /// processes sharing a cache directory never observe a torn file.
+    /// Failures are swallowed: the disk layer is an optimization.
+    fn store_disk(path: &Path, key_str: &str, stats: &CoreStats) {
+        let mut s = format!("{ALONE_FILE_HEADER}\n{key_str}\n");
+        let fields = [
+            ("cycles", stats.cycles),
+            ("instructions", stats.instructions),
+            ("mem_stall_cycles", stats.mem_stall_cycles),
+            ("loads", stats.loads),
+            ("stores", stats.stores),
+            ("l2_misses", stats.l2_misses),
+            ("l2_merged", stats.l2_merged),
+            ("writebacks", stats.writebacks),
+            ("prefetches", stats.prefetches),
+            ("prefetch_hits", stats.prefetch_hits),
+        ];
+        for (name, v) in fields {
+            let _ = writeln!(s, "{name} {v}");
+        }
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        if std::fs::write(&tmp, s).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
     }
 }
 
@@ -403,6 +516,57 @@ mod tests {
         // Both threads run the same benchmark on the same config: one
         // baseline entry.
         assert_eq!(cache.len(), 1);
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stfm-alone-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_backed_cache_survives_reconstruction() {
+        let dir = scratch_dir("roundtrip");
+        let e =
+            Experiment::new(vec![spec::omnetpp(), spec::hmmer()]).instructions_per_thread(2_000);
+
+        let first = AloneCache::with_dir(&dir).unwrap();
+        let a = e.run_with_cache(&first);
+        assert_eq!(first.len(), 2);
+
+        // A fresh cache over the same directory starts empty in memory but
+        // resolves both baselines from disk, bit-identically.
+        let second = AloneCache::with_dir(&dir).unwrap();
+        assert!(second.is_empty());
+        let b = e.run_with_cache(&second);
+        assert_eq!(second.len(), 2);
+        assert_eq!(a.unfairness(), b.unfairness());
+        assert_eq!(a.weighted_speedup(), b.weighted_speedup());
+        for (x, y) in a.threads.iter().zip(&b.threads) {
+            assert_eq!(x.alone, y.alone, "persisted baseline diverged");
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_a_miss_not_an_error() {
+        let dir = scratch_dir("corrupt");
+        let cache = AloneCache::with_dir(&dir).unwrap();
+        let e = Experiment::new(vec![spec::omnetpp()]).instructions_per_thread(2_000);
+        let _ = e.run_with_cache(&cache);
+
+        // Truncate every persisted file mid-line.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            std::fs::write(&path, "stfm-alone v1\ngarbage").unwrap();
+        }
+        let fresh = AloneCache::with_dir(&dir).unwrap();
+        let _ = e.run_with_cache(&fresh);
+        assert_eq!(fresh.len(), 1, "recomputed past the corrupt entry");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod digest;
 pub mod experiment;
 pub mod metrics;
 pub mod runner;
@@ -37,7 +38,7 @@ pub use experiment::{
     run_alone, run_alone_with, AloneCache, Experiment, TracedRun, DEFAULT_INSTRUCTIONS,
 };
 pub use metrics::{gmean, unfairness_from_slowdowns, ThreadMetrics, WorkloadMetrics};
-pub use runner::{run_all, run_all_with_cache};
+pub use runner::{run_all, run_all_jobs, run_all_with_cache};
 pub use scheduler_kind::SchedulerKind;
 pub use stfm_mc::RowPolicy;
 pub use system::{RunOutcome, System};

@@ -19,10 +19,30 @@ pub fn run_all(experiments: &[Experiment]) -> Vec<WorkloadMetrics> {
 /// Like [`run_all`] but reusing an existing alone-run cache (useful when a
 /// harness runs several sweeps over the same benchmarks).
 pub fn run_all_with_cache(experiments: &[Experiment], cache: &AloneCache) -> Vec<WorkloadMetrics> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(experiments.len().max(1));
+    run_all_jobs(experiments, cache, None)
+}
+
+/// Resolves a `--jobs` request against the host: `None` (or `Some(0)`)
+/// means `available_parallelism`, anything else is taken as given.
+#[must_use]
+pub fn resolve_jobs(jobs: Option<usize>) -> usize {
+    match jobs {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Like [`run_all_with_cache`] with a bounded worker count: `jobs` caps
+/// the threads spawned (`None` / `Some(0)` = `available_parallelism`), so
+/// CI runners and laptops can keep sweeps from saturating the host.
+pub fn run_all_jobs(
+    experiments: &[Experiment],
+    cache: &AloneCache,
+    jobs: Option<usize>,
+) -> Vec<WorkloadMetrics> {
+    let workers = resolve_jobs(jobs).min(experiments.len().max(1));
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<WorkloadMetrics>>> =
         experiments.iter().map(|_| Mutex::new(None)).collect();
@@ -84,5 +104,31 @@ mod tests {
             assert_eq!(p.scheduler, s.scheduler);
             assert_eq!(p.unfairness(), s.unfairness());
         }
+    }
+
+    #[test]
+    fn bounded_jobs_match_default_worker_count() {
+        let experiments: Vec<Experiment> = [SchedulerKind::FrFcfs, SchedulerKind::Stfm]
+            .iter()
+            .map(|k| {
+                Experiment::new(vec![spec::omnetpp(), spec::hmmer()])
+                    .scheduler(*k)
+                    .instructions_per_thread(2_000)
+            })
+            .collect();
+        let cache = AloneCache::new();
+        let default = run_all_with_cache(&experiments, &cache);
+        let single = run_all_jobs(&experiments, &cache, Some(1));
+        for (a, b) in default.iter().zip(&single) {
+            assert_eq!(a.scheduler, b.scheduler);
+            assert_eq!(a.unfairness(), b.unfairness());
+            assert_eq!(a.weighted_speedup(), b.weighted_speedup());
+        }
+    }
+
+    #[test]
+    fn zero_and_none_jobs_fall_back_to_host_parallelism() {
+        assert_eq!(super::resolve_jobs(None), super::resolve_jobs(Some(0)));
+        assert_eq!(super::resolve_jobs(Some(3)), 3);
     }
 }

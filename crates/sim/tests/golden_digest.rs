@@ -7,6 +7,7 @@
 //! To regenerate after an *intentional* behavior change, run this test
 //! and copy the digests from the failure message.
 
+use stfm_sim::digest::Fnv64;
 use stfm_sim::{AloneCache, Experiment, SchedulerKind};
 use stfm_telemetry::{Event, RingSink};
 use stfm_workloads::spec;
@@ -14,15 +15,8 @@ use stfm_workloads::spec;
 /// FNV-1a over the serviced-request stream: (request id, completion
 /// cycles, thread, direction, latency) in emission order.
 fn completion_digest(events: &[Event]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut mix = |v: u64| {
-        for byte in v.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
+    let mut h = Fnv64::new();
+    let mut mix = |v: u64| h.write_u64(v);
     for e in events {
         if let Event::RequestServiced {
             dram_cycle,
@@ -42,7 +36,7 @@ fn completion_digest(events: &[Event]) -> u64 {
             mix(latency_cpu.get());
         }
     }
-    h
+    h.finish()
 }
 
 #[test]
