@@ -1,19 +1,25 @@
 //! Simulator throughput benchmark: wall-clock speed of the cycle-accurate
 //! core, measured as simulated-DRAM-cycles/sec and serviced-requests/sec
-//! for a fixed-seed 4-thread mix under all five schedulers.
+//! for fixed-seed 4-thread mixes under all five schedulers, in two
+//! regimes: the bandwidth-bound streaming case-study mix (`results`) and
+//! the latency-bound dependent-load mix (`pointer_chase`).
 //!
-//! Writes `BENCH_<date>.json` in the current directory (via
-//! [`stfm_bench::report::throughput_json`]). To produce the before/after
-//! artifact documented in EXPERIMENTS.md, run this binary at the base
-//! commit and at HEAD with identical arguments and combine the `"results"`
-//! sections as `"before"` / `"after"`.
+//! Writes `BENCH_<date>.json` in the current directory (override with
+//! `--out PATH`; via [`stfm_bench::report::throughput_json`]). To produce
+//! the before/after artifact documented in EXPERIMENTS.md, run this
+//! binary at the base commit and at HEAD with identical arguments and
+//! combine the sections as `"before"` / `"after"`. `--stepped` times the
+//! cycle-by-cycle reference loop instead of the event-driven one — the
+//! two simulate bit-identical results (see
+//! `crates/sim/tests/event_equivalence.rs`), so the wall-clock ratio is
+//! the event core's speedup.
 
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use stfm_bench::report::{throughput_json, ThroughputRun};
 use stfm_bench::Args;
 use stfm_sim::{AloneCache, Experiment, SchedulerKind};
 use stfm_telemetry::{Event, Sink};
-use stfm_workloads::{spec, Profile};
+use stfm_workloads::{mix, spec, Profile};
 
 /// Counts serviced requests without retaining events (sinks only observe,
 /// so attaching one never changes simulated results).
@@ -34,7 +40,7 @@ impl Sink for CountingSink {
     }
 }
 
-fn mix() -> Vec<Profile> {
+fn streaming_mix() -> Vec<Profile> {
     vec![
         spec::mcf(),
         spec::libquantum(),
@@ -63,28 +69,26 @@ fn today() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
-fn main() {
-    let args = Args::parse(20_000);
-    let profiles = mix();
-    let cache = AloneCache::new();
-
+/// Times every scheduler on one mix and returns the rows plus a TOTAL.
+fn run_regime(profiles: &[Profile], args: &Args, cache: &AloneCache) -> Vec<ThroughputRun> {
     // Warm the alone-baseline cache so the timed runs measure only the
     // shared (multiprogrammed) simulation — the hot path this benchmark
     // exists to track.
-    let _ = Experiment::new(profiles.clone())
+    let _ = Experiment::new(profiles.to_vec())
         .scheduler(SchedulerKind::FrFcfs)
         .instructions_per_thread(args.insts)
         .seed(args.seed)
-        .run_with_cache(&cache);
+        .run_with_cache(cache);
 
     let mut runs: Vec<ThroughputRun> = Vec::new();
     for kind in SchedulerKind::all() {
-        let e = Experiment::new(profiles.clone())
+        let e = Experiment::new(profiles.to_vec())
             .scheduler(kind)
             .instructions_per_thread(args.insts)
-            .seed(args.seed);
+            .seed(args.seed)
+            .fast_forward(!args.stepped);
         let start = Instant::now();
-        let mut traced = e.run_traced(&cache, Box::new(CountingSink::default()));
+        let mut traced = e.run_traced(cache, Box::new(CountingSink::default()));
         let wall_s = start.elapsed().as_secs_f64();
         let serviced = traced
             .sink
@@ -109,16 +113,16 @@ fn main() {
         dram_cycles: total_cycles,
         requests: total_reqs,
     });
+    runs
+}
 
-    println!(
-        "== Simulator throughput ({} insts/thread, seed {}) ==\n",
-        args.insts, args.seed
-    );
+fn print_table(title: &str, runs: &[ThroughputRun]) {
+    println!("-- {title} --");
     println!(
         "{:<12} {:>9} {:>14} {:>10} {:>16} {:>12}",
         "scheduler", "wall (s)", "DRAM cycles", "requests", "cycles/sec", "reqs/sec"
     );
-    for r in &runs {
+    for r in runs {
         println!(
             "{:<12} {:>9.3} {:>14} {:>10} {:>16.0} {:>12.0}",
             r.scheduler,
@@ -129,16 +133,47 @@ fn main() {
             r.requests_per_sec()
         );
     }
+    println!();
+}
+
+fn main() {
+    let args = Args::parse(20_000);
+    let cache = AloneCache::new();
+    let loop_kind = if args.stepped { "stepped" } else { "event" };
+
+    println!(
+        "== Simulator throughput ({} insts/thread, seed {}, {loop_kind} loop) ==\n",
+        args.insts, args.seed
+    );
+    let streaming = run_regime(&streaming_mix(), &args, &cache);
+    print_table(
+        "streaming mix (mcf, libquantum, omnetpp, gems_fdtd)",
+        &streaming,
+    );
+    let chase = run_regime(&mix::pointer_chase(), &args, &cache);
+    print_table(
+        "pointer-chase mix (µ-chase-local/-sparse, µ-chase, µ-stream)",
+        &chase,
+    );
 
     let date = today();
     let config = format!(
-        "4-thread mix (mcf, libquantum, omnetpp, gems_fdtd), {} insts/thread, seed {}",
+        "4-thread mixes, {} insts/thread, seed {}, {loop_kind} loop; \
+         results = streaming (mcf, libquantum, omnetpp, gems_fdtd), \
+         pointer_chase = dependent-load micro mix",
         args.insts, args.seed
     );
-    let json = throughput_json(&date, &config, &[("results", &runs)]);
-    let path = format!("BENCH_{date}.json");
+    let json = throughput_json(
+        &date,
+        &config,
+        &[("results", &streaming), ("pointer_chase", &chase)],
+    );
+    let path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{date}.json"));
     match std::fs::write(&path, json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

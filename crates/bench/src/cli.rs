@@ -1,7 +1,7 @@
 //! Tiny argument parser shared by the harness binaries.
 
 /// Common harness options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Args {
     /// Per-thread instruction budget (`--insts N`).
     pub insts: u64,
@@ -11,6 +11,12 @@ pub struct Args {
     pub full: bool,
     /// Worker-thread cap (`--jobs N`; `None` = all cores).
     pub jobs: Option<usize>,
+    /// Force the stepped reference loop instead of the event-driven one
+    /// (`--stepped`): the differential baseline for timing comparisons.
+    pub stepped: bool,
+    /// Explicit output path for binaries that write a report file
+    /// (`--out PATH`; default = the binary's dated name in the cwd).
+    pub out: Option<String>,
 }
 
 impl Args {
@@ -25,6 +31,8 @@ impl Args {
             seed: 1,
             full: false,
             jobs: None,
+            stepped: false,
+            out: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -49,6 +57,10 @@ impl Args {
                         .unwrap_or_else(|| panic!("--jobs needs a number"));
                     args.jobs = (n > 0).then_some(n);
                 }
+                "--stepped" => args.stepped = true,
+                "--out" => {
+                    args.out = Some(it.next().unwrap_or_else(|| panic!("--out needs a path")));
+                }
                 // `cargo bench --workspace` invokes every binary with
                 // --bench; the figure harnesses are run explicitly, not as
                 // Criterion benchmarks, so exit cleanly.
@@ -57,7 +69,9 @@ impl Args {
                     std::process::exit(0);
                 }
                 "--help" | "-h" => {
-                    println!("usage: [--insts N] [--seed N] [--full] [--jobs N]");
+                    println!(
+                        "usage: [--insts N] [--seed N] [--full] [--jobs N] [--stepped] [--out PATH]"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument: {other}"),

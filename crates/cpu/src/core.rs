@@ -169,6 +169,27 @@ pub struct Core {
     inflight: HashMap<RequestId, PhysAddr>,
     /// Dirty L2 victims awaiting acceptance by the controller.
     pending_writebacks: VecDeque<PhysAddr>,
+    /// Back-pressure retry gates. Controller buffer-class occupancy only
+    /// decreases when a tick reaps completions ([`MemorySystem::reap_epoch`]
+    /// then changes), and the retry order is fixed, so once a send is
+    /// rejected, every further attempt at the same reap epoch is provably
+    /// rejected identically — the gates elide those attempts, and
+    /// [`Core::next_wake`] treats a gated core as inert. The fill gate
+    /// additionally stamps the MSHR unsent epoch: a line newly entering
+    /// the unsent set was itself just rejected, so the head of the retry
+    /// order still rejects and the gate may be restamped rather than
+    /// reopened.
+    fill_gate: Option<(u64, u64)>,
+    wb_gate: Option<u64>,
+    /// Generation of the core's memory-side state: bumped whenever the
+    /// caches or the MSHR file mutate (a fill lands, an access installs).
+    /// Memoizes the pure fetch-stall probe below.
+    mem_epoch: u64,
+    /// `Some(e)` when [`Core::initiate_mem`] last returned `false` (an
+    /// MSHR-full fetch stall) at epoch `e`: the probe is pure, so while
+    /// the epoch and the stalled op are unchanged, re-running it must
+    /// return `false` again and is skipped.
+    fetch_stall: Option<u64>,
     /// Optional hardware prefetcher.
     prefetcher: Option<StreamPrefetcher>,
     /// Cache prefetch-hit counters already folded into `stats`.
@@ -208,6 +229,10 @@ impl Core {
             dram_done: BinaryHeap::new(),
             inflight: HashMap::new(),
             pending_writebacks: VecDeque::new(),
+            fill_gate: None,
+            wb_gate: None,
+            mem_epoch: 0,
+            fetch_stall: None,
             prefetcher: cfg.prefetch.map(StreamPrefetcher::new),
             prefetch_hits_seen: 0,
             cur_op: None,
@@ -263,13 +288,21 @@ impl Core {
     /// waits on a DRAM fill that has not completed yet).
     ///
     /// Inert means, mirroring [`Core::step`] stage by stage: no unsent
-    /// fill or writeback retries; commit blocked (empty window or an
-    /// incomplete memory op at the head); and fetch blocked (window full,
-    /// a dependence chain on an outstanding miss, or an MSHR-full stall —
-    /// the latter re-checked here with the same non-mutating probes
-    /// `step` uses).
-    pub fn next_wake(&self) -> Option<CpuCycle> {
-        if self.mshrs.has_unsent() || !self.pending_writebacks.is_empty() {
+    /// fill or writeback retries that could succeed (pending sends whose
+    /// retry gate is closed at `mem`'s current reap epoch are provably
+    /// futile, hence inert — the caller must not carry the verdict past
+    /// a tick that reaps completions, which reopens the gates); commit
+    /// blocked (empty window or an incomplete memory op at the head); and
+    /// fetch blocked (window full, a dependence chain on an outstanding
+    /// miss, or an MSHR-full stall — the latter re-checked here with the
+    /// same non-mutating probes `step` uses).
+    pub fn next_wake(&self, mem: &MemorySystem) -> Option<CpuCycle> {
+        if self.mshrs.has_unsent()
+            && self.fill_gate != Some((mem.reap_epoch(), self.mshrs.unsent_epoch()))
+        {
+            return None;
+        }
+        if !self.pending_writebacks.is_empty() && self.wb_gate != Some(mem.reap_epoch()) {
             return None;
         }
         match self.window.front() {
@@ -286,11 +319,14 @@ impl Core {
             }
             let dep_blocked = op.dependent && !self.last_dram_done;
             let mshr_blocked = || {
-                let line = op.addr.line_aligned(self.cfg.line_bytes);
-                !self.l1.probe(op.addr)
-                    && !self.l2.probe(op.addr)
-                    && self.mshrs.is_full()
-                    && !self.mshrs.would_merge(line)
+                // Memoized verdict first (pure probe, unchanged inputs).
+                self.fetch_stall == Some(self.mem_epoch) || {
+                    let line = op.addr.line_aligned(self.cfg.line_bytes);
+                    !self.l1.probe(op.addr)
+                        && !self.l2.probe(op.addr)
+                        && self.mshrs.is_full()
+                        && !self.mshrs.would_merge(line)
+                }
             };
             if !dep_blocked && !mshr_blocked() {
                 return None;
@@ -308,14 +344,15 @@ impl Core {
 
     /// Replicates `cycles` consecutive [`Core::step`] calls across an
     /// inert span. The caller must have established via
-    /// [`Core::next_wake`] that the core is inert and that every skipped
-    /// cycle lies strictly before the wake time. Only the per-cycle
-    /// residue is performed: the clock, the cycle counter, and the
-    /// paper's memory-stall accounting (the head-of-window condition is
-    /// frozen across the span, so it either charges every cycle or none).
-    pub fn fast_forward(&mut self, cycles: u64) {
+    /// [`Core::next_wake`] that the core is inert (at `mem`'s current
+    /// reap epoch) and that every skipped cycle lies strictly before the
+    /// wake time. Only the per-cycle residue is performed: the clock, the
+    /// cycle counter, and the paper's memory-stall accounting (the
+    /// head-of-window condition is frozen across the span, so it either
+    /// charges every cycle or none).
+    pub fn fast_forward(&mut self, cycles: u64, mem: &MemorySystem) {
         debug_assert!(
-            self.next_wake().is_some_and(|w| self.now + cycles < w),
+            self.next_wake(mem).is_some_and(|w| self.now + cycles < w),
             "fast-forwarding an active core or across its wake time"
         );
         self.now += cycles;
@@ -351,10 +388,13 @@ impl Core {
         }
 
         // 2. Retry sends that hit back-pressure: fills first, then
-        //    writebacks. Guarded: `unsent()` collects into a Vec, which
-        //    the common no-retry cycle must not pay for.
-        if self.mshrs.has_unsent() {
-            for line in self.mshrs.unsent() {
+        //    writebacks. Each class retries at most once per DRAM cycle
+        //    (see the gate fields): a failed attempt closes its gate
+        //    until the memory clock advances.
+        if self.mshrs.has_unsent()
+            && self.fill_gate != Some((mem.reap_epoch(), self.mshrs.unsent_epoch()))
+        {
+            while let Some(line) = self.mshrs.first_unsent() {
                 if let Some(id) = mem.try_enqueue(
                     self.thread,
                     AccessKind::Read,
@@ -365,24 +405,28 @@ impl Core {
                     self.mshrs.mark_sent(line);
                     self.inflight.insert(id, line);
                 } else {
+                    self.fill_gate = Some((mem.reap_epoch(), self.mshrs.unsent_epoch()));
                     break;
                 }
             }
         }
-        while let Some(&wb) = self.pending_writebacks.front() {
-            if mem
-                .try_enqueue(
-                    self.thread,
-                    AccessKind::Write,
-                    wb,
-                    now,
-                    self.stats.mem_stall_cycles,
-                )
-                .is_some()
-            {
-                self.pending_writebacks.pop_front();
-            } else {
-                break;
+        if !self.pending_writebacks.is_empty() && self.wb_gate != Some(mem.reap_epoch()) {
+            while let Some(&wb) = self.pending_writebacks.front() {
+                if mem
+                    .try_enqueue(
+                        self.thread,
+                        AccessKind::Write,
+                        wb,
+                        now,
+                        self.stats.mem_stall_cycles,
+                    )
+                    .is_some()
+                {
+                    self.pending_writebacks.pop_front();
+                } else {
+                    self.wb_gate = Some(mem.reap_epoch());
+                    break;
+                }
             }
         }
 
@@ -454,6 +498,11 @@ impl Core {
                 if op.dependent && !self.last_dram_done {
                     break; // pointer chase: wait for the previous miss
                 }
+                if self.fetch_stall == Some(self.mem_epoch) {
+                    // The stall probe is pure and nothing it reads has
+                    // changed since it last said "blocked": still blocked.
+                    break;
+                }
                 let op = *op;
                 if !self.initiate_mem(op, mem) {
                     break; // MSHRs full: fetch stalls
@@ -478,8 +527,12 @@ impl Core {
         let l1_hit = self.l1.probe(op.addr);
         let l2_hit = l1_hit || self.l2.probe(op.addr);
         if !l2_hit && self.mshrs.is_full() && !self.mshrs.would_merge(line) {
+            self.fetch_stall = Some(self.mem_epoch);
             return false;
         }
+        // Every success path below mutates a cache or the MSHR file:
+        // invalidate the memoized stall probe.
+        self.mem_epoch += 1;
 
         let id = self.next_entry_id;
         self.next_entry_id += 1;
@@ -527,8 +580,13 @@ impl Core {
                             ) {
                                 self.mshrs.mark_sent(line);
                                 self.inflight.insert(rid, line);
+                            } else {
+                                // Left unsent; the rejection just observed
+                                // holds until the next reap, so the step-2
+                                // retry is gated too.
+                                self.fill_gate =
+                                    Some((mem.reap_epoch(), self.mshrs.unsent_epoch()));
                             }
-                            // else: left unsent, retried in step 2.
                             self.maybe_prefetch(line, mem);
                         }
                         MshrAlloc::Merged => self.stats.l2_merged += 1,
@@ -567,8 +625,11 @@ impl Core {
             ) {
                 self.mshrs.mark_sent(addr);
                 self.inflight.insert(rid, addr);
+            } else {
+                // Retried by the unsent path in step 2 — but not before
+                // the next reap (see the gate protocol).
+                self.fill_gate = Some((mem.reap_epoch(), self.mshrs.unsent_epoch()));
             }
-            // else: retried by the unsent path in step 2.
         }
     }
 
@@ -597,9 +658,10 @@ impl Core {
         let Some(fill) = self.mshrs.complete(line) else {
             return;
         };
-        // An untouched prefetch installs into the L2 only, tagged so a
-        // later demand hit counts it as useful. A prefetch that a demand
-        // access merged into was *late but useful*: credit it directly.
+        self.mem_epoch += 1; // MSHR freed + caches installed below
+                             // An untouched prefetch installs into the L2 only, tagged so a
+                             // later demand hit counts it as useful. A prefetch that a demand
+                             // access merged into was *late but useful*: credit it directly.
         let untouched_prefetch = fill.prefetch && fill.waiters.is_empty();
         if fill.prefetch && !fill.waiters.is_empty() {
             self.stats.prefetch_hits += 1;

@@ -53,9 +53,14 @@ pub struct MshrFile {
     capacity: usize,
     entries: HashMap<u64, Entry>,
     line_bytes: u32,
-    /// Entries with `sent == false`, maintained incrementally so the
-    /// per-cycle retry guard is O(1).
-    unsent_count: usize,
+    /// Line keys of entries with `sent == false`, kept sorted (the
+    /// deterministic retry order) and maintained incrementally so the
+    /// per-cycle retry path neither allocates nor scans the file.
+    unsent_lines: Vec<u64>,
+    /// Bumped whenever a line *enters* the unsent set. The core's
+    /// once-per-DRAM-cycle retry gate keys on this so a newly stalled
+    /// fill reopens the gate instead of waiting behind a stale stamp.
+    unsent_epoch: u64,
 }
 
 impl MshrFile {
@@ -65,7 +70,8 @@ impl MshrFile {
             capacity,
             entries: HashMap::with_capacity(capacity),
             line_bytes,
-            unsent_count: 0,
+            unsent_lines: Vec::new(),
+            unsent_epoch: 0,
         }
     }
 
@@ -115,7 +121,7 @@ impl MshrFile {
                 prefetch: false,
             },
         );
-        self.unsent_count += 1;
+        self.note_unsent(key);
         MshrAlloc::NewEntry
     }
 
@@ -134,51 +140,85 @@ impl MshrFile {
                 ..Entry::default()
             },
         );
-        self.unsent_count += 1;
+        self.note_unsent(key);
         true
+    }
+
+    /// Registers `key` in the sorted unsent list and bumps the epoch.
+    fn note_unsent(&mut self, key: u64) {
+        let pos = self
+            .unsent_lines
+            .binary_search(&key)
+            .expect_err("line already tracked as unsent");
+        self.unsent_lines.insert(pos, key);
+        self.unsent_epoch += 1;
+    }
+
+    /// Drops `key` from the sorted unsent list (it was sent or completed).
+    fn forget_unsent(&mut self, key: u64) {
+        match self.unsent_lines.binary_search(&key) {
+            Ok(pos) => {
+                self.unsent_lines.remove(pos);
+            }
+            Err(_) => debug_assert!(false, "line missing from unsent list"),
+        }
     }
 
     /// Marks the fill request for `addr` as accepted by the memory system.
     pub fn mark_sent(&mut self, addr: PhysAddr) {
-        if let Some(e) = self.entries.get_mut(&self.key(addr)) {
+        let key = self.key(addr);
+        if let Some(e) = self.entries.get_mut(&key) {
             if !e.sent {
                 e.sent = true;
-                self.unsent_count -= 1;
+                self.forget_unsent(key);
             }
         }
     }
 
     /// True if any entry's fill request is still waiting to be accepted
-    /// (cheap emptiness probe; avoids the allocation of
-    /// [`MshrFile::unsent`]).
+    /// (cheap emptiness probe).
     pub fn has_unsent(&self) -> bool {
         debug_assert_eq!(
-            self.unsent_count,
+            self.unsent_lines.len(),
             self.entries.values().filter(|e| !e.sent).count()
         );
-        self.unsent_count > 0
+        !self.unsent_lines.is_empty()
+    }
+
+    /// The lowest-addressed line whose fill request has not been accepted
+    /// yet — the head of the deterministic retry order. Allocation-free;
+    /// the retry loop alternates `first_unsent` / [`MshrFile::mark_sent`]
+    /// until it drains or hits back-pressure.
+    pub fn first_unsent(&self) -> Option<PhysAddr> {
+        self.unsent_lines
+            .first()
+            .map(|k| PhysAddr(k * u64::from(self.line_bytes)))
+    }
+
+    /// Generation stamp of the unsent set: changes whenever a line joins
+    /// it. See the field docs for the retry-gate protocol.
+    #[inline]
+    pub fn unsent_epoch(&self) -> u64 {
+        self.unsent_epoch
     }
 
     /// Line addresses whose fill request has not been accepted yet
-    /// (needing a retry after back-pressure).
+    /// (needing a retry after back-pressure), in retry order.
     pub fn unsent(&self) -> Vec<PhysAddr> {
         let line = u64::from(self.line_bytes);
-        let mut v: Vec<PhysAddr> = self
-            .entries
+        self.unsent_lines
             .iter()
-            .filter(|(_, e)| !e.sent)
-            .map(|(k, _)| PhysAddr(k * line))
-            .collect();
-        v.sort(); // deterministic retry order
-        v
+            .map(|k| PhysAddr(k * line))
+            .collect()
     }
 
     /// Completes the fill of the line containing `addr`, returning the
     /// waiters to wake and the fill's provenance.
     pub fn complete(&mut self, addr: PhysAddr) -> Option<FillOutcome> {
-        self.entries.remove(&self.key(addr)).map(|e| {
+        let key = self.key(addr);
+        self.entries.remove(&key).map(|e| {
             if !e.sent {
-                self.unsent_count -= 1;
+                self.forget_unsent(key);
             }
             FillOutcome {
                 waiters: e.waiters,

@@ -246,7 +246,11 @@ impl Channel {
             return None;
         }
         if let Some(end) = self.refresh.busy_end() {
-            if end > now {
+            // Inclusive: at `now == end` the retire itself is the event,
+            // so an agenda entry placed at `end` stays exact until the
+            // tick that consumes it (the retire is performed by
+            // `Channel::tick`, which only runs on real ticks).
+            if end >= now {
                 return Some(end);
             }
         }

@@ -1,0 +1,311 @@
+//! The discrete-event agenda behind the event-driven run loop: a
+//! binary-heap calendar of pending simulator events with deterministic
+//! same-cycle ordering and O(1) lazy cancellation.
+//!
+//! [`MemorySystem::predict_next`](crate::MemorySystem::predict_next)
+//! schedules one entry per upcoming edge (drain-flip fences, in-service
+//! data completions, command-issuable edges, refresh deadlines, telemetry
+//! samples, policy interval ticks) and asks the calendar for the earliest
+//! valid one. Sources whose outlook changed — a request arrived, a command
+//! issued, a drain flipped — are *invalidated* rather than searched for
+//! and removed: each source carries a generation counter, entries remember
+//! the generation they were scheduled under, and stale entries are
+//! discarded when they surface at the top of the heap. The heap is
+//! compacted when stale entries buried below the top accumulate, so memory
+//! stays bounded over arbitrarily long runs.
+//!
+//! Determinism matters more than raw speed here: when several events land
+//! on the same cycle, the order they surface must not depend on heap
+//! internals, so entries are totally ordered by `(cycle, kind, source,
+//! generation)` — the [`EventKind`] declaration order *is* the same-cycle
+//! priority.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use stfm_dram::DramCycle;
+
+/// What a calendar entry announces will happen at its cycle. Declaration
+/// order is the same-cycle firing priority (earlier variants first):
+/// fences must preempt ordinary work, data completions unblock cores
+/// before new commands issue, and bookkeeping (samples, policy interval
+/// ticks) runs last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A write-drain mode flip is pending; the channel's whole outlook
+    /// (eligible request kind) must be recomputed before anything else.
+    DrainFence,
+    /// An in-service request's data transfer finishes (a core may wake).
+    DataCompletion,
+    /// The earliest cycle some buffered request has an issuable command.
+    CommandEdge,
+    /// A refresh becomes due, starts, or completes.
+    RefreshDeadline,
+    /// A telemetry epoch sample is due.
+    Sample,
+    /// A scheduler-policy interval tick (e.g. an STFM interval reset).
+    PolicyHint,
+}
+
+/// A scheduled event: where, what, and from whom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The DRAM cycle the event fires at.
+    pub at: DramCycle,
+    /// What fires.
+    pub kind: EventKind,
+    /// The source index it was scheduled under (e.g. a channel id).
+    pub source: u32,
+}
+
+/// A heap entry: an [`Event`] plus the source generation it was scheduled
+/// under, ordered by `(cycle, kind, source, generation)` so same-cycle
+/// ordering is total and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    at: DramCycle,
+    kind: EventKind,
+    source: u32,
+    generation: u64,
+}
+
+/// A binary-heap agenda of pending events with per-source generation
+/// counters for lazy cancellation. See the module docs for the protocol.
+#[derive(Debug, Clone)]
+pub struct EventCalendar {
+    heap: BinaryHeap<Reverse<Entry>>,
+    /// Current generation per source; entries from older generations are
+    /// stale and skipped.
+    generations: Vec<u64>,
+    /// Heap size above which [`EventCalendar::peek`] sweeps out buried
+    /// stale entries (amortized; keeps memory bounded on long runs).
+    compact_at: usize,
+}
+
+impl EventCalendar {
+    /// A calendar with `sources` independent event sources.
+    pub fn new(sources: usize) -> Self {
+        EventCalendar {
+            heap: BinaryHeap::new(),
+            generations: vec![0; sources],
+            // Each rescan schedules a handful of entries per source; well
+            // beyond that the heap is mostly stale.
+            compact_at: 16 * sources.max(4),
+        }
+    }
+
+    /// Schedules `kind` from `source` at cycle `at` under the source's
+    /// current generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn schedule(&mut self, at: DramCycle, kind: EventKind, source: u32) {
+        let generation = self.generations[source as usize];
+        self.heap.push(Reverse(Entry {
+            at,
+            kind,
+            source,
+            generation,
+        }));
+    }
+
+    /// Cancels every entry previously scheduled by `source` (lazily: they
+    /// are discarded when they surface). Call before rescheduling a source
+    /// whose outlook changed — a drain-flip fence, an arrival, an issued
+    /// command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn invalidate(&mut self, source: u32) {
+        self.generations[source as usize] += 1;
+    }
+
+    /// The earliest valid event, without consuming it. Stale entries at
+    /// the top are discarded on the way; a too-stale heap is compacted.
+    pub fn peek(&mut self) -> Option<Event> {
+        if self.heap.len() > self.compact_at {
+            self.compact();
+        }
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if e.generation == self.generations[e.source as usize] {
+                return Some(Event {
+                    at: e.at,
+                    kind: e.kind,
+                    source: e.source,
+                });
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Consumes and returns the earliest valid event.
+    pub fn pop(&mut self) -> Option<Event> {
+        let next = self.peek();
+        if next.is_some() {
+            self.heap.pop();
+        }
+        next
+    }
+
+    /// Number of entries currently held (including not-yet-discarded
+    /// stale ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the calendar holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Rebuilds the heap keeping only current-generation entries.
+    fn compact(&mut self) {
+        let generations = &self.generations;
+        let entries: Vec<Reverse<Entry>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|Reverse(e)| e.generation == generations[e.source as usize])
+            .collect();
+        self.heap = BinaryHeap::from(entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stfm_dram::{Channel, DramConfig};
+
+    const CYCLE: DramCycle = DramCycle::new(100);
+
+    #[test]
+    fn same_cycle_ties_fire_in_declared_priority_order() {
+        let mut cal = EventCalendar::new(4);
+        // Schedule in scrambled order; all on the same cycle.
+        cal.schedule(CYCLE, EventKind::Sample, 2);
+        cal.schedule(CYCLE, EventKind::CommandEdge, 1);
+        cal.schedule(CYCLE, EventKind::PolicyHint, 3);
+        cal.schedule(CYCLE, EventKind::RefreshDeadline, 0);
+        cal.schedule(CYCLE, EventKind::DataCompletion, 1);
+        cal.schedule(CYCLE, EventKind::DrainFence, 0);
+        let order: Vec<EventKind> = std::iter::from_fn(|| cal.pop()).map(|e| e.kind).collect();
+        assert_eq!(
+            order,
+            [
+                EventKind::DrainFence,
+                EventKind::DataCompletion,
+                EventKind::CommandEdge,
+                EventKind::RefreshDeadline,
+                EventKind::Sample,
+                EventKind::PolicyHint,
+            ],
+            "same-cycle events must fire in EventKind declaration order"
+        );
+    }
+
+    #[test]
+    fn same_cycle_same_kind_ties_break_by_source() {
+        let mut cal = EventCalendar::new(3);
+        cal.schedule(CYCLE, EventKind::CommandEdge, 2);
+        cal.schedule(CYCLE, EventKind::CommandEdge, 0);
+        cal.schedule(CYCLE, EventKind::CommandEdge, 1);
+        let order: Vec<u32> = std::iter::from_fn(|| cal.pop()).map(|e| e.source).collect();
+        assert_eq!(order, [0, 1, 2]);
+    }
+
+    #[test]
+    fn earlier_cycle_beats_higher_priority_kind() {
+        let mut cal = EventCalendar::new(2);
+        cal.schedule(DramCycle::new(5), EventKind::PolicyHint, 1);
+        cal.schedule(DramCycle::new(6), EventKind::DrainFence, 0);
+        let first = cal.pop().unwrap_or_else(|| unreachable!());
+        assert_eq!(
+            (first.at, first.kind),
+            (DramCycle::new(5), EventKind::PolicyHint)
+        );
+    }
+
+    #[test]
+    fn invalidate_cancels_and_reschedule_supersedes() {
+        // The drain-flip fence protocol: a channel schedules its command
+        // edge, a write-drain flip invalidates the channel's outlook, and
+        // the post-fence rescan schedules a different edge. The stale
+        // entry must never surface.
+        let mut cal = EventCalendar::new(2);
+        cal.schedule(DramCycle::new(10), EventKind::CommandEdge, 0);
+        cal.schedule(DramCycle::new(40), EventKind::CommandEdge, 1);
+        cal.invalidate(0);
+        cal.schedule(DramCycle::new(25), EventKind::CommandEdge, 0);
+        let order: Vec<(DramCycle, u32)> = std::iter::from_fn(|| cal.pop())
+            .map(|e| (e.at, e.source))
+            .collect();
+        assert_eq!(order, [(DramCycle::new(25), 0), (DramCycle::new(40), 1)]);
+    }
+
+    #[test]
+    fn invalidate_then_empty_reports_none() {
+        let mut cal = EventCalendar::new(1);
+        cal.schedule(CYCLE, EventKind::DataCompletion, 0);
+        cal.invalidate(0);
+        assert_eq!(cal.peek(), None);
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn compaction_discards_buried_stale_entries() {
+        let mut cal = EventCalendar::new(1);
+        // Pin a valid far-future entry on top of nothing, then churn the
+        // source enough to trigger compaction. Stale entries buried under
+        // the earliest valid one must not accumulate without bound.
+        for round in 0..10_000u64 {
+            cal.invalidate(0);
+            cal.schedule(DramCycle::new(round + 1), EventKind::CommandEdge, 0);
+        }
+        let e = cal.peek();
+        assert_eq!(
+            e.map(|e| e.at),
+            Some(DramCycle::new(10_000)),
+            "only the latest generation's entry is valid"
+        );
+        assert!(
+            cal.len() <= cal.compact_at + 1,
+            "heap must stay bounded under churn (len = {})",
+            cal.len()
+        );
+    }
+
+    #[test]
+    fn refresh_deadlines_are_monotone_under_advancing_time() {
+        // The refresh event source must never move an already-announced
+        // deadline earlier: the run loop elides cycles up to the announced
+        // edge, which is only sound if the edge cannot jump backwards
+        // while the channel is idle.
+        let config = DramConfig::default();
+        let mut channel = Channel::new(&config);
+        let mut cal = EventCalendar::new(1);
+        let mut previous: Option<DramCycle> = None;
+        let mut now = DramCycle::ZERO;
+        for _ in 0..(3 * config.timing.t_refi.get() + 10) {
+            channel.tick(now);
+            if let Some(edge) = channel.next_refresh_event(now) {
+                assert!(edge >= now, "refresh edge {edge} in the past at {now}");
+                if let Some(prev) = previous {
+                    if prev > now {
+                        assert!(
+                            edge >= prev,
+                            "refresh edge moved backwards: {prev} -> {edge} at {now}"
+                        );
+                    }
+                }
+                cal.invalidate(0);
+                cal.schedule(edge, EventKind::RefreshDeadline, 0);
+                previous = Some(edge);
+            }
+            now += 1;
+        }
+        // Three refresh intervals elapsed on an idle channel: refreshes
+        // must actually have been taken, and the final announced deadline
+        // lies ahead of the clock.
+        assert!(previous.is_some_and(|e| e >= now - 1));
+    }
+}

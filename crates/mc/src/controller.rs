@@ -1,5 +1,6 @@
 //! The DRAM memory controller and the multi-channel memory system.
 
+use crate::calendar::{EventCalendar, EventKind};
 use crate::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
 use crate::request::{AccessKind, Request, RequestId, RequestState, ThreadId};
 use crate::stats::{SystemStats, ThreadStats};
@@ -107,6 +108,11 @@ pub(crate) struct ChannelCtrl {
     /// Scratch for per-bank candidate ranks, reused across cycles so the
     /// hot path never allocates.
     rank_scratch: Vec<(usize, Rank)>,
+    /// Exact minimum `data_done` over in-service requests (`None` when
+    /// none are in service): lowered when a column command issues,
+    /// recomputed when completions are reaped. Lets the per-tick reap and
+    /// the agenda scans skip the buffer entirely while no data is due.
+    next_data_done: Option<DramCycle>,
 }
 
 impl ChannelCtrl {
@@ -226,6 +232,29 @@ pub struct MemorySystem {
     sink: Box<dyn Sink>,
     sample_interval: DramDelta,
     next_sample: DramCycle,
+    /// The discrete-event agenda backing [`MemorySystem::predict_next`].
+    /// Sources `0..channels` are the per-channel controllers; two extra
+    /// sources carry the telemetry-sample and policy-hint edges.
+    calendar: EventCalendar,
+    /// Per-channel cached earliest edge (minimum of that channel's live
+    /// calendar entries); meaningful only while the channel is clean.
+    chan_next: Vec<Option<DramCycle>>,
+    /// Channels whose calendar entries are stale and need a rescan.
+    chan_dirty: Vec<bool>,
+    /// Count of accepted enqueues, ever — the event loop's arrival
+    /// detector for cutting an elision span short.
+    arrivals: u64,
+    /// Bumped at every tick in which any request is reaped from a buffer.
+    /// Buffer-class occupancy ([`MemorySystem::try_enqueue`]'s acceptance
+    /// test) can only *decrease* at a reap, so a rejection observed at
+    /// epoch `e` provably repeats until the epoch changes — the cores'
+    /// retry gates key on this to stay inert across back-pressured spans.
+    reap_epoch: u64,
+    /// Elided ticks whose per-cycle policy/energy residue is still
+    /// deferred (see [`MemorySystem::elide_tick`]).
+    pending_elided: u64,
+    /// First cycle of the deferred residue span.
+    residue_start: DramCycle,
 }
 
 impl MemorySystem {
@@ -255,8 +284,10 @@ impl MemorySystem {
                 queued_writes: 0,
                 waiting_reads: 0,
                 rank_scratch: Vec::new(),
+                next_data_done: None,
             })
             .collect();
+        let n = config.channels as usize;
         MemorySystem {
             config,
             ctrl_config,
@@ -270,6 +301,13 @@ impl MemorySystem {
             sink: Box::new(NullSink),
             sample_interval: DEFAULT_SAMPLE_INTERVAL,
             next_sample: DramCycle::ZERO,
+            calendar: EventCalendar::new(n + 2),
+            chan_next: vec![None; n],
+            chan_dirty: vec![true; n],
+            arrivals: 0,
+            reap_epoch: 0,
+            pending_elided: 0,
+            residue_start: DramCycle::ZERO,
         }
     }
 
@@ -350,6 +388,15 @@ impl MemorySystem {
         }
     }
 
+    /// The current DRAM cycle (the `now` of the last
+    /// [`MemorySystem::tick`] or elision). Constant across the CPU cycles
+    /// of one DRAM cycle, which is what the cores' once-per-DRAM-cycle
+    /// retry gates key on.
+    #[inline]
+    pub fn now(&self) -> DramCycle {
+        self.now
+    }
+
     /// The DRAM configuration in force.
     #[inline]
     pub fn dram_config(&self) -> &DramConfig {
@@ -428,6 +475,10 @@ impl MemorySystem {
         now_cpu: CpuCycle,
         tshared: u64,
     ) -> Option<RequestId> {
+        // An arrival can interrupt an elision span: settle the deferred
+        // per-cycle residue before the policy observes the new request, so
+        // hook ordering matches the stepped loop exactly.
+        self.flush_residue();
         let line = addr.line_aligned(self.config.line_bytes);
         let loc = self.mapping.decode(line);
         if !self.can_accept_at(loc.channel, kind) {
@@ -462,7 +513,80 @@ impl MemorySystem {
         let ctrl = &mut self.channels[loc.channel.0 as usize];
         ctrl.requests.push(req);
         ctrl.index_enqueue();
+        self.arrivals += 1;
+        self.merge_arrival(loc.channel.0 as usize);
         Some(id)
+    }
+
+    /// Folds a just-enqueued request (the last buffer entry of channel
+    /// `chan`) into the channel's live agenda without a full rescan.
+    ///
+    /// An enqueue appends one request and touches nothing else, so every
+    /// existing calendar entry stays exact *unless* the arrival changes
+    /// the channel's outlook wholesale: the write-drain hysteresis now
+    /// flips at the next tick, or a read arrival flips the read/write
+    /// election away from the writes whose edges are scheduled. Those
+    /// cases (and a channel that is already dirty) fall back to the dirty
+    /// bit; the common case just schedules the newcomer's own command
+    /// edge and tightens the cached channel minimum.
+    fn merge_arrival(&mut self, chan: usize) {
+        if self.chan_dirty[chan] {
+            return;
+        }
+        let ctrl = &self.channels[chan];
+        let req = ctrl.requests.last().expect("just pushed");
+        // Post-arrival state, exactly what a rescan at the next tick
+        // would evaluate.
+        let drain_flips = if ctrl.drain_active {
+            ctrl.queued_writes <= self.ctrl_config.drain_low
+        } else {
+            ctrl.queued_writes >= self.ctrl_config.drain_high
+        };
+        // A read landing while the election pointed at writes (no waiting
+        // reads) invalidates every scheduled write edge.
+        let election_flipped =
+            req.kind == AccessKind::Read && !ctrl.drain_active && ctrl.waiting_reads == 1;
+        if drain_flips || election_flipped {
+            self.chan_dirty[chan] = true;
+            return;
+        }
+        let eligible_kind = if ctrl.drain_active || ctrl.waiting_reads == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        if req.kind != eligible_kind {
+            return; // not electable now; its edge appears when it is
+        }
+        let cmd = Self::next_command(&ctrl.channel, req);
+        if let Some(at) = ctrl.channel.earliest_issue(&cmd, self.now) {
+            let at = at.max(self.now);
+            self.calendar
+                .schedule(at, EventKind::CommandEdge, chan as u32);
+            self.chan_next[chan] = Some(match self.chan_next[chan] {
+                Some(e) => e.min(at),
+                None => at,
+            });
+        }
+    }
+
+    /// Count of accepted enqueues over the system's lifetime. The
+    /// event-driven run loop snapshots this before eliding a cycle and
+    /// cuts the span if it changed — an arrival invalidates the
+    /// no-event-before-the-edge premise.
+    #[inline]
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Generation stamp of buffer capacity: changes exactly when a tick
+    /// reaps completed requests (the only way class occupancy decreases,
+    /// hence the only way a [`MemorySystem::try_enqueue`] rejection can
+    /// turn into an acceptance). While this is unchanged, a rejected send
+    /// would be rejected again — see the cores' retry-gate protocol.
+    #[inline]
+    pub fn reap_epoch(&self) -> u64 {
+        self.reap_epoch
     }
 
     /// Advances the memory system to DRAM cycle `now`: housekeeping, policy
@@ -478,9 +602,39 @@ impl MemorySystem {
             "time went backwards: {} -> {now}",
             self.now
         );
+        // Settle any deferred residue from elided cycles before this
+        // cycle's own policy hook runs (hook order must match stepping).
+        self.flush_residue();
+        // A channel's calendar entries stay exact until one of its edges
+        // is consumed: command edges, completions, refreshes, drain flips
+        // and samples are all scheduled, and a channel cannot mutate at a
+        // tick strictly before its earliest entry unless a new request
+        // arrived (which marks it dirty in `try_enqueue`).
+        for (i, edge) in self.chan_next.iter().enumerate() {
+            if edge.is_some_and(|e| e <= now) {
+                self.chan_dirty[i] = true;
+            }
+        }
         self.now = now;
 
+        // A clean channel whose earliest agenda edge lies strictly ahead
+        // provably does nothing this cycle — the per-channel slice of the
+        // elision soundness argument: no refresh transition, no drain
+        // flip, no issuable command, no completion before the edge. Only
+        // its background-energy residue runs. Stepped runs never clear
+        // `chan_dirty`, so this fast path is exclusive to the event loop
+        // and the stepped oracle is byte-for-byte unaffected.
+        let chan_idle = |dirty: &[bool], next: &[Option<DramCycle>], i: usize| -> bool {
+            !dirty[i] && next[i].is_none_or(|e| e > now)
+        };
+
         for (i, ctrl) in self.channels.iter_mut().enumerate() {
+            if chan_idle(&self.chan_dirty, &self.chan_next, i) {
+                if let Some(energy) = &mut ctrl.energy {
+                    energy.tick(ctrl.channel.open_banks() > 0);
+                }
+                continue;
+            }
             if let Some((start, end)) = ctrl.channel.tick(now) {
                 if let Some(checker) = &mut ctrl.checker {
                     checker.observe_refresh(start, end);
@@ -512,7 +666,11 @@ impl MemorySystem {
             self.next_sample = now + self.sample_interval;
         }
 
+        let completed_before = self.completions.len();
         for (i, ctrl) in self.channels.iter_mut().enumerate() {
+            if chan_idle(&self.chan_dirty, &self.chan_next, i) {
+                continue;
+            }
             Self::update_drain(&self.ctrl_config, ctrl, i as u32, now, &mut *self.sink);
             Self::schedule_channel(
                 ChannelId(i as u32),
@@ -533,6 +691,9 @@ impl MemorySystem {
                 &mut self.stats,
                 &mut *self.sink,
             );
+        }
+        if self.completions.len() != completed_before {
+            self.reap_epoch += 1;
         }
     }
 
@@ -595,17 +756,13 @@ impl MemorySystem {
             } else {
                 AccessKind::Read
             };
-            for r in &ctrl.requests {
-                if let RequestState::InService { data_done } = r.state {
-                    consider(data_done);
-                }
+            if let Some(d) = ctrl.next_data_done {
+                consider(d);
             }
             for list in &ctrl.bank_waiting {
-                for &i in list {
-                    let r = &ctrl.requests[i];
-                    if r.kind != eligible_kind {
-                        continue;
-                    }
+                let (hit, miss) =
+                    Self::class_reps(&ctrl.requests, &ctrl.channel, list, eligible_kind);
+                for r in [hit, miss].into_iter().flatten() {
                     let cmd = Self::next_command(&ctrl.channel, r);
                     if let Some(at) = ctrl.channel.earliest_issue(&cmd, now) {
                         consider(at);
@@ -653,6 +810,179 @@ impl MemorySystem {
         }
         self.now = now + (cycles - 1);
         true
+    }
+
+    /// Records DRAM cycle `now` as *elided*: the caller — the event-driven
+    /// run loop — has established via [`MemorySystem::predict_next`] that
+    /// a [`MemorySystem::tick`] at `now` would change nothing except the
+    /// per-cycle policy and background-energy residue. That residue is
+    /// deferred and settled by [`MemorySystem::flush_residue`] before any
+    /// observer (an enqueue, the next real tick) can tell the difference.
+    /// `self.now` still advances so telemetry timestamps on concurrent
+    /// enqueues stay exact.
+    pub fn elide_tick(&mut self, now: DramCycle) {
+        debug_assert_eq!(now, self.now + 1, "elided cycles must be consecutive");
+        if self.pending_elided == 0 {
+            self.residue_start = now;
+        }
+        self.pending_elided += 1;
+        self.now = now;
+    }
+
+    /// [`MemorySystem::elide_tick`] for a whole span `start..start + n` in
+    /// one call (the run loop's whole-system jump).
+    pub fn elide_span(&mut self, start: DramCycle, n: u64) {
+        debug_assert!(n > 0);
+        debug_assert_eq!(start, self.now + 1, "elided cycles must be consecutive");
+        if self.pending_elided == 0 {
+            self.residue_start = start;
+        }
+        self.pending_elided += n;
+        self.now = start + (n - 1);
+    }
+
+    /// Settles the deferred per-cycle residue of elided ticks: the
+    /// policy's cycle hook — closed-form via
+    /// [`SchedulerPolicy::fast_forward`] where the policy supports it,
+    /// otherwise an exact per-cycle replay — and background-energy
+    /// accounting. Both are bit-identical to having stepped, because the
+    /// channel state was frozen across the span (per-cycle views differ
+    /// only in `now`). Runs automatically at the top of
+    /// [`MemorySystem::tick`] and [`MemorySystem::try_enqueue`]; public so
+    /// the run loop can force it at the end of a run before the policy or
+    /// energy model is inspected.
+    pub fn flush_residue(&mut self) {
+        if self.pending_elided == 0 {
+            return;
+        }
+        let n = std::mem::take(&mut self.pending_elided);
+        let start = self.residue_start;
+        let view = SystemView::from_ctrls(start, &self.channels);
+        if !self.policy.fast_forward(&view, n) {
+            // The policy has no closed form for this span (e.g. STFM's
+            // time-sampled estimator): replay its cycle hook exactly.
+            for i in 0..n {
+                let v = SystemView::from_ctrls(start + i, &self.channels);
+                self.policy.on_dram_cycle(&v);
+            }
+        }
+        for ctrl in &mut self.channels {
+            if let Some(energy) = &mut ctrl.energy {
+                energy.tick_n(n, ctrl.channel.open_banks() > 0);
+            }
+        }
+    }
+
+    /// The exact next DRAM cycle at which [`MemorySystem::tick`] would do
+    /// anything beyond the deferred per-cycle residue, assuming no new
+    /// request arrives — the event-driven run loop's agenda head. `None`
+    /// means the memory system is fully idle forever absent new input.
+    ///
+    /// Semantically identical to [`MemorySystem::next_event_at`] clamped
+    /// to `now` (debug-asserted), but incremental: only channels whose
+    /// edges were consumed since the last call are rescanned; clean
+    /// channels reuse their live [`EventCalendar`] entries.
+    pub fn predict_next(&mut self, now: DramCycle) -> Option<DramCycle> {
+        debug_assert_eq!(
+            self.pending_elided, 0,
+            "predict_next called with unsettled residue"
+        );
+        for i in 0..self.channels.len() {
+            if self.chan_dirty[i] {
+                self.rescan_channel(i, now);
+                self.chan_dirty[i] = false;
+            }
+        }
+        // The sample and policy-hint edges are global and cheap to
+        // recompute, so they are rescheduled on every call.
+        let sample_src = self.channels.len() as u32;
+        self.calendar.invalidate(sample_src);
+        if self.sink.is_enabled() {
+            self.calendar
+                .schedule(self.next_sample.max(now), EventKind::Sample, sample_src);
+        }
+        let hint_src = sample_src + 1;
+        self.calendar.invalidate(hint_src);
+        if let Some(h) = self.policy.next_event_hint(now) {
+            self.calendar
+                .schedule(h.max(now), EventKind::PolicyHint, hint_src);
+        }
+        // Clamp: a request that arrived mid-tick, after its channel's
+        // scheduling phase had already run, can carry an edge at that very
+        // cycle — by query time the edge is *due*, not future. Frozen
+        // channel state keeps an issuable command issuable, so `now` is
+        // its exact firing cycle (the next tick dirties the channel).
+        let next = self.calendar.peek().map(|e| e.at.max(now));
+        debug_assert_eq!(
+            next,
+            self.next_event_at(now).map(|e| e.max(now)),
+            "incremental agenda diverged from the full scan at {now}"
+        );
+        next
+    }
+
+    /// Rebuilds channel `i`'s calendar entries from scratch (the
+    /// per-channel slice of [`MemorySystem::next_event_at`], scheduled
+    /// into the agenda instead of folded into a minimum).
+    fn rescan_channel(&mut self, i: usize, now: DramCycle) {
+        let src = i as u32;
+        let calendar = &mut self.calendar;
+        let ctrl = &self.channels[i];
+        calendar.invalidate(src);
+        let mut earliest: Option<DramCycle> = None;
+        let mut put = |calendar: &mut EventCalendar, at: DramCycle, kind: EventKind| {
+            let at = at.max(now);
+            calendar.schedule(at, kind, src);
+            earliest = Some(earliest.map_or(at, |e| e.min(at)));
+        };
+        // Same fence as `next_event_at`: a pending drain flip freezes the
+        // whole outlook until it lands on its exact cycle.
+        let drain_flips = if ctrl.drain_active {
+            ctrl.queued_writes <= self.ctrl_config.drain_low
+        } else {
+            ctrl.queued_writes >= self.ctrl_config.drain_high
+        };
+        if drain_flips {
+            put(calendar, now, EventKind::DrainFence);
+            self.chan_next[i] = earliest;
+            return;
+        }
+        let eligible_kind = if ctrl.drain_active || ctrl.waiting_reads == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        debug_assert_eq!(
+            ctrl.next_data_done,
+            ctrl.requests
+                .iter()
+                .filter_map(|r| match r.state {
+                    RequestState::InService { data_done } => Some(data_done),
+                    _ => None,
+                })
+                .min(),
+            "stale next_data_done watermark"
+        );
+        if let Some(d) = ctrl.next_data_done {
+            put(calendar, d, EventKind::DataCompletion);
+        }
+        let mut cmd_at: Option<DramCycle> = None;
+        for list in &ctrl.bank_waiting {
+            let (hit, miss) = Self::class_reps(&ctrl.requests, &ctrl.channel, list, eligible_kind);
+            for r in [hit, miss].into_iter().flatten() {
+                let cmd = Self::next_command(&ctrl.channel, r);
+                if let Some(at) = ctrl.channel.earliest_issue(&cmd, now) {
+                    cmd_at = Some(cmd_at.map_or(at, |c: DramCycle| c.min(at)));
+                }
+            }
+        }
+        if let Some(c) = cmd_at {
+            put(calendar, c, EventKind::CommandEdge);
+        }
+        if let Some(at) = ctrl.channel.next_refresh_event(now) {
+            put(calendar, at, EventKind::RefreshDeadline);
+        }
+        self.chan_next[i] = earliest;
     }
 
     fn update_drain(
@@ -717,6 +1047,21 @@ impl MemorySystem {
             let mut best_key = (Rank::MIN, 0u64);
             for bank_list in &ctrl.bank_waiting {
                 if bank_list.is_empty() {
+                    continue;
+                }
+                // Pre-filter on the two class representatives: if neither
+                // the row-hit column access nor the precharge/activate
+                // shape can issue this cycle, no candidate of this bank
+                // can, and the rank pass below would select nothing.
+                let (hit_rep, miss_rep) =
+                    Self::class_reps(&ctrl.requests, &ctrl.channel, bank_list, eligible_kind);
+                let ready = |r: Option<&Request>| {
+                    r.is_some_and(|r| {
+                        ctrl.channel
+                            .can_issue(&Self::next_command(&ctrl.channel, r), now)
+                    })
+                };
+                if !ready(hit_rep) && !ready(miss_rep) {
                     continue;
                 }
                 // Highest-priority waiting request for this bank. The bank
@@ -815,6 +1160,7 @@ impl MemorySystem {
             }
         }
         if cmd.is_column() {
+            ctrl.next_data_done = Some(ctrl.next_data_done.map_or(done, |d| d.min(done)));
             ctrl.index_unwait(idx);
         }
         stats.record_command(&cmd);
@@ -827,6 +1173,50 @@ impl MemorySystem {
             bank_waiting: Some(&ctrl.bank_waiting),
         };
         policy.on_command(&cmd, &req_copy, &q);
+    }
+
+    /// The first `eligible`-kind row-hit and row-miss requests of one
+    /// bank's waiting list. DRAM timing depends only on the command kind
+    /// (the row value merely gates validity), and [`Self::next_command`]
+    /// maps every row-hit to the same column-access shape and every
+    /// row-miss to the same precharge/activate shape — so these two
+    /// representatives carry the exact issuability and earliest-issue
+    /// cycle of *all* the bank's candidates, making those scans O(1) per
+    /// bank instead of O(waiting).
+    fn class_reps<'a>(
+        requests: &'a [Request],
+        channel: &Channel,
+        list: &[usize],
+        eligible: AccessKind,
+    ) -> (Option<&'a Request>, Option<&'a Request>) {
+        let Some(&first) = list.first() else {
+            return (None, None);
+        };
+        let open = channel.bank(requests[first].loc.bank).open_row();
+        let mut hit: Option<&Request> = None;
+        let mut miss: Option<&Request> = None;
+        for &i in list {
+            let r = &requests[i];
+            if r.kind != eligible {
+                continue;
+            }
+            match open {
+                Some(row) if r.loc.row == row => {
+                    if hit.is_none() {
+                        hit = Some(r);
+                    }
+                }
+                _ => {
+                    if miss.is_none() {
+                        miss = Some(r);
+                    }
+                }
+            }
+            if miss.is_some() && (hit.is_some() || open.is_none()) {
+                break;
+            }
+        }
+        (hit, miss)
     }
 
     /// Derives a request's next DRAM command from current bank state.
@@ -854,6 +1244,16 @@ impl MemorySystem {
         stats: &mut SystemStats,
         sink: &mut dyn Sink,
     ) {
+        // The watermark is an exact minimum over in-service requests, so
+        // nothing can finish before it — the common-case tick skips the
+        // buffer scan entirely.
+        if ctrl.next_data_done.is_none_or(|d| d > now) {
+            debug_assert!(ctrl.requests.iter().all(|r| match r.state {
+                RequestState::InService { data_done } => data_done > now,
+                _ => true,
+            }));
+            return;
+        }
         // Collect finished requests and emit them in `(data_done, id)`
         // order — deterministic by construction, independent of buffer
         // positions, so re-indexing optimizations can never reorder the
@@ -866,6 +1266,7 @@ impl MemorySystem {
                 }
             }
         }
+        debug_assert!(!finished.is_empty(), "stale next_data_done watermark");
         if finished.is_empty() {
             return;
         }
@@ -904,6 +1305,14 @@ impl MemorySystem {
             .retain(|r| !matches!(r.state, RequestState::Completed { .. }));
         ctrl.queued_reads -= reads;
         ctrl.queued_writes -= writes;
+        ctrl.next_data_done = ctrl
+            .requests
+            .iter()
+            .filter_map(|r| match r.state {
+                RequestState::InService { data_done } => Some(data_done),
+                _ => None,
+            })
+            .min();
         ctrl.rebuild_bank_lists();
         ctrl.audit();
     }

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod calendar;
 pub mod controller;
 pub mod fcfs;
 pub mod frfcfs;
@@ -43,6 +44,7 @@ pub mod request;
 pub mod stats;
 pub mod test_util;
 
+pub use calendar::{Event, EventCalendar, EventKind};
 pub use controller::{
     Completion, ControllerConfig, MemorySystem, RowPolicy, DEFAULT_SAMPLE_INTERVAL,
 };

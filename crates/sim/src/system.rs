@@ -1,7 +1,36 @@
-//! Full-system wiring: N cores around one shared memory system.
+//! Full-system wiring: N cores around one shared memory system, advanced
+//! by an event-driven run loop (with the stepped loop kept as the
+//! differential-test oracle).
+//!
+//! # The event-driven loop
+//!
+//! The stepped loop pays for every DRAM cycle: a memory tick (policy
+//! hook, per-channel scheduling scan, completion reap) plus
+//! [`CPU_CYCLES_PER_DRAM_CYCLE`] steps per core. The event-driven loop
+//! instead asks the memory system for the exact next cycle at which
+//! anything can happen ([`MemorySystem::predict_next`], backed by the
+//! `stfm_mc::EventCalendar` agenda) and *elides* the cycles in between:
+//!
+//! - **Whole-system jump** — when every core is provably inert past the
+//!   span ([`Core::next_wake`]), the span collapses into one O(1)
+//!   bookkeeping call per core plus a deferred memory residue.
+//! - **Per-cycle elision** — when cores still execute (the common case in
+//!   busy streaming phases), each elided cycle runs only the core steps;
+//!   the memory tick is skipped and its per-cycle policy/energy residue
+//!   deferred ([`MemorySystem::elide_tick`]). Cores that are inert for
+//!   just that one cycle take the O(1) path too. If a core issues a new
+//!   memory request mid-span, the span is cut short — the arrival
+//!   invalidates the no-event premise — and a real tick follows.
+//!
+//! Elision is sound because the memory system's state is frozen between
+//! events: the deferred residue (policy cycle hook, background energy) is
+//! settled before anything can observe it, and settling it replays
+//! exactly what stepping would have done. The differential fuzz suite
+//! (`crates/sim/tests/event_equivalence.rs`) proves the two loops
+//! bit-identical — same stats, same telemetry streams, same digests.
 
 use stfm_cpu::{Core, CoreStats};
-use stfm_dram::{ClockRatio, DramCycle, CPU_CYCLES_PER_DRAM_CYCLE};
+use stfm_dram::{ClockRatio, CpuCycle, DramCycle, CPU_CYCLES_PER_DRAM_CYCLE};
 use stfm_mc::{MemorySystem, ThreadId, ThreadStats};
 
 /// A complete simulated CMP: cores plus the shared DRAM memory system.
@@ -12,11 +41,14 @@ pub struct System {
     cores: Vec<Core>,
     mem: MemorySystem,
     dram_cycle: DramCycle,
-    /// Dead-cycle fast-forwarding (on by default): provably-idle DRAM
-    /// cycles are skipped in one step instead of ticking one by one.
+    /// Event-driven execution (on by default): cycles between memory
+    /// events are elided instead of ticked one by one. Off = the stepped
+    /// reference loop (the differential-test oracle).
     fast_forward: bool,
-    /// DRAM cycles skipped by fast-forwarding so far.
-    skipped: u64,
+    /// DRAM cycles skipped in whole-system jumps (all cores inert).
+    jumped: u64,
+    /// DRAM cycles where the memory tick was elided but cores executed.
+    elided: u64,
 }
 
 /// Outcome of [`System::run`].
@@ -32,6 +64,49 @@ pub struct RunOutcome {
     pub cpu_cycles: u64,
     /// Whether the cycle cap was hit before every thread finished.
     pub truncated: bool,
+}
+
+/// Measurement-window bookkeeping shared by the stepped and event-driven
+/// loops: per-core warmup baselines and budget freezes.
+struct WindowTracker {
+    baseline: Vec<Option<(CoreStats, ThreadStats)>>,
+    frozen: Vec<Option<(CoreStats, ThreadStats)>>,
+    warmup: u64,
+    budget: u64,
+    remaining: usize,
+}
+
+impl WindowTracker {
+    fn new(n: usize, warmup: u64, budget: u64) -> Self {
+        let seeded = (warmup == 0).then(|| (CoreStats::default(), ThreadStats::default()));
+        WindowTracker {
+            baseline: vec![seeded; n],
+            frozen: vec![None; n],
+            warmup,
+            budget,
+            remaining: n,
+        }
+    }
+
+    /// Captures baselines/freezes for cores that crossed their
+    /// instruction marks. Must run after every cycle in which any core
+    /// executed (cores that were fast-forwarded cannot cross a mark).
+    fn observe(&mut self, cores: &[Core], mem: &mut MemorySystem) {
+        for (i, core) in cores.iter().enumerate() {
+            let insts = core.stats().instructions;
+            if self.baseline[i].is_none() && insts >= self.warmup {
+                self.baseline[i] = Some((*core.stats(), mem.thread_stats(ThreadId(i as u32))));
+                // Max latency is not differenceable: restart it at the
+                // window boundary so warmup spikes don't leak into the
+                // measured window (ThreadStats::minus).
+                mem.reset_max_read_latency(ThreadId(i as u32));
+            }
+            if self.frozen[i].is_none() && insts >= self.budget {
+                self.frozen[i] = Some((*core.stats(), mem.thread_stats(ThreadId(i as u32))));
+                self.remaining -= 1;
+            }
+        }
+    }
 }
 
 impl System {
@@ -55,23 +130,35 @@ impl System {
             mem,
             dram_cycle: DramCycle::ZERO,
             fast_forward: true,
-            skipped: 0,
+            jumped: 0,
+            elided: 0,
         }
     }
 
-    /// Enables or disables dead-cycle fast-forwarding (on by default).
+    /// Enables or disables the event-driven loop (on by default).
     /// Simulated results are bit-identical either way; turning it off
-    /// forces the reference cycle-by-cycle path (used by the equivalence
-    /// tests and for debugging).
+    /// forces the reference cycle-by-cycle path (the oracle of the
+    /// differential equivalence tests, and a debugging aid).
     pub fn set_fast_forward(&mut self, on: bool) {
         self.fast_forward = on;
     }
 
-    /// DRAM cycles skipped by fast-forwarding so far (0 when disabled).
+    /// DRAM cycles whose memory tick was avoided by the event-driven loop
+    /// (0 when disabled): whole-system jumps plus per-cycle elisions.
     /// Lets tests and benchmarks confirm the optimization engages rather
     /// than merely doing no harm.
     pub fn fast_forwarded_cycles(&self) -> u64 {
-        self.skipped
+        self.jumped + self.elided
+    }
+
+    /// DRAM cycles skipped in whole-system jumps (every core inert).
+    pub fn jumped_cycles(&self) -> u64 {
+        self.jumped
+    }
+
+    /// DRAM cycles where the memory tick was elided while cores executed.
+    pub fn elided_cycles(&self) -> u64 {
+        self.elided
     }
 
     /// The shared memory system.
@@ -89,7 +176,8 @@ impl System {
         &self.cores
     }
 
-    /// Advances the whole system by one DRAM cycle.
+    /// Advances the whole system by one DRAM cycle (the stepped reference
+    /// path).
     pub fn tick(&mut self) {
         self.mem.tick(self.dram_cycle);
         for c in self.mem.drain_completions() {
@@ -103,54 +191,25 @@ impl System {
         self.dram_cycle += 1;
     }
 
-    /// Number of upcoming DRAM ticks, starting at `self.dram_cycle`, that
-    /// are provably dead: the memory system issues and completes nothing
-    /// ([`MemorySystem::next_event_at`]) and every core is inert
-    /// ([`Core::next_wake`]), so skipping them cannot change any simulated
-    /// outcome. `limit` caps the span (truncation boundary).
-    fn dead_ticks(&self, limit: u64) -> u64 {
-        if !self.fast_forward || limit == 0 {
-            return 0;
+    /// One real DRAM cycle of the event-driven loop: like [`System::tick`]
+    /// but cores that are provably inert through the whole cycle take the
+    /// O(1) [`Core::fast_forward`] path instead of ten no-op steps.
+    fn tick_event(&mut self) {
+        self.mem.tick(self.dram_cycle);
+        for c in self.mem.drain_completions() {
+            self.cores[c.thread.0 as usize].push_completion(c);
         }
-        let d = self.dram_cycle;
-        let mut n = match self.mem.next_event_at(d) {
-            Some(e) if e <= d => return 0,
-            Some(e) => e.get() - d.get(),
-            None => limit,
-        }
-        .min(limit);
-        for core in &self.cores {
-            let Some(w) = core.next_wake() else {
-                return 0;
-            };
-            // Core cpu cycles during dram ticks d..d+n are
-            // 10·d + 1 ..= 10·(d + n); the wake cycle must lie beyond.
-            let head = w
-                .get()
-                .saturating_sub(CPU_CYCLES_PER_DRAM_CYCLE * d.get() + 1);
-            n = n.min(head / CPU_CYCLES_PER_DRAM_CYCLE);
-            if n == 0 {
-                return 0;
+        let cpu_end = CPU_CYCLES_PER_DRAM_CYCLE * (self.dram_cycle.get() + 1);
+        for core in &mut self.cores {
+            if core.next_wake(&self.mem).is_some_and(|w| w.get() > cpu_end) {
+                core.fast_forward(CPU_CYCLES_PER_DRAM_CYCLE, &self.mem);
+            } else {
+                for _ in 0..CPU_CYCLES_PER_DRAM_CYCLE {
+                    core.step(&mut self.mem);
+                }
             }
         }
-        n
-    }
-
-    /// Advances by one DRAM cycle, first fast-forwarding across any dead
-    /// span (capped at `limit` ticks). Always performs exactly one real
-    /// [`System::tick`], so callers observe every interesting cycle.
-    fn advance(&mut self, limit: u64) {
-        let n = self.dead_ticks(limit);
-        // The policy may veto (it cannot replicate its per-cycle state
-        // changes in closed form); fall back to stepping.
-        if n > 0 && self.mem.fast_forward(self.dram_cycle, n) {
-            for core in &mut self.cores {
-                core.fast_forward(n * CPU_CYCLES_PER_DRAM_CYCLE);
-            }
-            self.dram_cycle += n;
-            self.skipped += n;
-        }
-        self.tick();
+        self.dram_cycle += 1;
     }
 
     /// Runs until every core has committed `insts_per_thread` instructions
@@ -172,56 +231,32 @@ impl System {
         max_cpu_cycles: u64,
     ) -> RunOutcome {
         let n = self.cores.len();
-        let zero = CoreStats::default();
-        let mem_zero = ThreadStats::default();
-        let mut baseline: Vec<Option<(CoreStats, ThreadStats)>> = vec![
-            if warmup_insts == 0 {
-                Some((zero, mem_zero))
-            } else {
-                None
-            };
-            n
-        ];
-        let mut frozen: Vec<Option<(CoreStats, ThreadStats)>> = vec![None; n];
-        let budget = warmup_insts + insts_per_thread;
-        let mut remaining = n;
-        let mut truncated = false;
-        // First DRAM cycle count at which the truncation check fires; dead
-        // spans must not skip past it (`cpu_cycles` stays bit-identical).
-        let trunc_at = max_cpu_cycles.div_ceil(CPU_CYCLES_PER_DRAM_CYCLE);
-        while remaining > 0 {
-            self.advance(trunc_at.saturating_sub(self.dram_cycle.get() + 1));
-            for (i, core) in self.cores.iter().enumerate() {
-                let insts = core.stats().instructions;
-                if baseline[i].is_none() && insts >= warmup_insts {
-                    baseline[i] = Some((*core.stats(), self.mem.thread_stats(ThreadId(i as u32))));
-                    // Max latency is not differenceable: restart it at the
-                    // window boundary so warmup spikes don't leak into the
-                    // measured window (ThreadStats::minus).
-                    self.mem.reset_max_read_latency(ThreadId(i as u32));
+        let mut window = WindowTracker::new(n, warmup_insts, warmup_insts + insts_per_thread);
+        let truncated = if self.fast_forward {
+            self.run_events(&mut window, max_cpu_cycles)
+        } else {
+            self.run_stepped(&mut window, max_cpu_cycles)
+        };
+        // A mid-span stop can leave elided-cycle residue deferred; settle
+        // it before the policy or energy model can be inspected.
+        self.mem.flush_residue();
+        if truncated {
+            for i in 0..n {
+                if window.baseline[i].is_none() {
+                    window.baseline[i] = Some((CoreStats::default(), ThreadStats::default()));
                 }
-                if frozen[i].is_none() && insts >= budget {
-                    frozen[i] = Some((*core.stats(), self.mem.thread_stats(ThreadId(i as u32))));
-                    remaining -= 1;
+                if window.frozen[i].is_none() {
+                    window.frozen[i] = Some((
+                        *self.cores[i].stats(),
+                        self.mem.thread_stats(ThreadId(i as u32)),
+                    ));
+                    window.remaining -= 1;
                 }
-            }
-            if ClockRatio::PAPER.dram_to_cpu(self.dram_cycle) >= max_cpu_cycles {
-                truncated = true;
-                for (i, core) in self.cores.iter().enumerate() {
-                    if baseline[i].is_none() {
-                        baseline[i] = Some((zero, mem_zero));
-                    }
-                    if frozen[i].is_none() {
-                        frozen[i] =
-                            Some((*core.stats(), self.mem.thread_stats(ThreadId(i as u32))));
-                    }
-                }
-                break;
             }
         }
         let mut frozen_core = Vec::with_capacity(n);
         let mut frozen_mem = Vec::with_capacity(n);
-        for (f, b) in frozen.into_iter().zip(baseline) {
+        for (f, b) in window.frozen.into_iter().zip(window.baseline) {
             let (fc, fm) = f.expect("filled above");
             let (bc, bm) = b.expect("baseline precedes freeze");
             frozen_core.push(fc.minus(&bc));
@@ -233,6 +268,99 @@ impl System {
             cpu_cycles: ClockRatio::PAPER.dram_to_cpu(self.dram_cycle).get(),
             truncated,
         }
+    }
+
+    /// The stepped reference loop: every DRAM cycle is a real tick.
+    fn run_stepped(&mut self, window: &mut WindowTracker, max_cpu_cycles: u64) -> bool {
+        while window.remaining > 0 {
+            self.tick();
+            window.observe(&self.cores, &mut self.mem);
+            if ClockRatio::PAPER.dram_to_cpu(self.dram_cycle) >= max_cpu_cycles {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The event-driven loop. Returns whether the run truncated.
+    fn run_events(&mut self, window: &mut WindowTracker, max_cpu_cycles: u64) -> bool {
+        // First DRAM cycle count at which the truncation check fires;
+        // elision spans must stop short of it so `cpu_cycles` stays
+        // bit-identical to the stepped loop.
+        let trunc_at = max_cpu_cycles.div_ceil(CPU_CYCLES_PER_DRAM_CYCLE);
+        let mut wakes: Vec<Option<CpuCycle>> = Vec::with_capacity(self.cores.len());
+        'run: while window.remaining > 0 {
+            self.tick_event();
+            window.observe(&self.cores, &mut self.mem);
+            if ClockRatio::PAPER.dram_to_cpu(self.dram_cycle) >= max_cpu_cycles {
+                return true;
+            }
+            if window.remaining == 0 {
+                return false;
+            }
+            let d = self.dram_cycle;
+            let limit = trunc_at.saturating_sub(d.get() + 1);
+            let span = match self.mem.predict_next(d) {
+                Some(e) if e > d => (e.get() - d.get()).min(limit),
+                Some(_) => 0,
+                None => limit,
+            };
+            if span == 0 {
+                continue;
+            }
+            wakes.clear();
+            wakes.extend(self.cores.iter().map(|c| c.next_wake(&self.mem)));
+            let span_end = CPU_CYCLES_PER_DRAM_CYCLE * (d.get() + span);
+            if wakes.iter().all(|w| w.is_some_and(|w| w.get() > span_end)) {
+                // Whole-system jump: nothing anywhere can act before the
+                // span ends.
+                self.mem.elide_span(d, span);
+                for core in &mut self.cores {
+                    core.fast_forward(span * CPU_CYCLES_PER_DRAM_CYCLE, &self.mem);
+                }
+                self.dram_cycle += span;
+                self.jumped += span;
+                continue;
+            }
+            // Cores still execute: elide only the memory tick, cycle by
+            // cycle. Inert cores keep their cached wake (it can only
+            // change through a memory completion, and there are none
+            // before the span ends); stepped cores refresh theirs.
+            for _ in 0..span {
+                let c = self.dram_cycle;
+                self.mem.elide_tick(c);
+                let arrivals = self.mem.arrivals();
+                let cpu_end = CPU_CYCLES_PER_DRAM_CYCLE * (c.get() + 1);
+                let mut any_stepped = false;
+                for (core, wake) in self.cores.iter_mut().zip(wakes.iter_mut()) {
+                    if wake.is_some_and(|w| w.get() > cpu_end) {
+                        core.fast_forward(CPU_CYCLES_PER_DRAM_CYCLE, &self.mem);
+                    } else {
+                        for _ in 0..CPU_CYCLES_PER_DRAM_CYCLE {
+                            core.step(&mut self.mem);
+                        }
+                        *wake = core.next_wake(&self.mem);
+                        any_stepped = true;
+                    }
+                }
+                self.dram_cycle += 1;
+                self.elided += 1;
+                if any_stepped {
+                    window.observe(&self.cores, &mut self.mem);
+                    if window.remaining == 0 {
+                        // Finished mid-span: stop exactly where the
+                        // stepped loop would, without a trailing tick.
+                        break 'run;
+                    }
+                    if self.mem.arrivals() != arrivals {
+                        // A core issued a request: the no-event premise
+                        // for the rest of the span is void. Tick for real.
+                        break;
+                    }
+                }
+            }
+        }
+        false
     }
 }
 
@@ -278,6 +406,31 @@ mod tests {
         let mut sys = tiny_system(2);
         let out = sys.run(u64::MAX, 10_000);
         assert!(out.truncated);
+    }
+
+    #[test]
+    fn truncation_is_loop_invariant() {
+        let cycles = |ff: bool| {
+            let mut sys = tiny_system(2);
+            sys.set_fast_forward(ff);
+            let out = sys.run(u64::MAX, 10_000);
+            assert!(out.truncated);
+            out.cpu_cycles
+        };
+        assert_eq!(cycles(true), cycles(false));
+    }
+
+    #[test]
+    fn event_loop_engages_both_elision_modes() {
+        let mut sys = tiny_system(2);
+        let out = sys.run(2_000, 50_000_000);
+        assert!(!out.truncated);
+        assert!(sys.jumped_cycles() > 0, "no whole-system jumps happened");
+        assert!(sys.elided_cycles() > 0, "no per-cycle elisions happened");
+        assert_eq!(
+            sys.fast_forwarded_cycles(),
+            sys.jumped_cycles() + sys.elided_cycles()
+        );
     }
 
     #[test]

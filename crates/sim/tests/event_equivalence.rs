@@ -1,0 +1,253 @@
+//! Differential fuzz harness for the event-driven simulation core.
+//!
+//! The event loop (`System` with fast-forwarding on, the default) claims
+//! to be an *exact* reorganization of the stepped reference loop: jumps
+//! and elisions may skip work, never change it. This suite hammers that
+//! claim with seeded random configurations — scheduler × workload mix ×
+//! fairness alpha × DRAM geometry × run length — and requires, for every
+//! case, that the two loops produce
+//!
+//! * the same full telemetry event stream (commands, enqueues,
+//!   completions, refreshes, samples — element by element),
+//! * the same frozen core and controller statistics,
+//! * the same run length and truncation verdict,
+//! * and the same FNV-1a completion digest (the compact fingerprint the
+//!   cross-scheduler golden tests also use).
+//!
+//! Every case is deterministic: a failure message names the case seed,
+//! and re-running the suite replays it exactly. The CI-fast tier covers
+//! 200 cases; `--ignored` adds an 800-case deep sweep.
+
+use stfm_core::{EstimatorKind, StfmConfig};
+use stfm_cpu::{Core, CoreConfig, PrefetchConfig};
+use stfm_dram::rng::SmallRng;
+use stfm_dram::DramConfig;
+use stfm_mc::{ControllerConfig, MemorySystem, RowPolicy, ThreadId};
+use stfm_sim::digest::Fnv64;
+use stfm_sim::{RunOutcome, SchedulerKind, System};
+use stfm_telemetry::{Event, RingSink};
+use stfm_workloads::{micro, mix, spec, Profile, SyntheticTrace};
+
+/// Everything that defines one differential case, drawn from the case
+/// seed. `Debug` output is the reproduction recipe.
+#[derive(Debug, Clone)]
+struct CaseConfig {
+    scheduler: SchedulerKind,
+    profiles: Vec<Profile>,
+    dram: DramConfig,
+    ctrl: ControllerConfig,
+    prefetch: Option<PrefetchConfig>,
+    insts: u64,
+    trace_seed: u64,
+}
+
+/// The workload palettes the fuzzer draws from: the streaming case-study
+/// mix, the dependent-load (pointer-chase) mix, and adversarial micro
+/// mixes. Each case takes a random 2–4 thread prefix.
+fn palette(idx: u64) -> Vec<Profile> {
+    match idx % 4 {
+        0 => vec![
+            spec::mcf(),
+            spec::libquantum(),
+            spec::omnetpp(),
+            spec::gems_fdtd(),
+        ],
+        1 => mix::pointer_chase(),
+        2 => micro::figure3_scenario(),
+        _ => vec![
+            micro::stream(),
+            micro::random(),
+            micro::chase_sparse(),
+            micro::bank_hog(),
+        ],
+    }
+}
+
+fn draw_scheduler(rng: &mut SmallRng) -> SchedulerKind {
+    match rng.random_range(0u32..8) {
+        0 => SchedulerKind::FrFcfs,
+        1 => SchedulerKind::Fcfs,
+        2 => SchedulerKind::FrFcfsCap {
+            cap: rng.random_range(1u32..6),
+        },
+        3 => SchedulerKind::Nfq,
+        4 => SchedulerKind::Stfm,
+        5 => SchedulerKind::StfmWith(StfmConfig {
+            alpha: 1.0 + rng.random_range(5u32..200) as f64 / 100.0,
+            estimator: EstimatorKind::PerCommand,
+            ..StfmConfig::default()
+        }),
+        // The time-sampled estimator vetoes memory fast-forwards (its
+        // charges need the stepping clock), exercising the veto path.
+        6 => SchedulerKind::StfmWith(StfmConfig {
+            alpha: 1.0 + rng.random_range(5u32..200) as f64 / 100.0,
+            estimator: EstimatorKind::TimeSampled,
+            ..StfmConfig::default()
+        }),
+        _ => SchedulerKind::ParBs,
+    }
+}
+
+fn draw_case(case: u64) -> CaseConfig {
+    let mut rng = SmallRng::seed_from_u64(0xE4E4_BA5E ^ (case * 0x9E37_79B9));
+    let threads = rng.random_range(2usize..5);
+    let mut profiles = palette(rng.random_range(0u64..4));
+    profiles.truncate(threads);
+    let mut dram = DramConfig::for_cores(threads as u32);
+    dram.channels = rng.random_range(1u32..3);
+    dram.banks = if rng.random_range(0u32..2) == 0 { 4 } else { 8 };
+    dram.refresh_enabled = rng.random_range(0u32..4) != 0;
+    let ctrl = ControllerConfig {
+        row_policy: if rng.random_range(0u32..4) == 0 {
+            RowPolicy::ClosedPage
+        } else {
+            RowPolicy::OpenPage
+        },
+        // Occasionally shrink the buffers so back-pressure (and the
+        // cores' retry-gate machinery) engages hard.
+        ..if rng.random_range(0u32..3) == 0 {
+            ControllerConfig {
+                read_capacity: 16,
+                write_capacity: 8,
+                drain_high: 6,
+                drain_low: 2,
+                row_policy: RowPolicy::OpenPage,
+            }
+        } else {
+            ControllerConfig::paper_baseline()
+        }
+    };
+    CaseConfig {
+        scheduler: draw_scheduler(&mut rng),
+        profiles,
+        dram,
+        ctrl,
+        prefetch: (rng.random_range(0u32..4) == 0).then(PrefetchConfig::default),
+        // Short measured windows: equivalence bugs are configuration
+        // bugs, not length bugs, and even 150 instructions crosses
+        // multiple refresh intervals and drain flips.
+        insts: rng.random_range(150u64..500),
+        trace_seed: rng.random_range(1u64..1_000_000),
+    }
+}
+
+/// Builds the system for one mode and runs it to completion, returning
+/// the outcome and the drained telemetry stream.
+fn run_mode(cfg: &CaseConfig, fast_forward: bool) -> (RunOutcome, Vec<Event>) {
+    let policy = cfg.scheduler.build(cfg.dram.timing, &[], &[]);
+    let mut mem = MemorySystem::with_controller_config(cfg.dram.clone(), cfg.ctrl, policy);
+    mem.set_sink(Box::new(RingSink::new(1 << 18)));
+    let core_cfg = CoreConfig {
+        prefetch: cfg.prefetch,
+        ..CoreConfig::paper_baseline()
+    };
+    let cores: Vec<Core> = cfg
+        .profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let trace = SyntheticTrace::new(p.clone(), &cfg.dram, i as u32, cfg.trace_seed);
+            Core::with_config(ThreadId(i as u32), Box::new(trace), core_cfg)
+        })
+        .collect();
+    let mut sys = System::new(cores, mem);
+    sys.set_fast_forward(fast_forward);
+    let out = sys.run_with_warmup(cfg.insts / 4, cfg.insts, cfg.insts.saturating_mul(4_000));
+    let mut sink = sys.memory_mut().take_sink();
+    let ring = sink
+        .as_any_mut()
+        .downcast_mut::<RingSink>()
+        .expect("RingSink comes back out");
+    assert_eq!(ring.dropped(), 0, "telemetry ring too small for the run");
+    (out, ring.events().cloned().collect())
+}
+
+/// FNV-1a over the serviced-request stream, field-for-field the same
+/// fingerprint as the cross-scheduler golden digests.
+fn completion_digest(events: &[Event]) -> u64 {
+    let mut h = Fnv64::new();
+    let mut mix = |v: u64| h.write_u64(v);
+    for e in events {
+        if let Event::RequestServiced {
+            dram_cycle,
+            cpu_cycle,
+            thread,
+            request,
+            is_write,
+            latency_cpu,
+            ..
+        } = e
+        {
+            mix(*request);
+            mix(dram_cycle.get());
+            mix(cpu_cycle.get());
+            mix(u64::from(*thread));
+            mix(u64::from(*is_write));
+            mix(latency_cpu.get());
+        }
+    }
+    h.finish()
+}
+
+/// Runs one case in both modes and cross-checks every observable.
+/// Returns the case's completion digest for aggregate reporting.
+fn check_case(case: u64) -> u64 {
+    let cfg = draw_case(case);
+    let (out_ev, stream_ev) = run_mode(&cfg, true);
+    let (out_st, stream_st) = run_mode(&cfg, false);
+    for (i, (a, b)) in stream_ev.iter().zip(&stream_st).enumerate() {
+        assert_eq!(a, b, "case {case}: event {i} diverges\nconfig: {cfg:#?}");
+    }
+    assert_eq!(
+        stream_ev.len(),
+        stream_st.len(),
+        "case {case}: event counts diverge after a common prefix\nconfig: {cfg:#?}"
+    );
+    assert_eq!(
+        out_ev.frozen, out_st.frozen,
+        "case {case}: core stats diverge\nconfig: {cfg:#?}"
+    );
+    assert_eq!(
+        out_ev.frozen_mem, out_st.frozen_mem,
+        "case {case}: controller stats diverge\nconfig: {cfg:#?}"
+    );
+    assert_eq!(
+        out_ev.cpu_cycles, out_st.cpu_cycles,
+        "case {case}: run length diverges\nconfig: {cfg:#?}"
+    );
+    assert_eq!(
+        out_ev.truncated, out_st.truncated,
+        "case {case}: truncation verdict diverges\nconfig: {cfg:#?}"
+    );
+    let (d_ev, d_st) = (completion_digest(&stream_ev), completion_digest(&stream_st));
+    assert_eq!(d_ev, d_st, "case {case}: completion digests diverge");
+    d_ev
+}
+
+/// Runs cases `[from, to)` and asserts at least one non-trivial
+/// completion stream was covered (the sweep must not be vacuous).
+fn sweep(from: u64, to: u64) {
+    let mut nonempty = 0u64;
+    for case in from..to {
+        if check_case(case) != Fnv64::new().finish() {
+            nonempty += 1;
+        }
+    }
+    assert!(
+        nonempty * 2 >= to - from,
+        "sweep {from}..{to}: only {nonempty} cases produced completions"
+    );
+}
+
+#[test]
+fn event_loop_matches_stepped_oracle_200_cases() {
+    sweep(0, 200);
+}
+
+/// Deep sweep: 800 further cases. Slow; run explicitly with
+/// `cargo test -p stfm-sim --test event_equivalence -- --ignored`.
+#[test]
+#[ignore = "deep fuzz sweep, ~minutes in debug builds"]
+fn event_loop_matches_stepped_oracle_deep() {
+    sweep(200, 1_000);
+}

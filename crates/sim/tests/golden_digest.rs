@@ -10,7 +10,7 @@
 use stfm_sim::digest::Fnv64;
 use stfm_sim::{AloneCache, Experiment, SchedulerKind};
 use stfm_telemetry::{Event, RingSink};
-use stfm_workloads::spec;
+use stfm_workloads::{mix, spec, Profile};
 
 /// FNV-1a over the serviced-request stream: (request id, completion
 /// cycles, thread, direction, latency) in emission order.
@@ -39,30 +39,17 @@ fn completion_digest(events: &[Event]) -> u64 {
     h.finish()
 }
 
-#[test]
-fn completion_streams_match_goldens() {
-    // Golden digests for the workload below (mcf, libquantum, omnetpp,
-    // gems_fdtd; 3 000 instructions per thread; seed 11).
-    let golden: &[(SchedulerKind, u64)] = &[
-        (SchedulerKind::FrFcfs, 0x516443d7429d06c7),
-        (SchedulerKind::Fcfs, 0xe2573d87c5116701),
-        (SchedulerKind::FrFcfsCap { cap: 4 }, 0xf414530b2bb7a865),
-        (SchedulerKind::Nfq, 0xa5c2ee8152755867),
-        (SchedulerKind::Stfm, 0xb0ca41e7e50d5377),
-    ];
+/// Runs every golden entry and asserts its digest, reporting all current
+/// values on divergence.
+fn check_goldens(profiles: Vec<Profile>, golden: &[(SchedulerKind, u64)]) {
     let cache = AloneCache::new();
     let mut failures = String::new();
     for &(kind, expect) in golden {
-        let run = Experiment::new(vec![
-            spec::mcf(),
-            spec::libquantum(),
-            spec::omnetpp(),
-            spec::gems_fdtd(),
-        ])
-        .scheduler(kind)
-        .instructions_per_thread(3_000)
-        .seed(11)
-        .run_traced(&cache, Box::new(RingSink::new(1 << 21)));
+        let run = Experiment::new(profiles.clone())
+            .scheduler(kind)
+            .instructions_per_thread(3_000)
+            .seed(11)
+            .run_traced(&cache, Box::new(RingSink::new(1 << 21)));
         let mut sink = run.sink;
         let ring = sink
             .as_any_mut()
@@ -78,5 +65,44 @@ fn completion_streams_match_goldens() {
     assert!(
         failures.is_empty(),
         "completion digests diverged; current values:\n{failures}"
+    );
+}
+
+#[test]
+fn completion_streams_match_goldens() {
+    // Golden digests for the streaming-regime workload (mcf, libquantum,
+    // omnetpp, gems_fdtd; 3 000 instructions per thread; seed 11).
+    check_goldens(
+        vec![
+            spec::mcf(),
+            spec::libquantum(),
+            spec::omnetpp(),
+            spec::gems_fdtd(),
+        ],
+        &[
+            (SchedulerKind::FrFcfs, 0x516443d7429d06c7),
+            (SchedulerKind::Fcfs, 0xe2573d87c5116701),
+            (SchedulerKind::FrFcfsCap { cap: 4 }, 0xf414530b2bb7a865),
+            (SchedulerKind::Nfq, 0xa5c2ee8152755867),
+            (SchedulerKind::Stfm, 0xb0ca41e7e50d5377),
+        ],
+    );
+}
+
+#[test]
+fn pointer_chase_streams_match_goldens() {
+    // Same contract for the dependent-load regime (`mix::pointer_chase`):
+    // serial miss chains and long quiet spans instead of bandwidth
+    // saturation, so the event loop's jump/elide machinery carries most of
+    // the run. 3 000 instructions per thread; seed 11.
+    check_goldens(
+        mix::pointer_chase(),
+        &[
+            (SchedulerKind::FrFcfs, 0x808ec81a31f11608),
+            (SchedulerKind::Fcfs, 0xad04a43e0a4621b5),
+            (SchedulerKind::FrFcfsCap { cap: 4 }, 0xb76722b48eb707a1),
+            (SchedulerKind::Nfq, 0xdcf3dd918e5f048b),
+            (SchedulerKind::Stfm, 0x5ce7f47243925b85),
+        ],
     );
 }

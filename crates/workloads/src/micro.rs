@@ -36,6 +36,21 @@ pub fn chase() -> Profile {
     Profile::base("µ-chase", Category::IntensiveLowRb, 10.0, 50.0, 0.1).with_dependent(1.0)
 }
 
+/// Pointer chase over a row-friendly working set: fully dependent misses
+/// that usually land in the open row. Latency-bound (one outstanding miss
+/// at a time) but cheap to serve — the row-hit end of the dependent-load
+/// regime.
+pub fn chase_local() -> Profile {
+    Profile::base("µ-chase-local", Category::IntensiveHighRb, 8.0, 40.0, 0.85).with_dependent(1.0)
+}
+
+/// Pointer chase over a sparse footprint: every dependent miss opens a
+/// fresh row. The worst-case serial latency chain — each load pays the
+/// full activate+CAS before the next can even be generated.
+pub fn chase_sparse() -> Profile {
+    Profile::base("µ-chase-sparse", Category::IntensiveLowRb, 12.0, 45.0, 0.05).with_dependent(1.0)
+}
+
 /// Bursty requester: intense phases separated by long idle phases
 /// (the Figure 3 idleness scenario).
 pub fn bursty() -> Profile {
@@ -77,6 +92,10 @@ mod tests {
         assert!(stream().stream_prob > 0.99);
         assert!(random().stream_prob == 0.0);
         assert_eq!(chase().dependent_frac, 1.0);
+        assert_eq!(chase_local().dependent_frac, 1.0);
+        assert!(chase_local().stream_prob > 0.8);
+        assert_eq!(chase_sparse().dependent_frac, 1.0);
+        assert!(chase_sparse().stream_prob < 0.1);
         assert!(bursty().burst.is_some());
         assert_eq!(bank_hog().bank_skew, Some(1));
         assert_eq!(figure3_scenario().len(), 4);

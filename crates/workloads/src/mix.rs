@@ -1,5 +1,6 @@
 //! Workload mixes: the multiprogrammed combinations the paper evaluates.
 
+use crate::micro;
 use crate::profile::{Category, Profile};
 use crate::spec;
 
@@ -55,6 +56,20 @@ pub fn case_study_non_intensive() -> Vec<Profile> {
         spec::omnetpp(),
         spec::hmmer(),
         spec::h264ref(),
+    ]
+}
+
+/// Dependent-load (pointer-chase) 4-core mix: three chasers of varying
+/// row locality against one streaming aggressor. The serial-miss regime
+/// complementing the streaming case studies — memory time is dominated by
+/// idle latency chains instead of bandwidth contention, which exercises a
+/// scheduler's (and the simulator's) behavior across long quiet spans.
+pub fn pointer_chase() -> Vec<Profile> {
+    vec![
+        micro::chase_local(),
+        micro::chase_sparse(),
+        micro::chase(),
+        micro::stream(),
     ]
 }
 

@@ -11,8 +11,8 @@
 //!    / `#[test]` items, `tests/` directories). Vetted exceptions live in
 //!    `xtask/tidy.allow`, one `path: trimmed-line` entry per line; stale
 //!    entries are themselves an error so the list can only shrink.
-//! 3. **Module docs**: every `.rs` file under a `src/` directory must open
-//!    with a `//!` doc comment.
+//! 3. **Module docs**: every `.rs` file under a `src/` or `tests/`
+//!    directory must open with a `//!` doc comment.
 //! 4. **No debug/placeholder markers**: `dbg!(` in code, or the
 //!    to-do/fix-me markers anywhere (including comments).
 //! 5. **Crate-root lints**: every `src/lib.rs` and `src/main.rs` must
@@ -218,8 +218,10 @@ fn check_file(rel: &str, src: &str, allowlist: &[AllowEntry], used: &mut [bool])
     let test_lines = test_context_lines(&code);
     let raw_lines: Vec<&str> = src.lines().collect();
 
-    // Rule 3: module doc. Only for files under a src/ directory.
-    if rel.split('/').any(|c| c == "src") && !has_module_doc(src) {
+    // Rule 3: module doc. Files under a src/ directory, and integration
+    // tests under tests/ — a test file's opening doc is its statement of
+    // what property it proves.
+    if (rel.split('/').any(|c| c == "src") || in_tests_dir) && !has_module_doc(src) {
         findings.push(Finding {
             path: rel.to_string(),
             line: 1,
@@ -604,6 +606,17 @@ mod tests {
     fn bad_module_doc_fixture_is_flagged() {
         let rules = rules_hit("crates/x/src/bad.rs", &fixture("bad_module_doc.rs"));
         assert!(rules.contains(&"module-doc"), "rules: {rules:?}");
+    }
+
+    #[test]
+    fn module_doc_rule_covers_integration_tests() {
+        // Integration tests under tests/ are held to the module-doc rule
+        // like src/ files (a test's opening doc states what it proves)...
+        let rules = rules_hit("crates/x/tests/bad.rs", &fixture("bad_module_doc.rs"));
+        assert!(rules.contains(&"module-doc"), "rules: {rules:?}");
+        // ...while files outside both trees (e.g. build scripts) are not.
+        let rules = rules_hit("crates/x/build.rs", &fixture("bad_module_doc.rs"));
+        assert!(!rules.contains(&"module-doc"), "rules: {rules:?}");
     }
 
     #[test]
