@@ -8,7 +8,7 @@ use stfm_core::StfmConfig;
 use stfm_cpu::{trace_io, Core, FileTrace};
 use stfm_dram::DramConfig;
 use stfm_mc::{MemorySystem, ThreadId, DEFAULT_SAMPLE_INTERVAL};
-use stfm_serve::{expand_line, run_sweep, ResultCache};
+use stfm_serve::{expand_line, run_sweep, ResultCache, ServeConfig};
 use stfm_sim::{
     run_all_jobs, AloneCache, Experiment, SchedulerKind, System, Table, ThreadMetrics,
     WorkloadMetrics,
@@ -27,7 +27,8 @@ USAGE:
   stfm trace --workload <b1,b2,...> [--scheduler frfcfs|fcfs|cap|nfq|stfm]
            [--insts N] [--seed N] [--epoch N] [--sample N] [--out-dir DIR]
   stfm sweep <spec-file> [--jobs N] [--cache-dir DIR] [--quiet]
-  stfm serve [--jobs N] [--cache-dir DIR] [--tcp ADDR]
+  stfm serve [--jobs N] [--cache-dir DIR] [--tcp ADDR] [--cell-timeout MS]
+           [--retry-backoff MS] [--self-check N] [--fault-log FILE]
   stfm list
   stfm capture --benchmark <name> --ops N --out <file> [--seed N] [--cores N]
   stfm replay --traces <f1,f2,...> [--scheduler ...] [--insts N]
@@ -44,6 +45,12 @@ with the offending line number; the rest of the file still runs. With
 accepts sequential connections with --tcp host:port), streams result
 lines plus per-line `epoch` telemetry, answers {\"cmd\":\"ping\"|\"stats\"}
 in stream order, and exits gracefully on {\"cmd\":\"shutdown\"} or EOF.
+Cells are panic-isolated; --cell-timeout caps each cell's wall-clock
+budget in milliseconds (one retry after --retry-backoff ms, default 25,
+then a structured timeout error); --self-check N re-runs 1-in-N fresh
+cells on the stepped oracle loop and demotes a diverging scheduler/mix
+class to that loop for the session; --fault-log FILE mirrors detected
+faults as telemetry JSONL. See DESIGN.md section 12.
 
 `trace` runs one workload under one scheduler (default: stfm) with the
 telemetry sink attached and writes <out-dir>/events.jsonl (full event
@@ -467,26 +474,54 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the fault-tolerance configuration for `stfm serve` from its
+/// flags (`--cell-timeout`/`--retry-backoff` in milliseconds,
+/// `--self-check` as a 1-in-N rate, `--fault-log` as a JSONL path).
+fn serve_config(f: &Flags) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig::with_jobs(jobs_flag(f)?);
+    let timeout_ms: u64 = f.num("cell-timeout", 0)?;
+    if timeout_ms > 0 {
+        cfg = cfg.cell_timeout(std::time::Duration::from_millis(timeout_ms));
+    }
+    let backoff_ms: u64 = f.num("retry-backoff", 25)?;
+    cfg = cfg.retry_backoff(std::time::Duration::from_millis(backoff_ms));
+    cfg = cfg.self_check(f.num("self-check", 0)?);
+    if let Some(path) = f.get("fault-log") {
+        cfg = cfg.fault_log(path);
+    }
+    Ok(cfg)
+}
+
 /// `stfm serve`: the long-running experiment service (stdin/stdout line
 /// protocol, or sequential TCP connections with `--tcp`).
 pub fn serve(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;
     let (alone, results) = sweep_caches(&f)?;
-    let jobs = jobs_flag(&f)?;
+    let cfg = serve_config(&f)?;
     if let Some(addr) = f.get("tcp") {
         eprintln!("stfm serve: listening on {addr}");
-        stfm_serve::serve_tcp(addr, &alone, &results, jobs).map_err(|e| format!("{addr}: {e}"))?;
+        stfm_serve::serve_tcp(addr, &alone, &results, &cfg).map_err(|e| format!("{addr}: {e}"))?;
         return Ok(());
     }
     // `StdinLock` is not `Send` (the reader runs on its own thread), so
     // wrap the handle in a `BufReader` instead of locking it.
     let stdin = BufReader::new(io::stdin());
     let stdout = io::stdout().lock();
-    let totals = stfm_serve::serve(stdin, stdout, &alone, &results, jobs)
+    let totals = stfm_serve::serve(stdin, stdout, &alone, &results, &cfg)
         .map_err(|e| format!("serve: {e}"))?;
     eprintln!(
-        "stfm serve: {} lines, {} cells ({} cached), {} errors",
-        totals.lines, totals.cells, totals.cache_hits, totals.errors
+        "stfm serve: {} lines, {} cells ({} cached), {} errors, {} timeouts, {} panics{}",
+        totals.lines,
+        totals.cells,
+        totals.cache_hits,
+        totals.errors,
+        totals.timeouts,
+        totals.panics,
+        if totals.disconnected {
+            " (client disconnected)"
+        } else {
+            ""
+        }
     );
     Ok(())
 }

@@ -10,20 +10,43 @@
 //! The cache has two tiers: an in-process memo (a mutex-guarded map,
 //! shared by all worker threads of a sweep or serve session) and an
 //! optional on-disk tier (`cell-<key>.json` files under a cache
-//! directory, written atomically via a temp file and rename). Disk
-//! entries are validated on load — a truncated or hand-edited file
-//! parses as a miss, never as an error.
+//! directory, written atomically via a uniquely named temp file and
+//! rename).
+//!
+//! # Crash safety
+//!
+//! The disk tier assumes it can be killed at any instruction and still
+//! never serve a wrong answer:
+//!
+//! - Every entry carries a checksum footer (`#fnv:<digest>` of the
+//!   result line), so a torn write — a crash between `write` and
+//!   `rename`, a filesystem that reordered the data and metadata — is
+//!   *detected*, not trusted.
+//! - An entry that fails the checksum, fails to parse, or is filed
+//!   under the wrong key is **quarantined**: renamed to `<file>.bad`
+//!   (for post-mortem inspection) and treated as a miss. The cell is
+//!   simply recomputed.
+//! - Footer-less files written by older versions still load (their
+//!   result line must parse and match the key, which is the same
+//!   self-validation they always had).
+//! - Opening a cache directory reaps stale `*.tmp*` files left behind
+//!   by crashed writers.
 
 use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
+use stfm_sim::digest::hex_digest;
 use stfm_sim::WorkloadMetrics;
 
 use crate::result::parse_result_line;
+
+/// Checksum footer prefix: the line after the stored result line reads
+/// `#fnv:<hex_digest of the result line>`.
+const FOOTER_PREFIX: &str = "#fnv:";
 
 /// A validated cache hit: the stored line plus its parsed metrics.
 #[derive(Debug, Clone)]
@@ -34,6 +57,21 @@ pub struct CachedResult {
     pub metrics: WorkloadMetrics,
 }
 
+/// Predicate deciding whether a disk write for a given key should be
+/// dropped, simulating a cache IO failure (fault-injection only).
+#[cfg(feature = "fault-inject")]
+pub type WriteFaultFn = Box<dyn Fn(&str) -> bool + Send + Sync>;
+
+#[cfg(feature = "fault-inject")]
+struct WriteFault(WriteFaultFn);
+
+#[cfg(feature = "fault-inject")]
+impl std::fmt::Debug for WriteFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WriteFault(..)")
+    }
+}
+
 /// Two-tier (memory + optional disk) result cache, safe to share across
 /// worker threads.
 #[derive(Debug, Default)]
@@ -42,6 +80,10 @@ pub struct ResultCache {
     dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    quarantined: AtomicU64,
+    reaped: AtomicU64,
+    #[cfg(feature = "fault-inject")]
+    write_fault: Mutex<Option<WriteFault>>,
 }
 
 impl ResultCache {
@@ -52,7 +94,8 @@ impl ResultCache {
     }
 
     /// A cache backed by `dir`, created if missing. Entries written by
-    /// earlier processes are visible immediately.
+    /// earlier processes are visible immediately. Stale temp files left
+    /// by crashed writers are reaped before the cache is used.
     ///
     /// # Errors
     ///
@@ -60,10 +103,12 @@ impl ResultCache {
     pub fn with_dir(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self {
+        let cache = Self {
             dir: Some(dir),
             ..Self::default()
-        })
+        };
+        cache.reap_stale_temps();
+        Ok(cache)
     }
 
     /// The backing directory, if this cache persists to disk.
@@ -78,12 +123,35 @@ impl ResultCache {
             .map(|d| d.join(format!("cell-{key}.json")))
     }
 
+    /// Removes `cell-*.json.tmp*` files: a temp file only survives its
+    /// writer when that writer crashed mid-store, and its content may be
+    /// arbitrarily torn. Live writers use fresh unique names, so
+    /// deleting leftovers can never race a healthy store.
+    fn reap_stale_temps(&self) {
+        let Some(dir) = &self.dir else { return };
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("cell-")
+                && name.contains(".json.tmp")
+                && fs::remove_file(entry.path()).is_ok()
+            {
+                self.reaped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Looks up a cell by content-address. Counts a hit or a miss.
     pub fn lookup(&self, key: &str) -> Option<CachedResult> {
-        let memo_line = match self.memo.lock() {
-            Ok(memo) => memo.get(key).cloned(),
-            Err(_) => None,
-        };
+        let memo_line = self
+            .memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .cloned();
         let line = memo_line.or_else(|| self.load_disk(key));
         match line {
             Some(line) => {
@@ -110,29 +178,103 @@ impl ResultCache {
         }
     }
 
+    /// Loads and fully validates a disk entry. Only a line that passes
+    /// the checksum (when present), parses, and matches `key` is
+    /// memoized and returned; anything else is quarantined to `*.bad`
+    /// and reported as a miss.
     fn load_disk(&self, key: &str) -> Option<String> {
         let path = self.entry_path(key)?;
-        let raw = fs::read_to_string(path).ok()?;
-        let line = raw.trim_end_matches('\n').to_string();
-        if let Ok(mut memo) = self.memo.lock() {
-            memo.insert(key.to_string(), line.clone());
+        let raw = fs::read_to_string(&path).ok()?;
+        match Self::validate(key, &raw) {
+            Some(line) => {
+                self.memo
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(key.to_string(), line.clone());
+                Some(line)
+            }
+            None => {
+                self.quarantine(&path);
+                None
+            }
         }
-        Some(line)
+    }
+
+    /// Extracts the result line from a raw cache file, or `None` if the
+    /// file is torn, corrupt, or filed under the wrong key.
+    fn validate(key: &str, raw: &str) -> Option<String> {
+        let mut lines = raw.lines();
+        let line = lines.next()?.to_string();
+        if let Some(footer) = lines.next() {
+            // Checksummed format: the footer must verify, and nothing may
+            // follow it (trailing garbage means a torn or doctored file).
+            let sum = footer.strip_prefix(FOOTER_PREFIX)?;
+            if sum != hex_digest(&line) || lines.next().is_some() {
+                return None;
+            }
+        }
+        let parsed = parse_result_line(&line).ok()?;
+        (parsed.key == key).then_some(line)
+    }
+
+    /// Moves a detected-bad entry aside as `<file>.bad` so the next
+    /// lookup misses cleanly and the evidence survives for inspection.
+    /// If the rename fails (exotic filesystems, permissions) the entry
+    /// is deleted instead — a bad entry must never stay on the hit path.
+    fn quarantine(&self, path: &Path) {
+        let mut bad = path.as_os_str().to_owned();
+        bad.push(".bad");
+        if fs::rename(path, PathBuf::from(bad)).is_err() {
+            let _ = fs::remove_file(path);
+        }
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Stores a freshly computed result line. Disk failures are
     /// swallowed: persistence is an optimization, not a correctness
     /// requirement.
     pub fn store(&self, key: &str, line: &str) {
-        if let Ok(mut memo) = self.memo.lock() {
-            memo.insert(key.to_string(), line.to_string());
+        self.memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key.to_string(), line.to_string());
+        #[cfg(feature = "fault-inject")]
+        if self.write_fault_fires(key) {
+            return;
         }
         if let Some(path) = self.entry_path(key) {
-            let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-            if fs::write(&tmp, format!("{line}\n")).is_ok() && fs::rename(&tmp, &path).is_err() {
+            // Unique temp name per write: the pid alone is not enough,
+            // because two worker threads of one process storing the same
+            // key concurrently would share a temp path and could rename
+            // each other's half-written bytes.
+            static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+            let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+            let tmp = path.with_extension(format!("json.tmp{}-{}", std::process::id(), seq));
+            let body = format!("{line}\n{FOOTER_PREFIX}{}\n", hex_digest(line));
+            if fs::write(&tmp, body).is_ok() && fs::rename(&tmp, &path).is_err() {
                 let _ = fs::remove_file(&tmp);
             }
         }
+    }
+
+    /// Installs a predicate that makes [`ResultCache::store`] silently
+    /// drop the *disk* write for matching keys (the memo tier still
+    /// updates), simulating cache IO failures.
+    #[cfg(feature = "fault-inject")]
+    pub fn set_write_fault(&self, f: impl Fn(&str) -> bool + Send + Sync + 'static) {
+        *self
+            .write_fault
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(WriteFault(Box::new(f)));
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn write_fault_fires(&self, key: &str) -> bool {
+        self.write_fault
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .is_some_and(|f| (f.0)(key))
     }
 
     /// Number of successful lookups so far.
@@ -145,6 +287,18 @@ impl ResultCache {
     #[must_use]
     pub fn miss_count(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of corrupt disk entries quarantined to `*.bad` so far.
+    #[must_use]
+    pub fn quarantined_count(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Number of stale temp files reaped when the cache was opened.
+    #[must_use]
+    pub fn reaped_temp_count(&self) -> u64 {
+        self.reaped.load(Ordering::Relaxed)
     }
 }
 
@@ -196,6 +350,21 @@ mod tests {
     }
 
     #[test]
+    fn stored_entries_carry_a_verifiable_checksum_footer() {
+        let dir = scratch_dir("footer");
+        let (key, line) = sample_line();
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        cache.store(&key, &line);
+        let raw = fs::read_to_string(dir.join(format!("cell-{key}.json"))).unwrap();
+        assert_eq!(
+            raw,
+            format!("{line}\n{FOOTER_PREFIX}{}\n", hex_digest(&line)),
+            "entry must be line + checksum footer"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corrupt_or_mismatched_entries_are_misses() {
         let dir = scratch_dir("corrupt");
         let (key, line) = sample_line();
@@ -206,6 +375,123 @@ mod tests {
         cache.store("0000000000000000", &line);
         assert!(cache.lookup("0000000000000000").is_none());
         assert_eq!(cache.hit_count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The satellite coverage matrix: every corruption class the module
+    /// doc promises to tolerate degrades to a miss, quarantines the
+    /// file, and a subsequent store-and-lookup heals the entry.
+    #[test]
+    fn corruption_matrix_degrades_to_misses_and_quarantines() {
+        let (key, line) = sample_line();
+        let footer = format!("{FOOTER_PREFIX}{}", hex_digest(&line));
+        let half = &line[..line.len() / 2];
+        let cases: [(&str, String); 6] = [
+            ("truncated_mid_line", format!("{half}\n{footer}\n")),
+            ("garbage_json", "{\"type\":\"result\",oops}\n".to_string()),
+            ("empty_file", String::new()),
+            (
+                "wrong_checksum",
+                format!("{line}\n{FOOTER_PREFIX}{}\n", hex_digest("x")),
+            ),
+            ("footer_only", format!("{footer}\n")),
+            ("trailing_garbage", format!("{line}\n{footer}\nextra\n")),
+        ];
+        for (tag, content) in cases {
+            let dir = scratch_dir(tag);
+            let cache = ResultCache::with_dir(&dir).unwrap();
+            let path = dir.join(format!("cell-{key}.json"));
+            fs::write(&path, content).unwrap();
+            assert!(cache.lookup(&key).is_none(), "{tag}: corrupt entry hit");
+            assert_eq!(cache.quarantined_count(), 1, "{tag}: not quarantined");
+            assert!(!path.exists(), "{tag}: bad file left on the hit path");
+            let bad = dir.join(format!("cell-{key}.json.bad"));
+            assert!(bad.exists(), "{tag}: quarantine file missing");
+            // The entry heals: a fresh store replaces it and hits.
+            cache.store(&key, &line);
+            assert!(cache.lookup(&key).is_some(), "{tag}: store did not heal");
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn wrong_key_contents_quarantine_on_disk_load() {
+        let dir = scratch_dir("wrongkey");
+        let (key, line) = sample_line();
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        // A checksum-valid entry whose line belongs to a different cell:
+        // the checksum passes but the key check must still reject it.
+        let path = dir.join("cell-0000000000000000.json");
+        fs::write(
+            &path,
+            format!("{line}\n{FOOTER_PREFIX}{}\n", hex_digest(&line)),
+        )
+        .unwrap();
+        assert!(cache.lookup("0000000000000000").is_none());
+        assert_eq!(cache.quarantined_count(), 1);
+        assert!(!path.exists());
+        // The real key still resolves nothing (entry was never for it).
+        assert!(cache.lookup(&key).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_footerless_entries_still_load() {
+        let dir = scratch_dir("legacy");
+        let (key, line) = sample_line();
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(format!("cell-{key}.json")), format!("{line}\n")).unwrap();
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        let hit = cache.lookup(&key).expect("legacy entry must hit");
+        assert_eq!(hit.line, line);
+        assert_eq!(cache.quarantined_count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_sweep_reaps_stale_temp_files() {
+        let dir = scratch_dir("reap");
+        fs::create_dir_all(&dir).unwrap();
+        // Leftovers from two different crashed writers + one real entry.
+        fs::write(dir.join("cell-abc.json.tmp123-0"), "torn").unwrap();
+        fs::write(dir.join("cell-abc.json.tmp999-7"), "torn").unwrap();
+        let (key, line) = sample_line();
+        fs::write(
+            dir.join(format!("cell-{key}.json")),
+            format!("{line}\n{FOOTER_PREFIX}{}\n", hex_digest(&line)),
+        )
+        .unwrap();
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        assert_eq!(cache.reaped_temp_count(), 2);
+        assert!(!dir.join("cell-abc.json.tmp123-0").exists());
+        assert!(cache.lookup(&key).is_some(), "real entry must survive");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stores_of_one_key_leave_a_clean_entry() {
+        let dir = scratch_dir("race");
+        let (key, line) = sample_line();
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        cache.store(&key, &line);
+                    }
+                });
+            }
+        });
+        // No temp litter, and the surviving entry validates.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        let fresh = ResultCache::with_dir(&dir).unwrap();
+        assert_eq!(fresh.lookup(&key).unwrap().line, line);
+        assert_eq!(fresh.quarantined_count(), 0);
         let _ = fs::remove_dir_all(&dir);
     }
 }

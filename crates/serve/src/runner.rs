@@ -13,15 +13,28 @@
 //! sweeps fast-forward over already-completed cells.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use stfm_sim::{runner::resolve_jobs, AloneCache, WorkloadMetrics};
+use stfm_sim::{runner::resolve_jobs, AloneCache, CancelToken, WorkloadMetrics};
 
 use crate::cache::ResultCache;
 use crate::result::result_line;
 use crate::spec::Cell;
+
+/// Renders a caught panic payload as a one-line message (panics carry
+/// `&str` or `String` in practice; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
 
 /// One completed cell, as observed by the emit hook.
 #[derive(Debug)]
@@ -63,14 +76,47 @@ pub fn run_cell(
     alone: &AloneCache,
     results: &ResultCache,
 ) -> Result<(String, WorkloadMetrics, bool), String> {
+    match run_cell_cancellable(cell, alone, results, None, false)? {
+        Some(done) => Ok(done),
+        // Unreachable without a token, but never worth a panic path.
+        None => Err("cell run cancelled".to_string()),
+    }
+}
+
+/// [`run_cell`] under a cooperative cancellation token and an optional
+/// forced-stepped-loop mode (the self-check degradation path).
+///
+/// Returns `Ok(None)` when `cancel` fired before the cell finished; a
+/// cancelled cell stores nothing in either cache. `force_stepped` runs
+/// the simulation on the stepped oracle loop instead of the event-driven
+/// one (bit-identical by contract; used both to *verify* that contract
+/// and to keep serving after a verification failure).
+///
+/// # Errors
+///
+/// Returns the message if the cell references an unknown benchmark.
+pub fn run_cell_cancellable(
+    cell: &Cell,
+    alone: &AloneCache,
+    results: &ResultCache,
+    cancel: Option<&CancelToken>,
+    force_stepped: bool,
+) -> Result<Option<(String, WorkloadMetrics, bool)>, String> {
     let key = cell.key();
     if let Some(hit) = results.lookup(&key) {
-        return Ok((hit.line, hit.metrics, true));
+        return Ok(Some((hit.line, hit.metrics, true)));
     }
-    let metrics = cell.to_experiment()?.run_with_cache(alone);
+    let experiment = cell.to_experiment()?.fast_forward(!force_stepped);
+    let metrics = match cancel {
+        Some(token) => match experiment.run_cancellable(alone, token) {
+            Some(metrics) => metrics,
+            None => return Ok(None),
+        },
+        None => experiment.run_with_cache(alone),
+    };
     let line = result_line(cell, &metrics);
     results.store(&key, &line);
-    Ok((line, metrics, false))
+    Ok(Some((line, metrics, false)))
 }
 
 /// Runs every cell across a bounded worker pool, invoking `emit` once per
@@ -106,8 +152,14 @@ where
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(index) else { break };
                 let start = Instant::now();
-                let outcome =
-                    run_cell(cell, alone, results).map(|(line, metrics, from_cache)| CellOutcome {
+                // A panicking cell (a simulator invariant violation on
+                // some exotic input) must not tear down the whole sweep:
+                // isolate it and report it like any other per-cell error.
+                let outcome = catch_unwind(AssertUnwindSafe(|| run_cell(cell, alone, results)))
+                    .unwrap_or_else(|payload| {
+                        Err(format!("cell panicked: {}", panic_message(payload)))
+                    })
+                    .map(|(line, metrics, from_cache)| CellOutcome {
                         index,
                         key: cell.key(),
                         line,

@@ -7,7 +7,7 @@
 
 use std::io::Cursor;
 
-use stfm_serve::{expand_line, run_cell, run_sweep, serve, Cell, ResultCache};
+use stfm_serve::{expand_line, run_cell, run_sweep, serve, Cell, ResultCache, ServeConfig};
 use stfm_sim::digest::Fnv64;
 use stfm_sim::AloneCache;
 
@@ -49,12 +49,13 @@ fn sweep_lines(jobs: Option<usize>) -> Vec<String> {
 
 fn serve_lines(jobs: Option<usize>, alone: &AloneCache, results: &ResultCache) -> Vec<String> {
     let mut out = Vec::new();
+    let cfg = ServeConfig::with_jobs(jobs);
     serve(
         Cursor::new(SPEC.to_string()),
         &mut out,
         alone,
         results,
-        jobs,
+        &cfg,
     )
     .unwrap_or_else(|e| panic!("serve failed: {e}"));
     String::from_utf8(out)

@@ -5,7 +5,7 @@
 
 use std::io::Cursor;
 
-use stfm_serve::{expand_line, serve, ResultCache};
+use stfm_serve::{expand_line, serve, ResultCache, ServeConfig};
 use stfm_sim::AloneCache;
 
 const BAD_LINES: [usize; 3] = [17, 500, 999];
@@ -44,7 +44,8 @@ fn serve_completes_997_cells_around_3_bad_lines() {
     let alone = AloneCache::new();
     let results = ResultCache::in_memory();
     let mut out = Vec::new();
-    let totals = serve(Cursor::new(spec), &mut out, &alone, &results, Some(4))
+    let cfg = ServeConfig::with_jobs(Some(4));
+    let totals = serve(Cursor::new(spec), &mut out, &alone, &results, &cfg)
         .unwrap_or_else(|e| panic!("serve failed: {e}"));
 
     assert_eq!(totals.lines, 1000);

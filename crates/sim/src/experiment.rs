@@ -6,12 +6,14 @@
 //! (or fetches from the [`AloneCache`]) each benchmark's alone baseline,
 //! and reduces everything to [`WorkloadMetrics`].
 
+use crate::cancel::CancelToken;
 use crate::metrics::{ThreadMetrics, WorkloadMetrics};
 use crate::scheduler_kind::SchedulerKind;
 use crate::system::System;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 use stfm_core::StfmConfig;
 use stfm_cpu::{Core, CoreConfig, CoreStats, PrefetchConfig};
@@ -88,6 +90,10 @@ impl AloneCache {
         self.len() == 0
     }
 
+    /// Returns the memoized/recomputed baseline, or `None` if `cancel`
+    /// fired while the baseline was being simulated. A cancelled baseline
+    /// is never stored — neither in memory nor on disk — so a later retry
+    /// recomputes it in full.
     fn get_or_run(
         &self,
         profile: &Profile,
@@ -95,7 +101,8 @@ impl AloneCache {
         insts: u64,
         seed: u64,
         prefetch: Option<PrefetchConfig>,
-    ) -> CoreStats {
+        cancel: Option<&CancelToken>,
+    ) -> Option<CoreStats> {
         let key = (
             profile.name.to_string(),
             dram.clone(),
@@ -109,7 +116,7 @@ impl AloneCache {
             .unwrap_or_else(PoisonError::into_inner)
             .get(&key)
         {
-            return *hit;
+            return Some(*hit);
         }
         let key_str = Self::key_string(&key);
         if let Some(dir) = &self.dir {
@@ -118,10 +125,13 @@ impl AloneCache {
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .insert(key, hit);
-                return hit;
+                return Some(hit);
             }
         }
-        let stats = run_alone_with(profile, dram, insts, seed, prefetch);
+        let (stats, cancelled) = run_alone_inner(profile, dram, insts, seed, prefetch, cancel);
+        if cancelled {
+            return None;
+        }
         if let Some(dir) = &self.dir {
             Self::store_disk(&Self::disk_path(dir, &key_str), &key_str, &stats);
         }
@@ -129,7 +139,7 @@ impl AloneCache {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(key, stats);
-        stats
+        Some(stats)
     }
 
     /// Canonical one-line rendering of an [`AloneKey`]. The derived
@@ -178,7 +188,10 @@ impl AloneCache {
     }
 
     /// Persists a baseline via write-to-temp + rename, so concurrent
-    /// processes sharing a cache directory never observe a torn file.
+    /// writers sharing a cache directory never observe a torn file. The
+    /// temp name carries the pid *and* a process-wide counter: two
+    /// threads of one process persisting the same key must not share a
+    /// temp path, or one can rename the other's half-written file.
     /// Failures are swallowed: the disk layer is an optimization.
     fn store_disk(path: &Path, key_str: &str, stats: &CoreStats) {
         let mut s = format!("{ALONE_FILE_HEADER}\n{key_str}\n");
@@ -197,9 +210,11 @@ impl AloneCache {
         for (name, v) in fields {
             let _ = writeln!(s, "{name} {v}");
         }
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-        if std::fs::write(&tmp, s).is_ok() {
-            let _ = std::fs::rename(&tmp, path);
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp{}-{}", std::process::id(), seq));
+        if std::fs::write(&tmp, s).is_ok() && std::fs::rename(&tmp, path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
         }
     }
 }
@@ -224,6 +239,20 @@ pub fn run_alone_with(
     seed: u64,
     prefetch: Option<PrefetchConfig>,
 ) -> CoreStats {
+    run_alone_inner(profile, dram, insts, seed, prefetch, None).0
+}
+
+/// Shared body of the alone-run paths. Returns the (possibly partial)
+/// stats plus whether `cancel` stopped the run; partial stats must not be
+/// used as a baseline.
+fn run_alone_inner(
+    profile: &Profile,
+    dram: &DramConfig,
+    insts: u64,
+    seed: u64,
+    prefetch: Option<PrefetchConfig>,
+    cancel: Option<&CancelToken>,
+) -> (CoreStats, bool) {
     let mem = MemorySystem::new(
         dram.clone(),
         SchedulerKind::FrFcfs.build(dram.timing, &[], &[]),
@@ -235,8 +264,11 @@ pub fn run_alone_with(
     };
     let core = Core::with_config(ThreadId(0), Box::new(trace), core_cfg);
     let mut sys = System::new(vec![core], mem);
+    if let Some(t) = cancel {
+        sys.set_cancel_token(t.clone());
+    }
     let out = sys.run_with_warmup(default_warmup(insts), insts, insts.saturating_mul(MAX_CPI));
-    out.frozen[0]
+    (out.frozen[0], out.cancelled)
 }
 
 /// One workload × scheduler run (builder style).
@@ -282,6 +314,10 @@ pub struct TracedRun {
     /// The last DRAM cycle simulated; pass to
     /// [`stfm_telemetry::EpochSampler::finish`] to close the final epoch.
     pub final_dram_cycle: u64,
+    /// Whether a [`CancelToken`] stopped the run early. When set,
+    /// `metrics.threads` is empty — partial statistics are never reduced
+    /// into reportable metrics.
+    pub cancelled: bool,
 }
 
 impl Experiment {
@@ -427,7 +463,22 @@ impl Experiment {
     /// Runs the experiment, memoizing / reusing alone baselines in
     /// `cache`.
     pub fn run_with_cache(&self, cache: &AloneCache) -> WorkloadMetrics {
-        self.run_inner(cache, None).metrics
+        self.run_inner(cache, None, None).metrics
+    }
+
+    /// Runs the experiment under a cooperative [`CancelToken`]: the shared
+    /// run and any uncached alone baselines poll it between DRAM cycles.
+    /// Returns `None` if the token fired before the run completed; a
+    /// cancelled run stores nothing in `cache`, and the metrics of an
+    /// uncancelled run are bit-identical to [`Experiment::run_with_cache`]
+    /// (the token is only ever *read* on the happy path).
+    pub fn run_cancellable(
+        &self,
+        cache: &AloneCache,
+        cancel: &CancelToken,
+    ) -> Option<WorkloadMetrics> {
+        let run = self.run_inner(cache, None, Some(cancel));
+        (!run.cancelled).then_some(run.metrics)
     }
 
     /// Runs the experiment with `sink` attached to the shared memory
@@ -435,10 +486,15 @@ impl Experiment {
     /// untraced (they are cached and shared across runs). The metrics are
     /// bit-identical to an untraced run: sinks only observe.
     pub fn run_traced(&self, cache: &AloneCache, sink: Box<dyn Sink>) -> TracedRun {
-        self.run_inner(cache, Some(sink))
+        self.run_inner(cache, Some(sink), None)
     }
 
-    fn run_inner(&self, cache: &AloneCache, sink: Option<Box<dyn Sink>>) -> TracedRun {
+    fn run_inner(
+        &self,
+        cache: &AloneCache,
+        sink: Option<Box<dyn Sink>>,
+        cancel: Option<&CancelToken>,
+    ) -> TracedRun {
         let dram = self.effective_dram();
         let kind = self.effective_scheduler();
         let policy = kind.build(dram.timing, &self.weights, &self.shares);
@@ -471,26 +527,42 @@ impl Experiment {
             .collect();
         let mut sys = System::new(cores, mem);
         sys.set_fast_forward(self.fast_forward);
+        if let Some(t) = cancel {
+            sys.set_cancel_token(t.clone());
+        }
         let out = sys.run_with_warmup(
             default_warmup(self.insts),
             self.insts,
             self.insts.saturating_mul(MAX_CPI),
         );
-        if self.timing_checker {
+        if self.timing_checker && !out.cancelled {
             sys.memory().assert_timing_clean();
         }
-        debug_assert!(!out.truncated, "run truncated: raise MAX_CPI?");
+        debug_assert!(
+            out.cancelled || !out.truncated,
+            "run truncated: raise MAX_CPI?"
+        );
 
-        let threads = self
-            .profiles
-            .iter()
-            .zip(&out.frozen)
-            .map(|(p, shared)| ThreadMetrics {
-                name: p.name.to_string(),
-                shared: *shared,
-                alone: cache.get_or_run(p, &dram, self.insts, self.seed, self.prefetch),
-            })
-            .collect();
+        let mut cancelled = out.cancelled;
+        let mut threads = Vec::with_capacity(self.profiles.len());
+        if !cancelled {
+            for (p, shared) in self.profiles.iter().zip(&out.frozen) {
+                match cache.get_or_run(p, &dram, self.insts, self.seed, self.prefetch, cancel) {
+                    Some(alone) => threads.push(ThreadMetrics {
+                        name: p.name.to_string(),
+                        shared: *shared,
+                        alone,
+                    }),
+                    None => {
+                        // The token fired mid-baseline: the whole run is
+                        // cancelled, partial metrics are discarded.
+                        cancelled = true;
+                        threads.clear();
+                        break;
+                    }
+                }
+            }
+        }
         TracedRun {
             metrics: WorkloadMetrics {
                 scheduler: kind.name().to_string(),
@@ -498,6 +570,7 @@ impl Experiment {
             },
             sink: sys.memory_mut().take_sink(),
             final_dram_cycle: out.cpu_cycles / CPU_CYCLES_PER_DRAM_CYCLE,
+            cancelled,
         }
     }
 }

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cancel;
 pub mod digest;
 pub mod experiment;
 pub mod metrics;
@@ -34,6 +35,7 @@ pub mod scheduler_kind;
 pub mod system;
 pub mod table;
 
+pub use cancel::CancelToken;
 pub use experiment::{
     run_alone, run_alone_with, AloneCache, Experiment, TracedRun, DEFAULT_INSTRUCTIONS,
 };

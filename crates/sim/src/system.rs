@@ -29,6 +29,7 @@
 //! (`crates/sim/tests/event_equivalence.rs`) proves the two loops
 //! bit-identical — same stats, same telemetry streams, same digests.
 
+use crate::cancel::CancelToken;
 use stfm_cpu::{Core, CoreStats};
 use stfm_dram::{ClockRatio, CpuCycle, DramCycle, CPU_CYCLES_PER_DRAM_CYCLE};
 use stfm_mc::{MemorySystem, ThreadId, ThreadStats};
@@ -49,6 +50,19 @@ pub struct System {
     jumped: u64,
     /// DRAM cycles where the memory tick was elided but cores executed.
     elided: u64,
+    /// Cooperative cancellation handle, polled at loop granularity.
+    cancel: Option<CancelToken>,
+}
+
+/// Why a run loop returned: the distinction [`RunOutcome`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopExit {
+    /// Every core crossed its instruction budget.
+    Completed,
+    /// The CPU-cycle cap was hit first.
+    Truncated,
+    /// The [`CancelToken`] fired (explicit cancel or deadline).
+    Cancelled,
 }
 
 /// Outcome of [`System::run`].
@@ -64,6 +78,10 @@ pub struct RunOutcome {
     pub cpu_cycles: u64,
     /// Whether the cycle cap was hit before every thread finished.
     pub truncated: bool,
+    /// Whether a [`CancelToken`] stopped the run early. Cancelled
+    /// statistics cover an arbitrary prefix of the window and must not
+    /// be reported or cached as results.
+    pub cancelled: bool,
 }
 
 /// Measurement-window bookkeeping shared by the stepped and event-driven
@@ -132,7 +150,17 @@ impl System {
             fast_forward: true,
             jumped: 0,
             elided: 0,
+            cancel: None,
         }
+    }
+
+    /// Installs a cooperative cancellation token. Both run loops poll it
+    /// between DRAM cycles (flag every poll, deadline sparsely per
+    /// [`crate::cancel::DEADLINE_POLL_MASK`]); when it fires the run
+    /// returns with [`RunOutcome::cancelled`] set. A token left over from
+    /// a previous run can be cleared by installing a fresh one.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Enables or disables the event-driven loop (on by default).
@@ -232,15 +260,17 @@ impl System {
     ) -> RunOutcome {
         let n = self.cores.len();
         let mut window = WindowTracker::new(n, warmup_insts, warmup_insts + insts_per_thread);
-        let truncated = if self.fast_forward {
+        let exit = if self.fast_forward {
             self.run_events(&mut window, max_cpu_cycles)
         } else {
             self.run_stepped(&mut window, max_cpu_cycles)
         };
+        let truncated = exit == LoopExit::Truncated;
+        let cancelled = exit == LoopExit::Cancelled;
         // A mid-span stop can leave elided-cycle residue deferred; settle
         // it before the policy or energy model can be inspected.
         self.mem.flush_residue();
-        if truncated {
+        if truncated || cancelled {
             for i in 0..n {
                 if window.baseline[i].is_none() {
                     window.baseline[i] = Some((CoreStats::default(), ThreadStats::default()));
@@ -267,36 +297,51 @@ impl System {
             frozen_mem,
             cpu_cycles: ClockRatio::PAPER.dram_to_cpu(self.dram_cycle).get(),
             truncated,
+            cancelled,
         }
     }
 
     /// The stepped reference loop: every DRAM cycle is a real tick.
-    fn run_stepped(&mut self, window: &mut WindowTracker, max_cpu_cycles: u64) -> bool {
+    fn run_stepped(&mut self, window: &mut WindowTracker, max_cpu_cycles: u64) -> LoopExit {
+        let mut polls: u32 = 0;
         while window.remaining > 0 {
             self.tick();
             window.observe(&self.cores, &mut self.mem);
             if ClockRatio::PAPER.dram_to_cpu(self.dram_cycle) >= max_cpu_cycles {
-                return true;
+                return LoopExit::Truncated;
+            }
+            if let Some(t) = &self.cancel {
+                polls = polls.wrapping_add(1);
+                if t.should_stop(polls) {
+                    return LoopExit::Cancelled;
+                }
             }
         }
-        false
+        LoopExit::Completed
     }
 
-    /// The event-driven loop. Returns whether the run truncated.
-    fn run_events(&mut self, window: &mut WindowTracker, max_cpu_cycles: u64) -> bool {
+    /// The event-driven loop. Returns why the run stopped.
+    fn run_events(&mut self, window: &mut WindowTracker, max_cpu_cycles: u64) -> LoopExit {
         // First DRAM cycle count at which the truncation check fires;
         // elision spans must stop short of it so `cpu_cycles` stays
         // bit-identical to the stepped loop.
         let trunc_at = max_cpu_cycles.div_ceil(CPU_CYCLES_PER_DRAM_CYCLE);
         let mut wakes: Vec<Option<CpuCycle>> = Vec::with_capacity(self.cores.len());
+        let mut polls: u32 = 0;
         'run: while window.remaining > 0 {
             self.tick_event();
             window.observe(&self.cores, &mut self.mem);
             if ClockRatio::PAPER.dram_to_cpu(self.dram_cycle) >= max_cpu_cycles {
-                return true;
+                return LoopExit::Truncated;
             }
             if window.remaining == 0 {
-                return false;
+                return LoopExit::Completed;
+            }
+            if let Some(t) = &self.cancel {
+                polls = polls.wrapping_add(1);
+                if t.should_stop(polls) {
+                    return LoopExit::Cancelled;
+                }
             }
             let d = self.dram_cycle;
             let limit = trunc_at.saturating_sub(d.get() + 1);
@@ -327,6 +372,12 @@ impl System {
             // change through a memory completion, and there are none
             // before the span ends); stepped cores refresh theirs.
             for _ in 0..span {
+                if let Some(t) = &self.cancel {
+                    polls = polls.wrapping_add(1);
+                    if t.should_stop(polls) {
+                        return LoopExit::Cancelled;
+                    }
+                }
                 let c = self.dram_cycle;
                 self.mem.elide_tick(c);
                 let arrivals = self.mem.arrivals();
@@ -360,7 +411,7 @@ impl System {
                 }
             }
         }
-        false
+        LoopExit::Completed
     }
 }
 

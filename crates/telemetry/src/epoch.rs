@@ -353,6 +353,9 @@ impl EpochSampler {
             }
             Event::WriteDrainStart { .. } | Event::WriteDrainEnd { .. } => {}
             Event::RefreshIssued { .. } => self.cur.refreshes += 1,
+            // Serve-layer faults live outside simulated time; epochs
+            // aggregate simulator state only.
+            Event::ServeFault { .. } => {}
         }
     }
 }

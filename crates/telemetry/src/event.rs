@@ -140,6 +140,24 @@ pub enum Event {
         /// DRAM cycle the channel becomes usable again.
         end_cycle: DramCycle,
     },
+    /// A fault the serve layer detected and degraded around (it lives in
+    /// wall-clock time, outside any simulation, so `dram_cycle` is zero).
+    ServeFault {
+        /// Always [`DramCycle::ZERO`]: serve faults are not simulator
+        /// occurrences, but sinks and samplers require a stamp.
+        dram_cycle: DramCycle,
+        /// Which resilience mechanism fired: `"worker"`, `"cache"`,
+        /// `"self_check"`, `"client"`.
+        domain: &'static str,
+        /// Fault kind within the domain, e.g. `"panic"`, `"timeout"`,
+        /// `"quarantined"`, `"divergence"`, `"disconnect"`.
+        kind: &'static str,
+        /// What the fault hit: a cell key, a cache file name, an
+        /// address — empty when nothing more specific than the domain.
+        subject: String,
+        /// Free-form context (panic message, retry disposition, ...).
+        detail: String,
+    },
 }
 
 impl Event {
@@ -153,6 +171,7 @@ impl Event {
             Event::WriteDrainStart { .. } => "write_drain_start",
             Event::WriteDrainEnd { .. } => "write_drain_end",
             Event::RefreshIssued { .. } => "refresh_issued",
+            Event::ServeFault { .. } => "serve_fault",
         }
     }
 
@@ -165,7 +184,8 @@ impl Event {
             | Event::SchedulerIntervalUpdate { dram_cycle, .. }
             | Event::WriteDrainStart { dram_cycle, .. }
             | Event::WriteDrainEnd { dram_cycle, .. }
-            | Event::RefreshIssued { dram_cycle, .. } => dram_cycle,
+            | Event::RefreshIssued { dram_cycle, .. }
+            | Event::ServeFault { dram_cycle, .. } => dram_cycle,
         }
     }
 
@@ -284,6 +304,19 @@ impl Event {
                 push_u64_field(&mut s, "channel", u64::from(*channel));
                 push_u64_field(&mut s, "end_cycle", end_cycle.get());
             }
+            Event::ServeFault {
+                dram_cycle,
+                domain,
+                kind,
+                subject,
+                detail,
+            } => {
+                push_u64_field(&mut s, "dram_cycle", dram_cycle.get());
+                push_str_field(&mut s, "domain", domain);
+                push_str_field(&mut s, "kind", kind);
+                push_str_field(&mut s, "subject", subject);
+                push_str_field(&mut s, "detail", detail);
+            }
         }
         // Every field-push leaves a trailing comma; replace the last one.
         debug_assert!(s.ends_with(','));
@@ -296,7 +329,7 @@ impl Event {
     pub fn csv_header() -> &'static str {
         "event,dram_cycle,cpu_cycle,channel,bank,thread,request,cmd,op,\
          latency_cpu,queued_writes,end_cycle,scheduler,unfairness,\
-         fairness_rule_active,slowdowns"
+         fairness_rule_active,slowdowns,domain,kind,subject,detail"
     }
 
     /// One CSV row (no trailing newline) matching [`Event::csv_header`].
@@ -306,8 +339,8 @@ impl Event {
         // Column order: event, dram_cycle, cpu_cycle, channel, bank,
         // thread, request, cmd, op, latency_cpu, queued_writes,
         // end_cycle, scheduler, unfairness, fairness_rule_active,
-        // slowdowns.
-        let mut c: [String; 16] = Default::default();
+        // slowdowns, domain, kind, subject, detail.
+        let mut c: [String; 20] = Default::default();
         c[0] = self.name().to_string();
         c[1] = self.dram_cycle().to_string();
         match self {
@@ -398,9 +431,34 @@ impl Event {
                 c[3] = channel.to_string();
                 c[11] = end_cycle.to_string();
             }
+            Event::ServeFault {
+                domain,
+                kind,
+                subject,
+                detail,
+                ..
+            } => {
+                c[16] = (*domain).to_string();
+                c[17] = (*kind).to_string();
+                c[18] = csv_cell(subject);
+                c[19] = csv_cell(detail);
+            }
         }
         c.join(",")
     }
+}
+
+/// Free-form text dropped into a CSV cell: commas and newlines would
+/// break the row shape, so they become semicolons / spaces.
+fn csv_cell(value: &str) -> String {
+    value
+        .chars()
+        .map(|ch| match ch {
+            ',' => ';',
+            '\n' | '\r' => ' ',
+            c => c,
+        })
+        .collect()
 }
 
 fn push_str_field(s: &mut String, key: &str, value: &str) {
@@ -525,6 +583,33 @@ mod tests {
         for e in &events {
             assert_eq!(e.to_csv_row().split(',').count(), header_cols, "{e:?}");
         }
+    }
+
+    #[test]
+    fn serve_fault_encodes_in_json_and_csv() {
+        let e = Event::ServeFault {
+            dram_cycle: DramCycle::ZERO,
+            domain: "worker",
+            kind: "panic",
+            subject: "0011223344556677".to_string(),
+            detail: "index out of bounds, len 4\n(retrying)".to_string(),
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"event\":\"serve_fault\""), "{j}");
+        assert!(j.contains("\"domain\":\"worker\""), "{j}");
+        assert!(j.contains("\"kind\":\"panic\""), "{j}");
+        assert!(j.contains("\\n(retrying)"), "newline must be escaped: {j}");
+        assert!(!j.contains(",}"), "dangling comma in {j}");
+        let row = e.to_csv_row();
+        assert_eq!(
+            row.split(',').count(),
+            Event::csv_header().split(',').count(),
+            "{row}"
+        );
+        assert!(
+            row.contains("index out of bounds; len 4 (retrying)"),
+            "free text must not add columns: {row}"
+        );
     }
 
     #[test]
