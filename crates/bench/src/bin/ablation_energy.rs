@@ -36,7 +36,9 @@ fn main() {
             .collect();
         let mut sys = System::new(cores, mem);
         let _ = sys.run(args.insts, args.insts * 4_000);
-        let e = sys.memory().energy().expect("energy model enabled");
+        let Some(e) = sys.memory().energy() else {
+            panic!("ablation_energy: the energy model was not enabled on this system");
+        };
         let serviced = sys.memory().stats().completed.max(1);
         let cycles: u64 = sys
             .cores()

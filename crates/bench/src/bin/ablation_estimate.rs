@@ -37,12 +37,14 @@ fn run_one(passive: bool, args: &Args) {
     let mut sys = System::new(cores, mem);
     let out = sys.run(args.insts, args.insts * 4_000);
 
-    let stfm = sys
+    let Some(stfm) = sys
         .memory()
         .policy()
         .as_any()
         .and_then(|a| a.downcast_ref::<Stfm>())
-        .expect("policy is STFM");
+    else {
+        panic!("ablation_estimate: the system was not built with the STFM policy");
+    };
 
     let mut t = Table::new([
         "benchmark",

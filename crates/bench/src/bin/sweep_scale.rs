@@ -8,31 +8,11 @@
 //! at HEAD with identical arguments and compare the sections.
 
 use std::fmt::Write as _;
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::Instant;
 
 use stfm_bench::Args;
 use stfm_serve::{expand_line, run_sweep, Cell, ResultCache};
 use stfm_sim::AloneCache;
-
-/// `YYYY-MM-DD` from the system clock (civil-from-days, Howard Hinnant's
-/// algorithm) — the workspace has no date dependency.
-fn today() -> String {
-    let secs = SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let z = (secs / 86_400) as i64 + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}")
-}
 
 /// The 200-cell grid: 5 schedulers x 5 two-thread mixes x 8 seeds.
 fn grid(insts: u64) -> Vec<Cell> {
@@ -112,7 +92,7 @@ fn main() {
     let _ = std::fs::remove_dir_all(&cache_dir);
     assert_eq!(warm.cache_hits, warm.cells, "warm pass must hit every cell");
 
-    let date = today();
+    let date = stfm_bench::wallclock::today();
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"date\": \"{date}\",");

@@ -14,7 +14,7 @@
 //! `crates/sim/tests/event_equivalence.rs`), so the wall-clock ratio is
 //! the event core's speedup.
 
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::Instant;
 use stfm_bench::report::{throughput_json, ThroughputRun};
 use stfm_bench::Args;
 use stfm_sim::{AloneCache, Experiment, SchedulerKind};
@@ -47,26 +47,6 @@ fn streaming_mix() -> Vec<Profile> {
         spec::omnetpp(),
         spec::gems_fdtd(),
     ]
-}
-
-/// `YYYY-MM-DD` from the system clock (civil-from-days, Howard Hinnant's
-/// algorithm) — the workspace has no date dependency.
-fn today() -> String {
-    let secs = SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let z = (secs / 86_400) as i64 + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}")
 }
 
 /// Times every scheduler on one mix and returns the rows plus a TOTAL.
@@ -156,7 +136,7 @@ fn main() {
         &chase,
     );
 
-    let date = today();
+    let date = stfm_bench::wallclock::today();
     let config = format!(
         "4-thread mixes, {} insts/thread, seed {}, {loop_kind} loop; \
          results = streaming (mcf, libquantum, omnetpp, gems_fdtd), \

@@ -15,5 +15,6 @@
 
 pub mod cli;
 pub mod report;
+pub mod wallclock;
 
 pub use cli::Args;

@@ -1,0 +1,58 @@
+//! The one place the bench layer reads calendar time.
+//!
+//! Benchmark artifacts are stamped `BENCH_<date>.json`; the date is the
+//! only calendar-time value in the workspace, and the `wall-clock` lint
+//! (`cargo xtask tidy`) bans `SystemTime` everywhere else in the edge
+//! layers so timestamps cannot silently leak into cached or compared
+//! results. Monotonic `Instant` measurement is unaffected — this module
+//! is only about calendar time.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// `YYYY-MM-DD` from the system clock (civil-from-days, Howard
+/// Hinnant's algorithm) — the workspace has no date dependency.
+pub fn today() -> String {
+    date_from_unix_secs(
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    )
+}
+
+/// The civil date for a Unix timestamp, as `YYYY-MM-DD`.
+fn date_from_unix_secs(secs: u64) -> String {
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_dates_round_trip() {
+        assert_eq!(date_from_unix_secs(0), "1970-01-01");
+        // 2000-02-29 00:00:00 UTC (leap day).
+        assert_eq!(date_from_unix_secs(951_782_400), "2000-02-29");
+        // 2026-08-08 12:00:00 UTC.
+        assert_eq!(date_from_unix_secs(1_786_190_400), "2026-08-08");
+    }
+
+    #[test]
+    fn today_is_well_formed() {
+        let d = today();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.as_bytes()[4], b'-');
+        assert_eq!(d.as_bytes()[7], b'-');
+    }
+}

@@ -7,7 +7,7 @@
 //! storage accounting (1808 bits for the 8-thread baseline).
 
 use crate::fixed::Fx8;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use stfm_dram::CpuCycle;
 use stfm_mc::ThreadId;
 
@@ -130,11 +130,11 @@ pub fn weighted_slowdown(s: Fx8, weight: u32) -> Fx8 {
 /// The full STFM register file.
 #[derive(Debug, Clone, Default)]
 pub struct RegisterFile {
-    threads: HashMap<ThreadId, ThreadRegs>,
+    threads: BTreeMap<ThreadId, ThreadRegs>,
     /// Row last accessed by (thread, channel, bank) — the per-thread
     /// per-bank `LastRowAddress` registers that estimate what the bank's
     /// row buffer would hold had the thread run alone.
-    pub last_row: HashMap<(ThreadId, u32, u32), u32>,
+    pub last_row: BTreeMap<(ThreadId, u32, u32), u32>,
 }
 
 impl RegisterFile {

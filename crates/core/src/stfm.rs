@@ -2,7 +2,7 @@
 
 use crate::fixed::Fx8;
 use crate::registers::{weighted_slowdown, RegisterFile, ThreadRegs};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use stfm_dram::{
     AccessCategory, ClockRatio, CommandKind, CpuCycle, DramCommand, DramCycle, TimingParams,
     CPU_CYCLES_PER_DRAM_CYCLE,
@@ -187,7 +187,7 @@ pub struct Stfm {
     config: StfmConfig,
     alpha: Fx8,
     regs: RegisterFile,
-    weights: HashMap<ThreadId, u32>,
+    weights: BTreeMap<ThreadId, u32>,
     /// Decision state computed once per DRAM cycle.
     fairness_mode: bool,
     tmax: Option<ThreadId>,
@@ -199,7 +199,7 @@ pub struct Stfm {
     charge_totals: [i64; 3],
     /// Data-bus occupancy per channel: (owning thread, busy-until DRAM
     /// cycle), maintained from issued column commands (time-sampled mode).
-    bus_owner: HashMap<u32, (ThreadId, DramCycle)>,
+    bus_owner: BTreeMap<u32, (ThreadId, DramCycle)>,
     /// Reusable per-cycle scratch for `recompute_parallelism`.
     par_scratch: Vec<ParScratch>,
     /// Reusable per-cycle thread-dedup scratch for `decide_mode`.
@@ -219,13 +219,13 @@ impl Stfm {
             alpha: Fx8::from_f64(config.alpha),
             config,
             regs: RegisterFile::default(),
-            weights: HashMap::new(),
+            weights: BTreeMap::new(),
             fairness_mode: false,
             tmax: None,
             unfairness: Fx8::ONE,
             last_reset_cpu: CpuCycle::ZERO,
             charge_totals: [0; 3],
-            bus_owner: HashMap::new(),
+            bus_owner: BTreeMap::new(),
             par_scratch: Vec::new(),
             mode_scratch: Vec::new(),
         }

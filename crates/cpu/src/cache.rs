@@ -180,11 +180,12 @@ impl Cache {
             .find(|(_, l)| !l.valid)
             .map(|(i, _)| i)
             .unwrap_or_else(|| {
+                // Associativity is >= 1, so the LRU scan always yields a
+                // victim; the 0 fallback is unreachable.
                 ways.iter()
                     .enumerate()
                     .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
-                    .expect("cache has at least one way")
+                    .map_or(0, |(i, _)| i)
             });
         let victim = ways[victim_idx];
         ways[victim_idx] = Line {

@@ -472,13 +472,7 @@ impl Core {
         let mut fetched = 0u32;
         let mut mem_fetched = false;
         while fetched < self.cfg.fetch_width && self.window_count < self.cfg.window {
-            let op = match &mut self.cur_op {
-                Some(op) => op,
-                None => {
-                    self.cur_op = Some(self.trace.next_op());
-                    self.cur_op.as_mut().expect("just set")
-                }
-            };
+            let op = self.cur_op.get_or_insert_with(|| self.trace.next_op());
             if op.bubbles > 0 {
                 let take = op
                     .bubbles

@@ -5,7 +5,7 @@
 //! being fetched merge into the existing entry instead of generating
 //! another DRAM request.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use stfm_dram::PhysAddr;
 
 /// Token identifying a waiter (a window entry) attached to an MSHR.
@@ -51,7 +51,7 @@ pub struct FillOutcome {
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<u64, Entry>,
+    entries: BTreeMap<u64, Entry>,
     line_bytes: u32,
     /// Line keys of entries with `sent == false`, kept sorted (the
     /// deterministic retry order) and maintained incrementally so the
@@ -68,7 +68,7 @@ impl MshrFile {
     pub fn new(capacity: usize, line_bytes: u32) -> Self {
         MshrFile {
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            entries: BTreeMap::new(),
             line_bytes,
             unsent_lines: Vec::new(),
             unsent_epoch: 0,
@@ -275,7 +275,7 @@ mod randomized_tests {
             let count = rng.random_range(1usize..100);
             let lines: Vec<u64> = (0..count).map(|_| rng.random_range(0u64..16)).collect();
             let mut m = MshrFile::new(8, 64);
-            let mut expected: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+            let mut expected: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
             let mut rejected = 0u64;
             for (i, line) in lines.iter().enumerate() {
                 let waiter = i as u64;

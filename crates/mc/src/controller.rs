@@ -534,7 +534,13 @@ impl MemorySystem {
             return;
         }
         let ctrl = &self.channels[chan];
-        let req = ctrl.requests.last().expect("just pushed");
+        // `merge_arrival` is called right after a push; an empty queue
+        // would mean that contract broke, so fall back to the dirty bit
+        // (a full rescan at the next tick) instead of panicking.
+        let Some(req) = ctrl.requests.last() else {
+            self.chan_dirty[chan] = true;
+            return;
+        };
         // Post-arrival state, exactly what a rescan at the next tick
         // would evaluate.
         let drain_flips = if ctrl.drain_active {

@@ -22,7 +22,7 @@
 
 use crate::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
 use crate::request::{Request, ThreadId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use stfm_dram::{ChannelId, DramCycle, DramDelta, TimingParams};
 
 /// Per-channel stride of the flat (channel, bank) slot space used by the
@@ -39,9 +39,9 @@ pub struct Nfq {
     /// the per-cycle ranking path instead of hashing a tuple key.
     vft: Vec<Vec<u64>>,
     /// Bandwidth share per thread (paper Section 7.5's "NFQ-shares").
-    shares: HashMap<ThreadId, u32>,
+    shares: BTreeMap<ThreadId, u32>,
     /// Threads that have issued at least one request.
-    active: HashSet<ThreadId>,
+    active: BTreeSet<ThreadId>,
     /// Per-bank earliest-deadline head request and the cycle it became
     /// head, for the priority-inversion-prevention timer; indexed
     /// `[channel][bank]`, grown on demand.
@@ -58,8 +58,8 @@ impl Nfq {
         Nfq {
             timing,
             vft: Vec::new(),
-            shares: HashMap::new(),
-            active: HashSet::new(),
+            shares: BTreeMap::new(),
+            active: BTreeSet::new(),
             bank_heads: Vec::new(),
             blocked_banks: Vec::new(),
         }

@@ -19,7 +19,7 @@
 
 use crate::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
 use crate::request::{Request, RequestId, ThreadId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// The PAR-BS scheduling policy (extension; not part of the 2007 paper).
 #[derive(Debug, Clone)]
@@ -27,7 +27,7 @@ pub struct ParBs {
     marking_cap: u32,
     marked: HashSet<RequestId>,
     /// Higher value = higher priority this batch.
-    thread_rank: HashMap<ThreadId, u64>,
+    thread_rank: BTreeMap<ThreadId, u64>,
     batches_formed: u64,
 }
 
@@ -43,7 +43,7 @@ impl ParBs {
         ParBs {
             marking_cap,
             marked: HashSet::new(),
-            thread_rank: HashMap::new(),
+            thread_rank: BTreeMap::new(),
             batches_formed: 0,
         }
     }
@@ -61,7 +61,7 @@ impl ParBs {
     fn form_batch(&mut self, sys: &SystemView<'_>) {
         self.marked.clear();
         // Oldest `marking_cap` waiting requests per (thread, channel, bank).
-        let mut per_slot: HashMap<(ThreadId, u32, u32), Vec<(RequestId, u64)>> = HashMap::new();
+        let mut per_slot: BTreeMap<(ThreadId, u32, u32), Vec<(RequestId, u64)>> = BTreeMap::new();
         for q in sys.channels() {
             for r in q.requests {
                 if r.is_waiting() {
@@ -73,8 +73,8 @@ impl ParBs {
             }
         }
         // Per-thread load statistics for the shortest-job-first ranking.
-        let mut max_bank_load: HashMap<ThreadId, u32> = HashMap::new();
-        let mut total_load: HashMap<ThreadId, u32> = HashMap::new();
+        let mut max_bank_load: BTreeMap<ThreadId, u32> = BTreeMap::new();
+        let mut total_load: BTreeMap<ThreadId, u32> = BTreeMap::new();
         for ((thread, _, _), mut reqs) in per_slot {
             reqs.sort_by_key(|&(_, age)| age);
             reqs.truncate(self.marking_cap as usize);

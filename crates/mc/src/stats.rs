@@ -1,7 +1,7 @@
 //! Controller-side statistics: per-thread service counts and latencies.
 
 use crate::request::{AccessKind, Request, ThreadId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use stfm_dram::{AccessCategory, CpuCycle, DramCommand};
 
 /// Per-thread DRAM service statistics.
@@ -68,7 +68,7 @@ impl ThreadStats {
 /// Whole-memory-system statistics.
 #[derive(Debug, Clone, Default)]
 pub struct SystemStats {
-    threads: HashMap<ThreadId, ThreadStats>,
+    threads: BTreeMap<ThreadId, ThreadStats>,
     /// Total DRAM commands issued, by class.
     pub activates: u64,
     /// PRECHARGE commands issued.

@@ -304,10 +304,9 @@ impl<'a> Parser<'a> {
     }
 
     fn hex4(&mut self) -> Result<u32, String> {
-        if self.pos + 4 > self.bytes.len() {
+        let Some(hex) = self.bytes.get(self.pos..self.pos + 4) else {
             return Err(self.err("truncated unicode escape"));
-        }
-        let hex = &self.bytes[self.pos..self.pos + 4];
+        };
         self.pos += 4;
         match std::str::from_utf8(hex)
             .ok()

@@ -286,9 +286,14 @@ impl System {
         }
         let mut frozen_core = Vec::with_capacity(n);
         let mut frozen_mem = Vec::with_capacity(n);
-        for (f, b) in window.frozen.into_iter().zip(window.baseline) {
-            let (fc, fm) = f.expect("filled above");
-            let (bc, bm) = b.expect("baseline precedes freeze");
+        // Every slot was filled by the loop above and baselines precede
+        // freeze; `filter_map` states that invariant without a panic path.
+        for ((fc, fm), (bc, bm)) in window
+            .frozen
+            .into_iter()
+            .zip(window.baseline)
+            .filter_map(|(f, b)| f.zip(b))
+        {
             frozen_core.push(fc.minus(&bc));
             frozen_mem.push(fm.minus(&bm));
         }

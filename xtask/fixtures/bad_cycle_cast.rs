@@ -7,3 +7,9 @@ fn bad(x: u64) -> DramCycle {
 fn also_bad(x: u64) -> u64 {
     (x as CpuDelta).get()
 }
+
+fn sneaky_multiline(x: u64) -> DramDelta {
+    // A line break after `as` dodged the old line-level rule.
+    x as
+        DramDelta
+}

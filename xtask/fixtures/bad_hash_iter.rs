@@ -1,0 +1,35 @@
+//! Fixture: unordered hash-table iteration in a deterministic-core path.
+
+use std::collections::{HashMap, HashSet};
+
+struct Sched {
+    rank: HashMap<u64, u64>,
+    // Lookup-only table: declared but never iterated — not flagged.
+    cache: HashMap<u64, u64>,
+}
+
+impl Sched {
+    fn recompute(&mut self) -> u64 {
+        // Implicit IntoIterator over the map itself.
+        for (t, r) in &self.rank {
+            let _ = (t, r);
+        }
+        // Order-exposing accessor.
+        let total: u64 = self.rank.values().sum();
+        // Lookup-only use is fine.
+        total + self.cache.get(&0).copied().unwrap_or(0)
+    }
+}
+
+fn local_set(xs: &[u32]) -> u32 {
+    let mut seen = HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    // Iterating the set, two ways.
+    for v in seen.iter() {
+        let _ = v;
+    }
+    let mut drained: HashSet<u32> = HashSet::new();
+    drained.drain().sum()
+}

@@ -1,0 +1,19 @@
+//! Fixture: slice-index arithmetic in a serve parser path.
+
+fn bad_offset(bytes: &[u8], pos: usize) -> u8 {
+    bytes[pos + 1]
+}
+
+fn bad_range(bytes: &[u8], pos: usize) -> &[u8] {
+    &bytes[pos..pos + 4]
+}
+
+fn ok_checked(bytes: &[u8], pos: usize) -> Option<&u8> {
+    // Arithmetic inside `.get(…)` is the sanctioned form — not flagged.
+    bytes.get(pos + 1)
+}
+
+fn ok_plain(bytes: &[u8]) -> u8 {
+    // Indexing without arithmetic stays allowed.
+    bytes[0]
+}

@@ -1,0 +1,16 @@
+//! Fixture: `lock().unwrap()` poisoning hazards in a serve path.
+
+use std::sync::{Mutex, PoisonError};
+
+fn bad_unwrap(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+
+fn bad_expect(m: &Mutex<u64>) -> u64 {
+    *m.lock().expect("not poisoned")
+}
+
+fn ok_recovers(m: &Mutex<u64>) -> u64 {
+    // Poison recovery is the sanctioned pattern — not flagged.
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -1,0 +1,14 @@
+//! Fixture: wall-clock reads inside the deterministic core.
+
+use std::time::{Duration, Instant};
+
+fn latency() -> Duration {
+    let start = Instant::now();
+    start.elapsed()
+}
+
+fn timestamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    0
+}

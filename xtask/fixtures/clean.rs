@@ -3,9 +3,24 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+use std::collections::BTreeMap;
+
 /// Adds one, carefully.
 pub fn add_one(x: u64) -> u64 {
     x + 1
+}
+
+/// Deterministic iteration, checked indexing, and non-panicking
+/// fallbacks — everything the semantic lints must leave alone.
+pub fn deterministic(map: &BTreeMap<u64, u64>, bytes: &[u8], i: usize) -> u64 {
+    let mut acc = 0;
+    for (k, v) in map {
+        acc += k + v;
+    }
+    let checked = bytes.get(i + 1).copied().unwrap_or_default();
+    let eps = 1e-9_f64;
+    let none: Option<u64> = None;
+    acc + checked as u64 + none.unwrap_or(0) + eps as u64
 }
 
 #[cfg(test)]

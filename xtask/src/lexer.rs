@@ -1,0 +1,495 @@
+//! A dependency-free Rust lexer for the `tidy` lint engine.
+//!
+//! Turns source text into a flat token stream with comments and the
+//! *contents* of string/char literals stripped (a `Str`/`Char` token
+//! marks where each literal stood), while every token keeps the 1-based
+//! line it started on. Line-level rules (module docs, placeholder
+//! markers, the allowlist) still read the raw source; everything
+//! token-shaped matches on this stream, so a line break or an
+//! interleaved comment can no longer split a pattern the way it could
+//! under the old regex-per-line harness.
+//!
+//! The lexer is deliberately approximate where precision does not
+//! matter for linting: multi-character punctuation is emitted as
+//! single-character `Punct` tokens (`::` is two `:`), and numeric
+//! suffixes stay glued to their literal. It is exact where the lints
+//! need it to be: nested block comments, raw strings with arbitrary
+//! `#` fences, byte/raw-byte strings, char literals vs. lifetime
+//! ticks, and raw identifiers.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `as`, `HashMap`, `r#type`, ...).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`), tick included.
+    Lifetime,
+    /// Integer or float literal, suffix included (`1_000u64`, `1e-9`*).
+    ///
+    /// *Float exponents with a sign are consumed as part of the number,
+    /// so `1e-9` is one token and its `-` can never masquerade as a
+    /// binary operator to a token-pattern rule.
+    Number,
+    /// A string literal (`"..."`, `r#"..."#`, `b"..."`); contents
+    /// stripped.
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`); contents stripped.
+    Char,
+    /// A single punctuation character (`.`, `:`, `[`, `{`, `+`, ...).
+    Punct,
+}
+
+/// One lexed token: kind, text, and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's class.
+    pub kind: TokenKind,
+    /// The lexeme text. Empty for `Str`/`Char` (contents are stripped
+    /// so literal bodies can never fool a token-pattern rule).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// True for bytes that may start an identifier.
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+/// True for bytes that may continue an identifier.
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals
+/// and comments simply run to end-of-file, which is good enough for a
+/// linter (rustc rejects such files anyway).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                b'"' => self.string(),
+                b'\'' => self.tick(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                _ => {
+                    self.push(TokenKind::Punct, (c as char).to_string(), self.line);
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    /// Advances one byte, keeping the line counter honest.
+    fn bump(&mut self) {
+        if self.b[self.i] == b'\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn line_comment(&mut self) {
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let mut depth = 0u32;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'` and
+    /// raw identifiers `r#name`. Returns false if the current position
+    /// is a plain identifier starting with `r`/`b` (caller lexes it).
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let start = self.i;
+        let first = self.b[self.i];
+        let mut j = self.i + 1;
+        if first == b'b' && self.b.get(j) == Some(&b'r') {
+            j += 1;
+        }
+        let mut hashes = 0usize;
+        while self.b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        match self.b.get(j) {
+            Some(&b'"') => {
+                // (Raw/byte) string: skip to the closing quote + fence.
+                let line = self.line;
+                self.i = j + 1;
+                let raw = first == b'r' || self.b.get(start + 1) == Some(&b'r');
+                loop {
+                    if self.i >= self.b.len() {
+                        break;
+                    }
+                    let c = self.b[self.i];
+                    if !raw && c == b'\\' {
+                        self.i += 2.min(self.b.len() - self.i);
+                        continue;
+                    }
+                    if c == b'"' {
+                        let mut h = 0;
+                        while h < hashes && self.b.get(self.i + 1 + h) == Some(&b'#') {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            self.i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    self.bump();
+                }
+                self.push(TokenKind::Str, String::new(), line);
+                true
+            }
+            _ if hashes > 0
+                && first == b'r'
+                && self.b.get(j).copied().is_some_and(is_ident_start) =>
+            {
+                // Raw identifier r#name: token text is the bare name.
+                let line = self.line;
+                let name_start = j;
+                let mut k = j;
+                while self.b.get(k).copied().is_some_and(is_ident_continue) {
+                    k += 1;
+                }
+                let text = String::from_utf8_lossy(&self.b[name_start..k]).into_owned();
+                self.i = k;
+                self.push(TokenKind::Ident, text, line);
+                true
+            }
+            Some(&b'\'') if first == b'b' && hashes == 0 => {
+                // Byte char b'x': reuse the tick logic from the quote.
+                self.i = j;
+                self.tick();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2.min(self.b.len() - self.i),
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokenKind::Str, String::new(), line);
+    }
+
+    /// A `'`: either a char literal (`'x'`, `'\n'`) or a lifetime tick
+    /// (`'a`, `'static`). A literal closes with `'` within a couple of
+    /// characters or starts with an escape; a lifetime is a tick
+    /// followed by an identifier with no closing quote.
+    fn tick(&mut self) {
+        let line = self.line;
+        if self.peek(1) == Some(b'\\') {
+            // Escaped char literal: consume the escaped character (it
+            // may itself be a quote, as in '\''), then scan to the
+            // closing quote (covers longer escapes like '\u{7F}').
+            self.i += 2; // tick + backslash
+            if self.i < self.b.len() {
+                self.bump();
+            }
+            while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                self.bump();
+            }
+            self.i = (self.i + 1).min(self.b.len());
+            self.push(TokenKind::Char, String::new(), line);
+            return;
+        }
+        if self
+            .peek(1)
+            .is_some_and(|c| is_ident_start(c) || c.is_ascii_digit())
+            && self.peek(2) != Some(b'\'')
+        {
+            // Lifetime: tick + ident run, no closing quote.
+            let start = self.i;
+            self.i += 1;
+            while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                self.i += 1;
+            }
+            let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+            self.push(TokenKind::Lifetime, text, line);
+            return;
+        }
+        // Char literal 'x' (or a stray tick; consume defensively).
+        self.i += 1;
+        if self.i < self.b.len() && self.b[self.i] != b'\'' {
+            self.bump();
+        }
+        if self.i < self.b.len() && self.b[self.i] == b'\'' {
+            self.i += 1;
+        }
+        self.push(TokenKind::Char, String::new(), line);
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        // Integer part, hex/octal/binary prefixes included.
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            // An exponent sign belongs to the literal: 1e-9, 2E+10.
+            if matches!(self.b[self.i], b'e' | b'E')
+                && !self.b[start..self.i].starts_with(b"0x")
+                && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                && self.peek(2).is_some_and(|c| c.is_ascii_digit())
+            {
+                self.i += 2;
+                continue;
+            }
+            self.i += 1;
+        }
+        // Fractional part: a dot followed by a digit (not `..` / method).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                if matches!(self.b[self.i], b'e' | b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && self.peek(2).is_some_and(|c| c.is_ascii_digit())
+                {
+                    self.i += 2;
+                    continue;
+                }
+                self.i += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.push(TokenKind::Number, text, line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.push(TokenKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_are_stripped_but_marked() {
+        let toks = lex("let s = \"dbg!( .unwrap() as DramCycle\";");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+        assert_eq!(idents("let s = \"HashMap\";"), ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences_and_byte_strings() {
+        let toks = lex(r###"let s = r#"quote " inside"#; let b = b"bytes";"###);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+        assert_eq!(
+            idents(r###"let s = r#"quote " inside"#; let t = after;"###),
+            ["let", "s", "let", "t", "after"]
+        );
+        // Nested fence count must match exactly.
+        let toks = lex(r####"r##"inner "# still inside"## outside"####);
+        assert!(toks.iter().any(|t| t.is_ident("outside")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still a comment */ b";
+        assert_eq!(idents(src), ["a", "b"]);
+    }
+
+    #[test]
+    fn lifetime_ticks_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(lifetimes[0].text, "'a");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+        // Escaped and quoted chars.
+        let toks = lex(r"let c = '\n'; let q = '\''; let s = 'static");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 2);
+        assert!(toks.iter().any(|t| t.text == "'static"));
+    }
+
+    #[test]
+    fn float_exponents_do_not_leak_sign_puncts() {
+        let toks = lex("x.max(1e-9) + y");
+        let plus_minus: Vec<_> = toks
+            .iter()
+            .filter(|t| t.is_punct('+') || t.is_punct('-'))
+            .collect();
+        assert_eq!(plus_minus.len(), 1, "only the real binary +: {toks:?}");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Number && t.text == "1e-9"));
+    }
+
+    #[test]
+    fn numbers_with_separators_and_suffixes() {
+        let toks = lex("1_000u64 0xFF_u8 2.5e3 0b1010");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["1_000u64", "0xFF_u8", "2.5e3", "0b1010"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_every_multiline_construct() {
+        let src = "first\n\"str\nspanning\"\n/* c\nomment */ 'x' fourth\nr#\"raw\nstring\"# last\n";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).map(|t| t.line);
+        assert_eq!(find("first"), Some(1));
+        assert_eq!(find("fourth"), Some(5));
+        assert_eq!(find("last"), Some(7));
+        // The literals report the line they *start* on.
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .map(|t| t.line)
+                .collect::<Vec<_>>(),
+            [2, 6]
+        );
+    }
+
+    #[test]
+    fn seeded_roundtrip_respans_to_original_lines() {
+        // Deterministic generator: assemble a file from a pool of
+        // snippets, tracking on which line each marker identifier must
+        // land, then assert the lexer respans every marker exactly.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64; // fixed seed
+        let mut next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            state
+        };
+        let fillers = [
+            "let x = \"multi\nline\nstring\";",
+            "/* block\ncomment */",
+            "// line comment with 'tick and \"quote\n",
+            "let c = '\\n';",
+            "fn f<'a>(v: &'a [u8]) {}\n",
+            "let r = r#\"raw \" body\nwith newline\"#;",
+            "let n = 1e-9;\n",
+        ];
+        for _ in 0..50 {
+            let mut src = String::new();
+            let mut expected: Vec<(String, u32)> = Vec::new();
+            let mut line = 1u32;
+            for k in 0..12 {
+                let f = fillers[(next() % fillers.len() as u64) as usize];
+                src.push_str(f);
+                line += f.matches('\n').count() as u32;
+                if !f.ends_with('\n') {
+                    src.push('\n');
+                    line += 1;
+                }
+                let marker = format!("marker_{k}");
+                src.push_str(&format!("let {marker} = {k};\n"));
+                expected.push((marker, line));
+                line += 1;
+            }
+            let toks = lex(&src);
+            for (marker, want) in &expected {
+                let got = toks.iter().find(|t| t.is_ident(marker)).map(|t| t.line);
+                assert_eq!(got, Some(*want), "marker {marker} in:\n{src}");
+            }
+        }
+    }
+}

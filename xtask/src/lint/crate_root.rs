@@ -1,0 +1,56 @@
+//! Rule `crate-root-lints`: every `src/lib.rs` / `src/main.rs` must
+//! carry `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
+//!
+//! Matching the inner-attribute token sequence (`# ! [ level ( lint ) ]`)
+//! instead of a trimmed-line string means formatting differences — or
+//! an attribute split across lines — cannot hide a missing lint gate.
+
+use super::{is_crate_root, FileCtx, Finding, Rule};
+use crate::lexer::Token;
+
+/// The required `(level, lint)` inner attributes.
+const REQUIRED: [(&str, &str); 2] = [("forbid", "unsafe_code"), ("deny", "missing_docs")];
+
+/// See the module docs.
+pub struct CrateRoot;
+
+/// True if the token stream contains `# ! [ level ( lint ) ]`.
+fn has_inner_attr(tokens: &[Token], level: &str, lint: &str) -> bool {
+    tokens.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident(level)
+            && w[4].is_punct('(')
+            && w[5].is_ident(lint)
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+impl Rule for CrateRoot {
+    fn name(&self) -> &'static str {
+        "crate-root-lints"
+    }
+
+    fn fixture(&self) -> (&'static str, &'static str) {
+        ("bad_crate_root.rs", "crates/mc/src/lib.rs")
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if !is_crate_root(ctx.rel) {
+            return;
+        }
+        for (level, lint) in REQUIRED {
+            if !has_inner_attr(&ctx.tokens, level, lint) {
+                ctx.push(
+                    out,
+                    self.name(),
+                    self.severity(),
+                    1,
+                    format!("crate root is missing `#![{level}({lint})]`"),
+                );
+            }
+        }
+    }
+}

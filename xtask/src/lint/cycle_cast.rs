@@ -1,0 +1,51 @@
+//! Rule `cycle-cast`: no `as`-casts involving the cycle-domain
+//! newtypes.
+//!
+//! Conversions between clock domains must go through
+//! `stfm_cycles::ClockRatio` or the explicit `new()`/`get()`
+//! accessors, so every crossing is visible and auditable. Matching on
+//! the token stream means a cast split across lines (`x as\n
+//! DramCycle`) or wrapped in a macro invocation is caught exactly like
+//! a single-line one — the line-level predecessor of this rule could
+//! be dodged by a newline after `as`.
+
+use super::{FileCtx, Finding, Rule};
+use crate::lexer::TokenKind;
+
+/// The cycle-domain newtypes whose `as`-casts are banned.
+pub const CYCLE_TYPES: [&str; 4] = ["DramCycle", "CpuCycle", "DramDelta", "CpuDelta"];
+
+/// See the module docs.
+pub struct CycleCast;
+
+impl Rule for CycleCast {
+    fn name(&self) -> &'static str {
+        "cycle-cast"
+    }
+
+    fn fixture(&self) -> (&'static str, &'static str) {
+        ("bad_cycle_cast.rs", "crates/mc/src/bad.rs")
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        for (i, t) in ctx.tokens.iter().enumerate() {
+            if !t.is_ident("as") {
+                continue;
+            }
+            let Some(next) = ctx.tokens.get(i + 1) else {
+                continue;
+            };
+            if next.kind == TokenKind::Ident {
+                if let Some(ty) = CYCLE_TYPES.iter().find(|ty| next.text == **ty) {
+                    ctx.push(
+                        out,
+                        self.name(),
+                        self.severity(),
+                        t.line,
+                        format!("`as {ty}` cast; use ClockRatio / new() / get() instead"),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Rule `hash-iter`: no unordered `HashMap`/`HashSet` iteration in the
+//! deterministic-core crates.
+//!
+//! The simulator's load-bearing property is bit-identical replay: the
+//! differential fuzz suite, the golden digests, and the serve result
+//! cache all assume it. Iterating a hash table visits entries in
+//! randomized order (std's SipHash keys differ per process), so any
+//! `for … in &map`, `.iter()`, `.keys()`, `.values()`, `.drain()` etc.
+//! over a `HashMap`/`HashSet` in policy or model code is a
+//! nondeterminism hazard even when today's loop body happens to be
+//! commutative — the next edit to that loop breaks replay silently.
+//! Deterministic code uses `BTreeMap`/`BTreeSet` (or sorts first).
+//!
+//! Lookup-only use (`get`/`insert`/`contains`/`entry`/`len`) is fine
+//! and not flagged. The rule applies inside test code too: a test that
+//! iterates a hash map is a flaky test waiting to happen.
+//!
+//! Detection is two-pass over the token stream: first collect every
+//! identifier *declared* with a `HashMap`/`HashSet` type (struct
+//! fields, `let` bindings with either an explicit type or a
+//! `HashMap::…` initializer, function parameters), then flag banned
+//! method calls on those names and bare `for … in [&[mut]] [self.]name`
+//! loops.
+
+use super::{FileCtx, Finding, Rule, DETERMINISTIC_CORE};
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// Methods that expose hash-table iteration order.
+const BANNED_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// See the module docs.
+pub struct HashIter;
+
+/// Is this token the `HashMap` or `HashSet` type name?
+fn hash_type(t: &Token) -> Option<&'static str> {
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    match t.text.as_str() {
+        "HashMap" => Some("HashMap"),
+        "HashSet" => Some("HashSet"),
+        _ => None,
+    }
+}
+
+/// Collects identifiers declared with a hash-table type, mapped to the
+/// type name ("HashMap"/"HashSet") for the finding message.
+fn collect_hash_names(tokens: &[Token]) -> BTreeMap<String, &'static str> {
+    let mut names = BTreeMap::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `name: …HashMap<…>` — struct field or typed binding/param.
+        // Skip `name::` (the second `:` means a path, not a type
+        // ascription). Scan a bounded window, tracking `<…>` depth so a
+        // depth-0 `,`/`)`/`;` ends *this* declaration and the window
+        // cannot leak into a neighboring parameter's type.
+        if tokens.get(i + 1).is_some_and(|u| u.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|u| u.is_punct(':'))
+        {
+            let mut angle = 0i64;
+            for u in tokens.iter().skip(i + 2).take(12) {
+                if u.is_punct('<') {
+                    angle += 1;
+                } else if u.is_punct('>') {
+                    angle -= 1;
+                } else if angle == 0
+                    && (u.is_punct(',')
+                        || u.is_punct(')')
+                        || u.is_punct(';')
+                        || u.is_punct('{')
+                        || u.is_punct('='))
+                {
+                    break;
+                } else if let Some(ty) = hash_type(u) {
+                    names.insert(t.text.clone(), ty);
+                    break;
+                }
+            }
+        }
+        // `let [mut] name = …HashMap::…` — untyped binding whose
+        // initializer names the type.
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|u| u.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = tokens.get(j).filter(|u| u.kind == TokenKind::Ident) else {
+                continue;
+            };
+            if !tokens.get(j + 1).is_some_and(|u| u.is_punct('=')) {
+                continue;
+            }
+            for u in tokens.iter().skip(j + 2).take(8) {
+                if u.is_punct(';') {
+                    break;
+                }
+                if let Some(ty) = hash_type(u) {
+                    names.insert(name.text.clone(), ty);
+                    break;
+                }
+            }
+        }
+    }
+    names
+}
+
+impl Rule for HashIter {
+    fn name(&self) -> &'static str {
+        "hash-iter"
+    }
+
+    fn fixture(&self) -> (&'static str, &'static str) {
+        ("bad_hash_iter.rs", "crates/mc/src/bad.rs")
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if !super::in_scope(ctx.rel, &DETERMINISTIC_CORE) {
+            return;
+        }
+        let names = collect_hash_names(&ctx.tokens);
+        if names.is_empty() {
+            return;
+        }
+        let toks = &ctx.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            // `name.banned_method(` on a hash-declared name.
+            if let Some(ty) = names
+                .get(t.text.as_str())
+                .filter(|_| t.kind == TokenKind::Ident)
+            {
+                if toks.get(i + 1).is_some_and(|u| u.is_punct('.'))
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|u| BANNED_METHODS.iter().any(|m| u.is_ident(m)))
+                    && toks.get(i + 3).is_some_and(|u| u.is_punct('('))
+                {
+                    let method = &toks[i + 2].text;
+                    ctx.push(
+                        out,
+                        self.name(),
+                        self.severity(),
+                        t.line,
+                        format!(
+                            "unordered {ty} iteration `{}.{method}()`; use BTreeMap/BTreeSet or collect-and-sort",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            // `for … in [&[mut]] [self.]name {` — implicit IntoIterator
+            // over the table itself.
+            if t.is_ident("for") {
+                if let Some((name, ty, line)) = for_loop_over_hash(toks, i, &names) {
+                    ctx.push(
+                        out,
+                        self.name(),
+                        self.severity(),
+                        line,
+                        format!(
+                            "unordered {ty} iteration `for … in {name}`; use BTreeMap/BTreeSet or collect-and-sort"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// If the `for` loop starting at token `i` iterates a bare
+/// hash-declared name (`for p in &map`, `for (k, v) in self.map`),
+/// returns `(name, type, line)`. Loops over arbitrary expressions
+/// (`for x in build(&map)`) are left to the method-call check.
+fn for_loop_over_hash(
+    toks: &[Token],
+    i: usize,
+    names: &BTreeMap<String, &'static str>,
+) -> Option<(String, &'static str, u32)> {
+    // Find `in` at bracket depth 0 (the pattern may contain `(`/`[`).
+    let mut depth = 0i64;
+    let mut j = i + 1;
+    let limit = (i + 40).min(toks.len());
+    loop {
+        if j >= limit {
+            return None;
+        }
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_ident("in") {
+            break;
+        } else if depth == 0 && (t.is_punct('{') || t.is_punct(';')) {
+            // Not a loop header after all (e.g. `impl X for Y {`).
+            return None;
+        }
+        j += 1;
+    }
+    // The iterated expression: only `&`, `mut`, `self`, `.`, and
+    // identifiers may appear, and it must end at `{` — anything else
+    // (a call, an index, a range) is not a bare map expression.
+    let mut last_ident: Option<&Token> = None;
+    for t in toks.iter().take(limit).skip(j + 1) {
+        if t.is_punct('{') {
+            let name = last_ident?;
+            let ty = names.get(name.text.as_str())?;
+            return Some((name.text.clone(), ty, name.line));
+        }
+        if t.is_punct('&') || t.is_punct('.') || t.is_ident("mut") || t.is_ident("self") {
+            continue;
+        }
+        if t.kind == TokenKind::Ident {
+            last_ident = Some(t);
+            continue;
+        }
+        return None;
+    }
+    None
+}

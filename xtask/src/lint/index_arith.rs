@@ -1,0 +1,84 @@
+//! Rule `index-arith`: no arithmetic inside slice/array `[…]` indexing
+//! in the serve parsers.
+//!
+//! `bytes[pos + 4]` panics on overflowing input; inside the serve
+//! layer's `catch_unwind` cells that panic is *survivable*, which is
+//! exactly why it hides — the service degrades instead of crashing and
+//! the truncated-input bug ships. Indexing with a computed offset must
+//! use `.get(start..end)` / `.get(i + 1)` and handle `None`
+//! explicitly. Plain `bytes[i]` (no arithmetic) stays allowed: those
+//! sites have their bounds checked adjacently and rewriting them all
+//! would bury the signal. Test code is exempt — a panic in a test is a
+//! failed test, which is the point.
+
+use super::{FileCtx, Finding, Rule, INDEX_ARITH_SCOPE};
+use crate::lexer::{Token, TokenKind};
+
+/// See the module docs.
+pub struct IndexArith;
+
+/// Can this token end an expression (making a following `[` an index,
+/// `+`/`-` binary)?
+fn ends_expression(t: &Token) -> bool {
+    matches!(t.kind, TokenKind::Ident | TokenKind::Number) || t.is_punct(')') || t.is_punct(']')
+}
+
+impl Rule for IndexArith {
+    fn name(&self) -> &'static str {
+        "index-arith"
+    }
+
+    fn fixture(&self) -> (&'static str, &'static str) {
+        ("bad_index_arith.rs", "crates/serve/src/bad.rs")
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if !super::in_scope(ctx.rel, &INDEX_ARITH_SCOPE) {
+            return;
+        }
+        let toks = &ctx.tokens;
+        for i in 0..toks.len() {
+            // A `[` that *indexes* (previous token ends an expression;
+            // `#[attr]`, array literals, and types don't qualify).
+            if !toks[i].is_punct('[') || ctx.is_test_token(i) {
+                continue;
+            }
+            if i == 0 || !ends_expression(&toks[i - 1]) {
+                continue;
+            }
+            // Scan to the matching `]`, looking for a *binary* `+`/`-`
+            // (one whose left neighbor also ends an expression, so
+            // unary negation and range defaults don't count).
+            let mut depth = 1i64;
+            let mut j = i + 1;
+            let mut arith: Option<u32> = None;
+            while j < toks.len() && depth > 0 {
+                let t = &toks[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                } else if (t.is_punct('+') || t.is_punct('-'))
+                    && ends_expression(&toks[j - 1])
+                    && arith.is_none()
+                {
+                    arith = Some(t.line);
+                }
+                j += 1;
+            }
+            if let Some(line) = arith {
+                ctx.push(
+                    out,
+                    self.name(),
+                    self.severity(),
+                    line,
+                    format!(
+                        "arithmetic inside `[…]` indexing can panic in a catch_unwind cell; \
+                         use `.get(…)` and handle None: {}",
+                        ctx.trimmed_line(line)
+                    ),
+                );
+            }
+        }
+    }
+}

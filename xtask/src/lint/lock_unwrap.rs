@@ -1,0 +1,60 @@
+//! Rule `lock-unwrap`: no `lock().unwrap()` / `lock().expect(…)` in
+//! the `catch_unwind`-isolated crates.
+//!
+//! The serve layer's degradation ladder (PR 8) runs each sweep cell
+//! under `catch_unwind`: one panicking cell is reported and the run
+//! continues. A panic while a `Mutex` is held poisons it, and every
+//! later `lock().unwrap()` then panics too — turning one bad cell into
+//! a wedged service. Shared state in these crates recovers instead:
+//! `lock().unwrap_or_else(std::sync::PoisonError::into_inner)` (the
+//! guarded data is append-only or idempotent here, so the poisoned
+//! value is safe to reuse). Test code is exempt — a poisoned lock in a
+//! test should fail loudly.
+
+use super::{FileCtx, Finding, Rule, PANIC_ISOLATED};
+
+/// See the module docs.
+pub struct LockUnwrap;
+
+impl Rule for LockUnwrap {
+    fn name(&self) -> &'static str {
+        "lock-unwrap"
+    }
+
+    fn fixture(&self) -> (&'static str, &'static str) {
+        ("bad_lock_unwrap.rs", "crates/serve/src/bad.rs")
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if !super::in_scope(ctx.rel, &PANIC_ISOLATED) {
+            return;
+        }
+        let toks = &ctx.tokens;
+        for i in 0..toks.len() {
+            if ctx.is_test_token(i) {
+                continue;
+            }
+            let lock_call = toks[i].is_ident("lock")
+                && toks.get(i + 1).is_some_and(|u| u.is_punct('('))
+                && toks.get(i + 2).is_some_and(|u| u.is_punct(')'))
+                && toks.get(i + 3).is_some_and(|u| u.is_punct('.'))
+                && toks
+                    .get(i + 4)
+                    .is_some_and(|u| u.is_ident("unwrap") || u.is_ident("expect"))
+                && toks.get(i + 5).is_some_and(|u| u.is_punct('('));
+            if lock_call {
+                ctx.push(
+                    out,
+                    self.name(),
+                    self.severity(),
+                    toks[i].line,
+                    format!(
+                        "`lock().{}()` propagates mutex poisoning across catch_unwind; \
+                         use unwrap_or_else(PoisonError::into_inner)",
+                        toks[i + 4].text
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Rules `dbg` and `placeholder`: no debug macros in code, no
+//! to-do/fix-me markers anywhere (comments included).
+//!
+//! `dbg` matches the token sequence `dbg ! (` so an identifier like
+//! `debug` or a string containing the text cannot trip it. The
+//! placeholder rule deliberately scans *raw* lines — a marker in a
+//! comment is exactly the kind the rule exists to catch.
+
+use super::{FileCtx, Finding, Rule};
+
+/// Placeholder markers banned anywhere in the tree. Assembled at
+/// compile time from halves so this file does not flag itself.
+pub const PLACEHOLDER_MARKERS: [&str; 2] = [concat!("TO", "DO"), concat!("FIX", "ME")];
+
+/// Bans `dbg!(...)` invocations in committed code.
+pub struct Dbg;
+
+impl Rule for Dbg {
+    fn name(&self) -> &'static str {
+        "dbg"
+    }
+
+    fn fixture(&self) -> (&'static str, &'static str) {
+        ("bad_markers.rs", "crates/mc/src/bad.rs")
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        for (i, t) in ctx.tokens.iter().enumerate() {
+            if t.is_ident("dbg")
+                && ctx.tokens.get(i + 1).is_some_and(|u| u.is_punct('!'))
+                && ctx.tokens.get(i + 2).is_some_and(|u| u.is_punct('('))
+            {
+                ctx.push(
+                    out,
+                    self.name(),
+                    self.severity(),
+                    t.line,
+                    ctx.trimmed_line(t.line).to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Bans to-do/fix-me markers anywhere, comments included.
+pub struct Placeholder;
+
+impl Rule for Placeholder {
+    fn name(&self) -> &'static str {
+        "placeholder"
+    }
+
+    fn fixture(&self) -> (&'static str, &'static str) {
+        ("bad_markers.rs", "crates/mc/src/bad.rs")
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        for (i, raw) in ctx.raw_lines.iter().enumerate() {
+            if PLACEHOLDER_MARKERS.iter().any(|m| raw.contains(m)) {
+                ctx.push(
+                    out,
+                    self.name(),
+                    self.severity(),
+                    i as u32 + 1,
+                    raw.trim().to_string(),
+                );
+            }
+        }
+    }
+}

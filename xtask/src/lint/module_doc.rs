@@ -1,0 +1,54 @@
+//! Rule `module-doc`: every `.rs` file under a `src/` or `tests/`
+//! directory must open with a `//!` doc comment.
+//!
+//! For `src/` files the opening doc states the module's contract; for
+//! integration tests it states what property the test proves. Files
+//! outside both trees (e.g. build scripts) are exempt. This rule works
+//! on the raw source — doc comments are exactly what the lexer strips.
+
+use super::{FileCtx, Finding, Rule};
+
+/// See the module docs.
+pub struct ModuleDoc;
+
+/// True if the file opens with a `//!` doc comment (blank lines and
+/// plain `//` comments may precede it; any item or attribute may not).
+pub fn has_module_doc(src: &str) -> bool {
+    for line in src.lines() {
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if t.starts_with("//!") {
+            return true;
+        }
+        if t.starts_with("//") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+impl Rule for ModuleDoc {
+    fn name(&self) -> &'static str {
+        "module-doc"
+    }
+
+    fn fixture(&self) -> (&'static str, &'static str) {
+        ("bad_module_doc.rs", "crates/mc/src/bad.rs")
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        let in_src = ctx.rel.split('/').any(|c| c == "src");
+        if (in_src || ctx.in_tests_dir) && !has_module_doc(ctx.src) {
+            ctx.push(
+                out,
+                self.name(),
+                self.severity(),
+                1,
+                "file does not open with a `//!` module doc comment".into(),
+            );
+        }
+    }
+}

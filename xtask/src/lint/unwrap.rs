@@ -1,0 +1,58 @@
+//! Rule `unwrap`: no `.unwrap()` / `.expect(...)` outside test code.
+//!
+//! Production paths return errors or degrade; panics are reserved for
+//! tests (`#[cfg(test)]` / `#[test]` items, `tests/` directories).
+//! Vetted exceptions live in `xtask/tidy.allow` as `path: trimmed-line`
+//! entries; an entry that no longer matches is itself an error, so the
+//! allowlist can only shrink.
+//!
+//! Token-level matching requires the *full* method identifier to be
+//! `unwrap`/`expect` followed by `(`, so `unwrap_or_else`,
+//! `unwrap_or_default`, and `expect_err` never match — the old
+//! substring check relied on the substring `".unwrap()"` instead.
+
+use super::{FileCtx, Finding, Rule};
+
+/// See the module docs.
+pub struct Unwrap;
+
+impl Rule for Unwrap {
+    fn name(&self) -> &'static str {
+        "unwrap"
+    }
+
+    fn fixture(&self) -> (&'static str, &'static str) {
+        ("bad_unwrap.rs", "crates/mc/src/bad.rs")
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        for (i, t) in ctx.tokens.iter().enumerate() {
+            if !t.is_punct('.') || ctx.is_test_token(i) {
+                continue;
+            }
+            let (Some(method), Some(paren)) = (ctx.tokens.get(i + 1), ctx.tokens.get(i + 2)) else {
+                continue;
+            };
+            if !(method.is_ident("unwrap") || method.is_ident("expect")) || !paren.is_punct('(') {
+                continue;
+            }
+            let trimmed = ctx.trimmed_line(method.line);
+            let allowed = ctx.allow.iter().any(|e| {
+                let hit = e.path == ctx.rel && e.needle == trimmed;
+                if hit {
+                    e.used.set(true);
+                }
+                hit
+            });
+            if !allowed {
+                ctx.push(
+                    out,
+                    self.name(),
+                    self.severity(),
+                    method.line,
+                    trimmed.to_string(),
+                );
+            }
+        }
+    }
+}

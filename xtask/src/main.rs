@@ -1,82 +1,130 @@
 //! Workspace automation tasks (`cargo xtask <task>`).
 //!
 //! The only task so far is `tidy`, a dependency-free static-analysis
-//! harness that enforces the repository's source hygiene rules:
+//! engine. Source is lexed into a token stream ([`lexer`]) and every
+//! rule in [`lint`] runs over it:
 //!
-//! 1. **No `as`-casts involving the cycle-domain newtypes** (`DramCycle`,
-//!    `CpuCycle`, `DramDelta`, `CpuDelta`). Conversions must go through
-//!    `stfm_cycles::ClockRatio` or the explicit `new()`/`get()` accessors,
-//!    so every clock-domain crossing is visible and auditable.
-//! 2. **No `.unwrap()` / `.expect(...)` outside test code** (`#[cfg(test)]`
-//!    / `#[test]` items, `tests/` directories). Vetted exceptions live in
-//!    `xtask/tidy.allow`, one `path: trimmed-line` entry per line; stale
-//!    entries are themselves an error so the list can only shrink.
-//! 3. **Module docs**: every `.rs` file under a `src/` or `tests/`
-//!    directory must open with a `//!` doc comment.
-//! 4. **No debug/placeholder markers**: `dbg!(` in code, or the
-//!    to-do/fix-me markers anywhere (including comments).
-//! 5. **Crate-root lints**: every `src/lib.rs` and `src/main.rs` must
-//!    carry `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
+//! 1. `cycle-cast` — no `as`-casts involving the cycle-domain newtypes
+//!    (`DramCycle`, `CpuCycle`, `DramDelta`, `CpuDelta`); conversions
+//!    go through `stfm_cycles::ClockRatio` or `new()`/`get()`.
+//! 2. `unwrap` — no `.unwrap()` / `.expect(...)` outside test code.
+//!    Vetted exceptions live in `xtask/tidy.allow`; stale entries are
+//!    an error, so the list can only shrink.
+//! 3. `module-doc` — every `.rs` file under `src/` or `tests/` opens
+//!    with a `//!` doc comment.
+//! 4. `dbg` / `placeholder` — no debug macros in code, no
+//!    to-do/fix-me markers anywhere.
+//! 5. `crate-root-lints` — every crate root carries
+//!    `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
+//! 6. `hash-iter` — no unordered `HashMap`/`HashSet` iteration in the
+//!    deterministic-core crates (bit-identical replay is the
+//!    simulator's load-bearing property).
+//! 7. `wall-clock` — no `Instant`/`SystemTime`/`std::time` in the
+//!    deterministic core; `SystemTime` in the edge layers only via
+//!    `stfm_bench::wallclock`.
+//! 8. `lock-unwrap` — no `lock().unwrap()` poisoning hazards in the
+//!    `catch_unwind`-isolated serve/sim paths.
+//! 9. `index-arith` — no arithmetic inside `[…]` slice indexing in the
+//!    serve parsers; use `.get(…)`.
 //!
-//! The lints are token/line level on purpose — no `syn`, no external
-//! dependencies — so `cargo xtask tidy` works on a bare offline toolchain.
+//! `cargo xtask tidy` prints human-readable findings;
+//! `--format json` emits a machine-readable findings array (for the CI
+//! artifact); `--self-test` proves every registered rule fires on its
+//! committed negative fixture and stays silent on `clean.rs`.
+//!
+//! Everything is token/line level on purpose — no `syn`, no external
+//! dependencies — so `cargo xtask tidy` works on a bare offline
+//! toolchain.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use std::fmt;
+mod lexer;
+mod lint;
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// The cycle-domain newtypes whose `as`-casts are banned (rule 1).
-const CYCLE_TYPES: [&str; 4] = ["DramCycle", "CpuCycle", "DramDelta", "CpuDelta"];
+use lint::{parse_allowlist, Finding, Severity};
 
-/// Placeholder markers banned anywhere in the tree (rule 4). Assembled at
-/// compile time from halves so this file does not flag itself.
-const PLACEHOLDER_MARKERS: [&str; 2] = [concat!("TO", "DO"), concat!("FIX", "ME")];
-
-/// One lint violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Finding {
-    /// Path relative to the repository root, `/`-separated.
-    path: String,
-    /// 1-based line number (0 for whole-file findings).
-    line: usize,
-    /// Short rule identifier.
-    rule: &'static str,
-    /// Trimmed offending line, or a description for whole-file findings.
-    text: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.text
-        )
-    }
+/// Output format for findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// One `path:line: severity [rule] text` line per finding.
+    Human,
+    /// A JSON array of finding objects (CI artifact).
+    Json,
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("tidy") => tidy(),
+        Some("tidy") => {
+            let mut format = Format::Human;
+            let mut self_test = false;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--self-test" => self_test = true,
+                    "--format" => match rest.next().map(String::as_str) {
+                        Some("human") => format = Format::Human,
+                        Some("json") => format = Format::Json,
+                        other => {
+                            eprintln!(
+                                "--format takes `human` or `json`, got {:?}",
+                                other.unwrap_or("nothing")
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    "--format=human" => format = Format::Human,
+                    "--format=json" => format = Format::Json,
+                    other => {
+                        eprintln!("unknown tidy option `{other}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if self_test {
+                run_self_test()
+            } else {
+                tidy(format)
+            }
+        }
         Some(other) => {
             eprintln!("unknown task `{other}`; available tasks: tidy");
             ExitCode::FAILURE
         }
         None => {
             eprintln!(
-                "usage: cargo xtask <task>\n\ntasks:\n  tidy    run the static-analysis harness"
+                "usage: cargo xtask <task>\n\ntasks:\n  tidy [--format human|json] [--self-test]\n          run the static-analysis engine"
             );
             ExitCode::FAILURE
         }
     }
 }
 
+/// `tidy --self-test`: every rule must fire on its negative fixture
+/// and stay silent on the clean one.
+fn run_self_test() -> ExitCode {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    match lint::self_test(&fixtures) {
+        Ok(report) => {
+            for line in &report {
+                println!("{line}");
+            }
+            println!("tidy --self-test: {} rule(s) verified", report.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tidy --self-test FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Runs every lint over the workspace and reports findings.
-fn tidy() -> ExitCode {
+fn tidy(format: Format) -> ExitCode {
     let root = match repo_root() {
         Some(r) => r,
         None => {
@@ -93,7 +141,6 @@ fn tidy() -> ExitCode {
     files.sort();
 
     let mut findings = Vec::new();
-    let mut used = vec![false; allowlist.len()];
     for path in &files {
         let rel = relative_path(&root, path);
         let src = match std::fs::read_to_string(path) {
@@ -103,37 +150,55 @@ fn tidy() -> ExitCode {
                     path: rel,
                     line: 0,
                     rule: "io",
+                    severity: Severity::Error,
                     text: format!("unreadable: {e}"),
                 });
                 continue;
             }
         };
-        findings.extend(check_file(&rel, &src, &allowlist, &mut used));
+        findings.extend(lint::check_file(&rel, &src, &allowlist));
     }
     // A stale allowlist entry is an error: the list may only shrink.
-    for (entry, used) in allowlist.iter().zip(&used) {
-        if !used {
+    for entry in &allowlist {
+        if !entry.used.get() {
             findings.push(Finding {
                 path: "xtask/tidy.allow".into(),
                 line: entry.line,
                 rule: "stale-allow",
+                severity: Severity::Error,
                 text: format!("unused allowlist entry: {}: {}", entry.path, entry.needle),
             });
         }
     }
 
-    if findings.is_empty() {
-        println!("tidy: {} files clean", files.len());
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    match format {
+        Format::Human => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!(
+                "tidy: {} finding(s) ({errors} error(s)) in {} files scanned",
+                findings.len(),
+                files.len()
+            );
+        }
+        Format::Json => {
+            let body: Vec<String> = findings.iter().map(Finding::to_json).collect();
+            println!("[{}]", body.join(",\n "));
+            eprintln!(
+                "tidy: {} finding(s) ({errors} error(s)) in {} files scanned",
+                findings.len(),
+                files.len()
+            );
+        }
+    }
+    if errors == 0 {
         ExitCode::SUCCESS
     } else {
-        for f in &findings {
-            println!("{f}");
-        }
-        println!(
-            "tidy: {} finding(s) in {} files scanned",
-            findings.len(),
-            files.len()
-        );
         ExitCode::FAILURE
     }
 }
@@ -180,376 +245,10 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// One vetted `unwrap`/`expect` site.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct AllowEntry {
-    /// 1-based line in `tidy.allow` (for stale-entry reports).
-    line: usize,
-    /// Repo-relative `/`-separated path.
-    path: String,
-    /// Trimmed content the offending line must equal.
-    needle: String,
-}
-
-/// Parses `tidy.allow`: `path: trimmed line content`, `#` comments.
-fn parse_allowlist(src: &str) -> Vec<AllowEntry> {
-    let mut out = Vec::new();
-    for (i, line) in src.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if let Some((path, needle)) = line.split_once(": ") {
-            out.push(AllowEntry {
-                line: i + 1,
-                path: path.trim().to_string(),
-                needle: needle.trim().to_string(),
-            });
-        }
-    }
-    out
-}
-
-/// Runs all per-file lints.
-fn check_file(rel: &str, src: &str, allowlist: &[AllowEntry], used: &mut [bool]) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let code = code_only(src);
-    let in_tests_dir = rel.split('/').any(|c| c == "tests");
-    let test_lines = test_context_lines(&code);
-    let raw_lines: Vec<&str> = src.lines().collect();
-
-    // Rule 3: module doc. Files under a src/ directory, and integration
-    // tests under tests/ — a test file's opening doc is its statement of
-    // what property it proves.
-    if (rel.split('/').any(|c| c == "src") || in_tests_dir) && !has_module_doc(src) {
-        findings.push(Finding {
-            path: rel.to_string(),
-            line: 1,
-            rule: "module-doc",
-            text: "file does not open with a `//!` module doc comment".into(),
-        });
-    }
-
-    // Rule 5: crate-root lint attributes.
-    if is_crate_root(rel) {
-        for attr in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
-            if !code.lines().any(|l| l.trim() == attr) {
-                findings.push(Finding {
-                    path: rel.to_string(),
-                    line: 1,
-                    rule: "crate-root-lints",
-                    text: format!("crate root is missing `{attr}`"),
-                });
-            }
-        }
-    }
-
-    for (i, code_line) in code.lines().enumerate() {
-        let lineno = i + 1;
-        let raw = raw_lines.get(i).copied().unwrap_or("");
-        let in_test = in_tests_dir || test_lines.get(i).copied().unwrap_or(false);
-
-        // Rule 1: `as`-casts to a cycle-domain newtype.
-        if let Some(ty) = cycle_cast(code_line) {
-            findings.push(Finding {
-                path: rel.to_string(),
-                line: lineno,
-                rule: "cycle-cast",
-                text: format!("`as {ty}` cast; use ClockRatio / new() / get() instead"),
-            });
-        }
-
-        // Rule 2: unwrap/expect outside test code.
-        if !in_test && (code_line.contains(".unwrap()") || code_line.contains(".expect(")) {
-            let trimmed = raw.trim();
-            let allowed = allowlist.iter().enumerate().any(|(k, e)| {
-                let hit = e.path == rel && e.needle == trimmed;
-                if hit {
-                    used[k] = true;
-                }
-                hit
-            });
-            if !allowed {
-                findings.push(Finding {
-                    path: rel.to_string(),
-                    line: lineno,
-                    rule: "unwrap",
-                    text: trimmed.to_string(),
-                });
-            }
-        }
-
-        // Rule 4a: dbg! in code.
-        if code_line.contains("dbg!(") {
-            findings.push(Finding {
-                path: rel.to_string(),
-                line: lineno,
-                rule: "dbg",
-                text: raw.trim().to_string(),
-            });
-        }
-
-        // Rule 4b: placeholder markers anywhere, comments included.
-        if PLACEHOLDER_MARKERS.iter().any(|m| raw.contains(m)) {
-            findings.push(Finding {
-                path: rel.to_string(),
-                line: lineno,
-                rule: "placeholder",
-                text: raw.trim().to_string(),
-            });
-        }
-    }
-    findings
-}
-
-/// True for files that are a crate root (`src/lib.rs`, `src/main.rs`).
-fn is_crate_root(rel: &str) -> bool {
-    rel == "src/lib.rs"
-        || rel == "src/main.rs"
-        || rel.ends_with("/src/lib.rs")
-        || rel.ends_with("/src/main.rs")
-}
-
-/// True if the file opens with a `//!` doc comment (blank lines and plain
-/// `//` comments may precede it; any item or attribute may not).
-fn has_module_doc(src: &str) -> bool {
-    for line in src.lines() {
-        let t = line.trim();
-        if t.is_empty() {
-            continue;
-        }
-        if t.starts_with("//!") {
-            return true;
-        }
-        if t.starts_with("//") {
-            continue;
-        }
-        return false;
-    }
-    false
-}
-
-/// Detects `as <CycleType>` on a comment/string-stripped line and returns
-/// the offending type name.
-fn cycle_cast(code_line: &str) -> Option<&'static str> {
-    let bytes = code_line.as_bytes();
-    let mut i = 0;
-    while let Some(pos) = code_line[i..].find(" as ") {
-        let start = i + pos;
-        // Word boundary on the left of `as` is the space; check the token
-        // after `as `.
-        let rest = &code_line[start + 4..];
-        let rest = rest.trim_start();
-        for ty in CYCLE_TYPES {
-            if rest.starts_with(ty) {
-                let end = rest.as_bytes().get(ty.len());
-                let boundary = match end {
-                    None => true,
-                    Some(c) => !(c.is_ascii_alphanumeric() || *c == b'_'),
-                };
-                if boundary {
-                    return Some(ty);
-                }
-            }
-        }
-        i = start + 4;
-        if i >= bytes.len() {
-            break;
-        }
-    }
-    None
-}
-
-/// Per-line flags: true when the line is inside a `#[cfg(test)]` or
-/// `#[test]` item, tracked by brace depth on comment/string-stripped text.
-fn test_context_lines(code: &str) -> Vec<bool> {
-    let mut flags = Vec::new();
-    let mut depth: i64 = 0;
-    // Depths at which a test item's block was entered.
-    let mut test_depths: Vec<i64> = Vec::new();
-    let mut pending_attr = false;
-    for line in code.lines() {
-        let trimmed = line.trim();
-        if trimmed.contains("#[cfg(test)]") || trimmed.contains("#[test]") {
-            pending_attr = true;
-        }
-        let entering = pending_attr;
-        let mut in_test_this_line = !test_depths.is_empty();
-        for b in line.bytes() {
-            match b {
-                b'{' => {
-                    depth += 1;
-                    if pending_attr {
-                        test_depths.push(depth);
-                        pending_attr = false;
-                        in_test_this_line = true;
-                    }
-                }
-                b'}' => {
-                    if test_depths.last().is_some_and(|d| *d == depth) {
-                        test_depths.pop();
-                    }
-                    depth -= 1;
-                }
-                _ => {}
-            }
-        }
-        // An attribute line and the item's opening line count as test code.
-        flags.push(in_test_this_line || entering);
-    }
-    flags
-}
-
-/// Replaces comments and string/char-literal contents with spaces,
-/// preserving the line structure, so token scans cannot be fooled.
-fn code_only(src: &str) -> String {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(u32),
-        Char,
-    }
-    let mut st = St::Code;
-    let mut out = String::with_capacity(src.len());
-    let b = src.as_bytes();
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        match st {
-            St::Code => {
-                if c == b'/' && b.get(i + 1) == Some(&b'/') {
-                    st = St::LineComment;
-                    out.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                if c == b'/' && b.get(i + 1) == Some(&b'*') {
-                    st = St::BlockComment(1);
-                    out.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                if c == b'r' && matches!(b.get(i + 1), Some(b'"') | Some(b'#')) {
-                    // Raw string: r"..." or r#"..."# etc.
-                    let mut hashes = 0;
-                    let mut j = i + 1;
-                    while b.get(j) == Some(&b'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if b.get(j) == Some(&b'"') {
-                        st = St::RawStr(hashes);
-                        for _ in i..=j {
-                            out.push(' ');
-                        }
-                        i = j + 1;
-                        continue;
-                    }
-                }
-                if c == b'"' {
-                    st = St::Str;
-                    out.push(' ');
-                    i += 1;
-                    continue;
-                }
-                if c == b'\'' {
-                    // Char literal vs lifetime: 'x' or '\..' is a literal.
-                    let next = b.get(i + 1);
-                    let after = b.get(i + 2);
-                    if next == Some(&b'\\') || after == Some(&b'\'') {
-                        st = St::Char;
-                        out.push(' ');
-                        i += 1;
-                        continue;
-                    }
-                }
-                out.push(char::from(c));
-                i += 1;
-            }
-            St::LineComment => {
-                if c == b'\n' {
-                    st = St::Code;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-                i += 1;
-            }
-            St::BlockComment(depth) => {
-                if c == b'/' && b.get(i + 1) == Some(&b'*') {
-                    st = St::BlockComment(depth + 1);
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == b'*' && b.get(i + 1) == Some(&b'/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::BlockComment(depth - 1)
-                    };
-                    out.push_str("  ");
-                    i += 2;
-                } else {
-                    out.push(if c == b'\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            St::Str => {
-                if c == b'\\' {
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == b'"' {
-                    st = St::Code;
-                    out.push(' ');
-                    i += 1;
-                } else {
-                    out.push(if c == b'\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == b'"' {
-                    let mut j = i + 1;
-                    let mut h = 0;
-                    while h < hashes && b.get(j) == Some(&b'#') {
-                        h += 1;
-                        j += 1;
-                    }
-                    if h == hashes {
-                        st = St::Code;
-                        for _ in i..j {
-                            out.push(' ');
-                        }
-                        i = j;
-                        continue;
-                    }
-                }
-                out.push(if c == b'\n' { '\n' } else { ' ' });
-                i += 1;
-            }
-            St::Char => {
-                if c == b'\\' {
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == b'\'' {
-                    st = St::Code;
-                    out.push(' ');
-                    i += 1;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lint::check_file;
 
     fn fixture(name: &str) -> String {
         let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -559,8 +258,7 @@ mod tests {
     }
 
     fn rules_hit(rel: &str, src: &str) -> Vec<&'static str> {
-        let mut used = [];
-        let mut rules: Vec<&'static str> = check_file(rel, src, &[], &mut used)
+        let mut rules: Vec<&'static str> = check_file(rel, src, &[])
             .into_iter()
             .map(|f| f.rule)
             .collect();
@@ -569,37 +267,67 @@ mod tests {
         rules
     }
 
+    fn count_rule(rel: &str, src: &str, rule: &str) -> usize {
+        check_file(rel, src, &[])
+            .into_iter()
+            .filter(|f| f.rule == rule)
+            .count()
+    }
+
     #[test]
-    fn bad_cycle_cast_fixture_is_flagged() {
-        let rules = rules_hit("crates/x/src/bad.rs", &fixture("bad_cycle_cast.rs"));
-        assert!(rules.contains(&"cycle-cast"), "rules: {rules:?}");
+    fn bad_cycle_cast_fixture_is_flagged_including_multiline() {
+        let src = fixture("bad_cycle_cast.rs");
+        // Three casts: single-line, parenthesized, and split across lines.
+        assert_eq!(count_rule("crates/x/src/bad.rs", &src, "cycle-cast"), 3);
     }
 
     #[test]
     fn bad_unwrap_fixture_is_flagged_outside_tests_only() {
         let src = fixture("bad_unwrap.rs");
-        let findings = check_file("crates/x/src/bad.rs", &src, &[], &mut []);
-        let unwraps: Vec<_> = findings.iter().filter(|f| f.rule == "unwrap").collect();
         // The fixture has two non-test sites and one inside #[cfg(test)].
-        assert_eq!(unwraps.len(), 2, "{unwraps:?}");
+        assert_eq!(count_rule("crates/x/src/bad.rs", &src, "unwrap"), 2);
         // The same file under tests/ is exempt.
-        assert!(check_file("crates/x/tests/bad.rs", &src, &[], &mut [])
-            .iter()
-            .all(|f| f.rule != "unwrap"));
+        assert_eq!(count_rule("crates/x/tests/bad.rs", &src, "unwrap"), 0);
+    }
+
+    #[test]
+    fn unwrap_variants_do_not_match() {
+        let src = "//! Doc.\nfn f(v: Option<u32>) -> u32 {\n    v.unwrap_or_else(|| v.unwrap_or_default().max(v.unwrap_or(1)))\n}\n";
+        assert_eq!(count_rule("crates/x/src/s.rs", src, "unwrap"), 0);
+    }
+
+    #[test]
+    fn multiline_unwrap_is_still_caught() {
+        let src = "//! Doc.\nfn f(v: Option<u32>) -> u32 {\n    v\n        .unwrap()\n}\n";
+        assert_eq!(count_rule("crates/x/src/s.rs", src, "unwrap"), 1);
     }
 
     #[test]
     fn allowlisted_unwrap_is_accepted_and_marked_used() {
         let src = fixture("bad_unwrap.rs");
         let allow = parse_allowlist("# vetted\ncrates/x/src/bad.rs: let a = maybe().unwrap();\n");
-        let mut used = vec![false];
-        let findings = check_file("crates/x/src/bad.rs", &src, &allow, &mut used);
+        let findings = check_file("crates/x/src/bad.rs", &src, &allow);
         assert_eq!(
             findings.iter().filter(|f| f.rule == "unwrap").count(),
             1,
             "only the non-allowlisted site remains"
         );
-        assert!(used[0]);
+        assert!(allow[0].used.get());
+    }
+
+    #[test]
+    fn allowlist_parser_skips_comments_and_malformed_lines() {
+        let allow = parse_allowlist(
+            "# comment\n\nnot a valid entry\ncrates/a.rs: foo();\n  crates/b.rs: bar(); \n",
+        );
+        assert_eq!(allow.len(), 2);
+        assert_eq!(allow[0].line, 4);
+        assert_eq!(allow[0].path, "crates/a.rs");
+        assert_eq!(allow[0].needle, "foo();");
+        assert_eq!(allow[1].line, 5);
+        assert_eq!(allow[1].path, "crates/b.rs");
+        assert_eq!(allow[1].needle, "bar();");
+        assert!(!allow[0].used.get() && !allow[1].used.get());
     }
 
     #[test]
@@ -629,44 +357,149 @@ mod tests {
     #[test]
     fn bad_crate_root_fixture_is_flagged() {
         let src = fixture("bad_crate_root.rs");
-        let findings = check_file("crates/x/src/lib.rs", &src, &[], &mut []);
         assert_eq!(
-            findings
-                .iter()
-                .filter(|f| f.rule == "crate-root-lints")
-                .count(),
-            2,
-            "{findings:?}"
+            count_rule("crates/x/src/lib.rs", &src, "crate-root-lints"),
+            2
         );
         // The same file not at a crate root is not held to that rule.
-        assert!(check_file("crates/x/src/inner.rs", &src, &[], &mut [])
-            .iter()
-            .all(|f| f.rule != "crate-root-lints"));
+        assert_eq!(
+            count_rule("crates/x/src/inner.rs", &src, "crate-root-lints"),
+            0
+        );
     }
 
     #[test]
-    fn clean_fixture_has_zero_findings() {
-        let findings = check_file("crates/x/src/lib.rs", &fixture("clean.rs"), &[], &mut []);
-        assert_eq!(findings, vec![], "clean fixture must produce no findings");
+    fn hash_iter_fixture_counts_and_scoping() {
+        let src = fixture("bad_hash_iter.rs");
+        // for-in over &self.rank, rank.values(), seen.iter(),
+        // drained.drain() — and nothing for the lookup-only `cache`.
+        assert_eq!(count_rule("crates/mc/src/bad.rs", &src, "hash-iter"), 4);
+        // Outside the deterministic core the rule does not apply.
+        assert_eq!(count_rule("crates/serve/src/bad.rs", &src, "hash-iter"), 0);
+        assert_eq!(count_rule("tools/src/bad.rs", &src, "hash-iter"), 0);
+    }
+
+    #[test]
+    fn hash_iter_leaves_btreemap_and_lookups_alone() {
+        let src = "//! Doc.\nuse std::collections::{BTreeMap, HashMap};\nfn f(m: &BTreeMap<u32, u32>, h: &HashMap<u32, u32>) -> u32 {\n    let mut acc = 0;\n    for (k, v) in m {\n        acc += k + v;\n    }\n    acc + h.get(&0).copied().unwrap_or(0)\n}\n";
+        assert_eq!(count_rule("crates/mc/src/s.rs", src, "hash-iter"), 0);
+    }
+
+    #[test]
+    fn hash_iter_applies_inside_test_code_too() {
+        let src = "//! Doc.\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let mut m = std::collections::HashMap::new();\n        m.insert(1u32, 2u32);\n        for (k, v) in &m {\n            assert!(k < v);\n        }\n    }\n}\n";
+        assert_eq!(count_rule("crates/mc/src/s.rs", src, "hash-iter"), 1);
+    }
+
+    #[test]
+    fn wall_clock_fixture_and_scoping() {
+        let src = fixture("bad_wall_clock.rs");
+        // use std::time (line), Instant::now, SystemTime::now.
+        assert_eq!(count_rule("crates/mc/src/bad.rs", &src, "wall-clock"), 3);
+        // cancel.rs is the vetted core exception.
+        assert_eq!(
+            count_rule("crates/sim/src/cancel.rs", &src, "wall-clock"),
+            0
+        );
+        // Edge layers: Instant fine, SystemTime flagged.
+        assert_eq!(count_rule("crates/serve/src/bad.rs", &src, "wall-clock"), 1);
+        // The bench wallclock helper is the vetted edge exception.
+        assert_eq!(
+            count_rule("crates/bench/src/wallclock.rs", &src, "wall-clock"),
+            0
+        );
+        // Outside every scope nothing fires.
+        assert_eq!(count_rule("tools/src/bad.rs", &src, "wall-clock"), 0);
+    }
+
+    #[test]
+    fn lock_unwrap_fixture_and_scoping() {
+        let src = fixture("bad_lock_unwrap.rs");
+        // unwrap + expect flagged; PoisonError recovery not.
+        assert_eq!(
+            count_rule("crates/serve/src/bad.rs", &src, "lock-unwrap"),
+            2
+        );
+        assert_eq!(count_rule("crates/sim/src/bad.rs", &src, "lock-unwrap"), 2);
+        assert_eq!(count_rule("crates/mc/src/bad.rs", &src, "lock-unwrap"), 0);
+    }
+
+    #[test]
+    fn index_arith_fixture_and_scoping() {
+        let src = fixture("bad_index_arith.rs");
+        // bytes[pos + 1] and bytes[pos..pos + 4]; .get(pos + 1) and
+        // bytes[0] stay clean.
+        assert_eq!(
+            count_rule("crates/serve/src/bad.rs", &src, "index-arith"),
+            2
+        );
+        assert_eq!(count_rule("crates/mc/src/bad.rs", &src, "index-arith"), 0);
+    }
+
+    #[test]
+    fn index_arith_ignores_float_exponents() {
+        // `1e-9` lexes as one number: its sign is not index arithmetic.
+        let src = "//! Doc.\nfn f(xs: &[f64], i: usize) -> f64 {\n    xs[i].max(1e-9)\n}\n";
+        assert_eq!(count_rule("crates/serve/src/s.rs", src, "index-arith"), 0);
+    }
+
+    #[test]
+    fn clean_fixture_has_zero_findings_under_every_scope() {
+        let src = fixture("clean.rs");
+        for vpath in [
+            "crates/mc/src/lib.rs",
+            "crates/serve/src/lib.rs",
+            "crates/bench/src/lib.rs",
+            "crates/sim/src/lib.rs",
+        ] {
+            let findings = check_file(vpath, &src, &[]);
+            assert!(findings.is_empty(), "{vpath}: {findings:?}");
+        }
     }
 
     #[test]
     fn strings_and_comments_do_not_fool_the_scanner() {
-        let src = "//! Doc.\nfn f() -> &'static str {\n    \".unwrap() dbg!(\"\n}\n";
-        assert_eq!(rules_hit("crates/x/src/s.rs", src), Vec::<&str>::new());
-        let cast_in_doc = "//! `x as DramCycle` is banned.\nfn f() {}\n";
+        let src =
+            "//! Doc.\nfn f() -> &'static str {\n    \".unwrap() dbg!( lock().unwrap()\"\n}\n";
+        assert_eq!(rules_hit("crates/serve/src/s.rs", src), Vec::<&str>::new());
+        let cast_in_doc = "//! `x as DramCycle` is banned.\n//! So is `map.iter()` and `Instant::now()`.\nfn f() {}\n";
         assert_eq!(
-            rules_hit("crates/x/src/t.rs", cast_in_doc),
+            rules_hit("crates/mc/src/t.rs", cast_in_doc),
             Vec::<&str>::new()
         );
     }
 
     #[test]
     fn cycle_cast_detects_all_four_types_and_no_others() {
-        for ty in CYCLE_TYPES {
-            assert_eq!(cycle_cast(&format!("let x = y as {ty};")), Some(ty));
+        for ty in lint::CYCLE_TYPES {
+            let src = format!("//! D.\nfn f(y: u64) {{ let _ = y as {ty}; }}\n");
+            assert_eq!(count_rule("crates/mc/src/s.rs", &src, "cycle-cast"), 1);
         }
-        assert_eq!(cycle_cast("let x = y as u64;"), None);
-        assert_eq!(cycle_cast("let x = y as DramCycleish;"), None);
+        let src = "//! D.\nfn f(y: u64) { let _ = y as u64; }\n";
+        assert_eq!(count_rule("crates/mc/src/s.rs", src, "cycle-cast"), 0);
+        let src = "//! D.\nfn f(y: u64) { let _ = y as DramCycleish; }\n";
+        assert_eq!(count_rule("crates/mc/src/s.rs", src, "cycle-cast"), 0);
+    }
+
+    #[test]
+    fn self_test_passes_on_committed_fixtures() {
+        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let report = lint::self_test(&fixtures).unwrap();
+        assert_eq!(report.len(), lint::all_rules().len());
+    }
+
+    #[test]
+    fn json_output_is_escaped() {
+        let f = Finding {
+            path: "a/b.rs".into(),
+            line: 3,
+            rule: "unwrap",
+            severity: Severity::Error,
+            text: "say \"hi\"\\".into(),
+        };
+        assert_eq!(
+            f.to_json(),
+            r#"{"path":"a/b.rs","line":3,"rule":"unwrap","severity":"error","text":"say \"hi\"\\"}"#
+        );
     }
 }
