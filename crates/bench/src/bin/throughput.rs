@@ -15,23 +15,46 @@
 //! the event core's speedup.
 
 use std::time::Instant;
-use stfm_bench::report::{throughput_json, ThroughputRun};
+use stfm_bench::report::{throughput_json, ThroughputRun, WorkRow};
 use stfm_bench::Args;
 use stfm_sim::{AloneCache, Experiment, SchedulerKind};
 use stfm_telemetry::{Event, Sink};
 use stfm_workloads::{mix, spec, Profile};
 
-/// Counts serviced requests without retaining events (sinks only observe,
-/// so attaching one never changes simulated results).
+/// Counts serviced requests and keeps the end-of-run `EstimatorWork`
+/// snapshot, without retaining events (sinks only observe, so attaching
+/// one never changes simulated results).
 #[derive(Default)]
 struct CountingSink {
     serviced: u64,
+    work: Option<WorkRow>,
 }
 
 impl Sink for CountingSink {
     fn record(&mut self, event: &Event) {
-        if matches!(event, Event::RequestServiced { .. }) {
-            self.serviced += 1;
+        match event {
+            Event::RequestServiced { .. } => self.serviced += 1,
+            Event::EstimatorWork {
+                full_rebuilds,
+                incremental_updates,
+                decides_recomputed,
+                decides_carried,
+                sched_visits,
+                rank_scans,
+                rank_carried,
+                ..
+            } => {
+                self.work = Some(WorkRow {
+                    full_rebuilds: *full_rebuilds,
+                    incremental_updates: *incremental_updates,
+                    decides_recomputed: *decides_recomputed,
+                    decides_carried: *decides_carried,
+                    sched_visits: *sched_visits,
+                    rank_scans: *rank_scans,
+                    rank_carried: *rank_carried,
+                });
+            }
+            _ => {}
         }
     }
 
@@ -70,17 +93,18 @@ fn run_regime(profiles: &[Profile], args: &Args, cache: &AloneCache) -> Vec<Thro
         let start = Instant::now();
         let mut traced = e.run_traced(cache, Box::new(CountingSink::default()));
         let wall_s = start.elapsed().as_secs_f64();
-        let serviced = traced
+        let (serviced, work) = traced
             .sink
             .as_any_mut()
             .downcast_mut::<CountingSink>()
-            .map(|c| c.serviced)
-            .unwrap_or(0);
+            .map(|c| (c.serviced, c.work))
+            .unwrap_or((0, None));
         runs.push(ThroughputRun {
             scheduler: kind.name().to_string(),
             wall_s,
             dram_cycles: traced.final_dram_cycle,
             requests: serviced,
+            work,
         });
     }
 
@@ -92,6 +116,7 @@ fn run_regime(profiles: &[Profile], args: &Args, cache: &AloneCache) -> Vec<Thro
         wall_s: total_wall,
         dram_cycles: total_cycles,
         requests: total_reqs,
+        work: None,
     });
     runs
 }

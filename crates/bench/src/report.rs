@@ -128,6 +128,29 @@ pub fn averaged_sweep(
         .collect()
 }
 
+/// Machine-independent work counters of one run (from the
+/// `EstimatorWork` telemetry snapshot): how many O(queue) estimator
+/// rebuilds, mode decisions, scheduler visits, and per-bank rank scans
+/// the loop performed. Unlike wall-clock these are bit-deterministic,
+/// so CI can gate on their ratios (see `.github/workflows/ci.yml`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkRow {
+    /// Full O(queue) estimator walks.
+    pub full_rebuilds: u64,
+    /// O(1) event-driven estimator updates.
+    pub incremental_updates: u64,
+    /// Mode decisions recomputed (estimator generation moved).
+    pub decides_recomputed: u64,
+    /// Mode decisions carried across ticks unchanged.
+    pub decides_carried: u64,
+    /// DRAM cycles on which the scheduler actually ran.
+    pub sched_visits: u64,
+    /// Per-bank candidate rank passes executed.
+    pub rank_scans: u64,
+    /// Per-bank decisions served from the cross-tick cache.
+    pub rank_carried: u64,
+}
+
 /// One timed simulation run of the throughput benchmark
 /// (`src/bin/throughput.rs`).
 #[derive(Debug, Clone)]
@@ -140,6 +163,8 @@ pub struct ThroughputRun {
     pub dram_cycles: u64,
     /// Memory requests serviced during the shared run.
     pub requests: u64,
+    /// Work counters, when the run's policy reports them (STFM).
+    pub work: Option<WorkRow>,
 }
 
 impl ThroughputRun {
@@ -167,10 +192,24 @@ pub fn throughput_json(date: &str, config: &str, sections: &[(&str, &[Throughput
         let _ = writeln!(s, "  \"{}\": [", escape(label));
         for (i, r) in runs.iter().enumerate() {
             let comma = if i + 1 == runs.len() { "" } else { "," };
+            let work = r.work.map_or(String::new(), |w| {
+                format!(
+                    ", \"work\": {{\"full_rebuilds\": {}, \"incremental_updates\": {}, \
+                     \"decides_recomputed\": {}, \"decides_carried\": {}, \
+                     \"sched_visits\": {}, \"rank_scans\": {}, \"rank_carried\": {}}}",
+                    w.full_rebuilds,
+                    w.incremental_updates,
+                    w.decides_recomputed,
+                    w.decides_carried,
+                    w.sched_visits,
+                    w.rank_scans,
+                    w.rank_carried,
+                )
+            });
             let _ = writeln!(
                 s,
                 "    {{\"scheduler\": \"{}\", \"wall_s\": {:.4}, \"dram_cycles\": {}, \
-                 \"requests\": {}, \"dram_cycles_per_sec\": {:.0}, \"requests_per_sec\": {:.0}}}{comma}",
+                 \"requests\": {}, \"dram_cycles_per_sec\": {:.0}, \"requests_per_sec\": {:.0}{work}}}{comma}",
                 escape(&r.scheduler),
                 r.wall_s,
                 r.dram_cycles,

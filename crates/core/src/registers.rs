@@ -7,7 +7,6 @@
 //! storage accounting (1808 bits for the 8-thread baseline).
 
 use crate::fixed::Fx8;
-use std::collections::BTreeMap;
 use stfm_dram::CpuCycle;
 use stfm_mc::ThreadId;
 
@@ -26,8 +25,9 @@ pub struct ThreadRegs {
     pub slowdown: Fx8,
     /// Weighted slowdown `1 + (S−1)·W` used for prioritization.
     pub weighted_slowdown: Fx8,
-    /// Banks with ≥ 1 waiting request from this thread (recomputed every
-    /// DRAM cycle).
+    /// Banks with ≥ 1 waiting request from this thread (maintained
+    /// incrementally from request-lifecycle events and republished each
+    /// DRAM cycle the scheduler actually runs).
     pub bank_waiting_parallelism: u32,
     /// Waiting (read) requests of this thread across all banks — a proxy
     /// for how much delay its instruction window can absorb.
@@ -127,41 +127,121 @@ pub fn weighted_slowdown(s: Fx8, weight: u32) -> Fx8 {
     Fx8::ONE.saturating_add(s.saturating_sub(Fx8::ONE).saturating_mul_int(weight))
 }
 
+/// Flat `LastRowAddress` table: row last accessed by
+/// (thread, channel, bank), estimating what the bank's row buffer would
+/// hold had the thread run alone. Vec-backed and indexed as
+/// `thread × 64 + channel × 16 + bank` — the same ≤ 4-channel,
+/// ≤ 16-bank slot packing the live estimator aggregates use — so the
+/// two lookups every column command performs are array loads instead of
+/// tree walks.
+#[derive(Debug, Clone, Default)]
+pub struct LastRowTable {
+    rows: Vec<Option<u32>>,
+    len: usize,
+}
+
+/// Slots per thread in [`LastRowTable`] (channel-major bank packing).
+const LR_SLOTS: usize = 64;
+
+impl LastRowTable {
+    fn index(key: &(ThreadId, u32, u32)) -> usize {
+        key.0 .0 as usize * LR_SLOTS + key.1 as usize * 16 + key.2 as usize
+    }
+
+    /// The recorded row for `key` = (thread, channel, bank), if any.
+    pub fn get(&self, key: &(ThreadId, u32, u32)) -> Option<&u32> {
+        self.rows.get(Self::index(key)).and_then(|o| o.as_ref())
+    }
+
+    /// True if a row is recorded for `key`.
+    pub fn contains_key(&self, key: &(ThreadId, u32, u32)) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Records `row` for `key`, growing the table on first touch.
+    pub fn insert(&mut self, key: (ThreadId, u32, u32), row: u32) {
+        let i = Self::index(&key);
+        if i >= self.rows.len() {
+            self.rows.resize(i + 1, None);
+        }
+        if self.rows[i].is_none() {
+            self.len += 1;
+        }
+        self.rows[i] = Some(row);
+    }
+
+    /// Forgets every recorded row (interval expiry), keeping capacity.
+    pub fn clear(&mut self) {
+        self.rows.fill(None);
+        self.len = 0;
+    }
+
+    /// Forgets `thread`'s recorded rows (context switch).
+    pub fn clear_thread(&mut self, thread: ThreadId) {
+        let start = thread.0 as usize * LR_SLOTS;
+        let end = (start + LR_SLOTS).min(self.rows.len());
+        for slot in self.rows.get_mut(start..end).unwrap_or_default() {
+            if slot.take().is_some() {
+                self.len -= 1;
+            }
+        }
+    }
+
+    /// True if no rows are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// The full STFM register file.
+///
+/// Thread registers live in a dense `Vec` indexed by thread id — thread
+/// ids are small core indices, and the per-command charge loops and
+/// per-cycle publish/drain paths look registers up often enough that a
+/// map lookup per access is measurable.
 #[derive(Debug, Clone, Default)]
 pub struct RegisterFile {
-    threads: BTreeMap<ThreadId, ThreadRegs>,
-    /// Row last accessed by (thread, channel, bank) — the per-thread
-    /// per-bank `LastRowAddress` registers that estimate what the bank's
-    /// row buffer would hold had the thread run alone.
-    pub last_row: BTreeMap<(ThreadId, u32, u32), u32>,
+    threads: Vec<Option<ThreadRegs>>,
+    /// The per-thread per-bank `LastRowAddress` registers.
+    pub last_row: LastRowTable,
 }
 
 impl RegisterFile {
     /// Registers of `thread`, created zeroed on first touch.
     pub fn thread_mut(&mut self, thread: ThreadId) -> &mut ThreadRegs {
-        self.threads.entry(thread).or_default()
+        let t = thread.0 as usize;
+        if t >= self.threads.len() {
+            self.threads.resize_with(t + 1, || None);
+        }
+        self.threads[t].get_or_insert_with(ThreadRegs::default)
     }
 
     /// Registers of `thread`, if it has been seen.
     pub fn thread(&self, thread: ThreadId) -> Option<&ThreadRegs> {
-        self.threads.get(&thread)
+        self.threads.get(thread.0 as usize).and_then(|o| o.as_ref())
     }
 
-    /// All threads seen so far.
+    /// All threads seen so far, in ascending thread-id order.
     pub fn threads(&self) -> impl Iterator<Item = (ThreadId, &ThreadRegs)> {
-        self.threads.iter().map(|(t, r)| (*t, r))
+        self.threads
+            .iter()
+            .enumerate()
+            .filter_map(|(t, r)| r.as_ref().map(|r| (ThreadId(t as u32), r)))
     }
 
-    /// Mutable iteration over all thread registers.
+    /// Mutable iteration over all thread registers, in ascending
+    /// thread-id order.
     pub fn threads_mut(&mut self) -> impl Iterator<Item = (ThreadId, &mut ThreadRegs)> {
-        self.threads.iter_mut().map(|(t, r)| (*t, r))
+        self.threads
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(t, r)| r.as_mut().map(|r| (ThreadId(t as u32), r)))
     }
 
     /// Interval expiry: resets every thread's interval-relative registers
     /// and the `LastRowAddress` table.
     pub fn reset_all_intervals(&mut self) {
-        for r in self.threads.values_mut() {
+        for r in self.threads.iter_mut().flatten() {
             r.reset_interval();
         }
         self.last_row.clear();
@@ -169,10 +249,10 @@ impl RegisterFile {
 
     /// Context switch on one thread.
     pub fn reset_thread(&mut self, thread: ThreadId) {
-        if let Some(r) = self.threads.get_mut(&thread) {
+        if let Some(Some(r)) = self.threads.get_mut(thread.0 as usize) {
             r.reset_interval();
         }
-        self.last_row.retain(|(t, _, _), _| *t != thread);
+        self.last_row.clear_thread(thread);
     }
 }
 

@@ -2,14 +2,15 @@
 
 use crate::fixed::Fx8;
 use crate::registers::{weighted_slowdown, RegisterFile, ThreadRegs};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use stfm_dram::{
     AccessCategory, ClockRatio, CommandKind, CpuCycle, DramCommand, DramCycle, TimingParams,
     CPU_CYCLES_PER_DRAM_CYCLE,
 };
-use stfm_mc::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
-use stfm_mc::request::{Request, ThreadId};
-use stfm_mc::FrFcfs;
+use stfm_mc::policy::{PolicyWork, Rank, SchedQuery, SchedulerPolicy, SystemView};
+use stfm_mc::request::{Request, RequestId, RequestState, ThreadId};
+use stfm_mc::{AccessKind, FrFcfs};
 
 /// Default maximum-tolerable-unfairness threshold (paper Section 6.3).
 pub const DEFAULT_ALPHA: f64 = 1.10;
@@ -116,9 +117,101 @@ pub struct StfmConfig {
     pub tshared_headroom: bool,
 }
 
-/// Per-thread accumulator for [`Stfm::recompute_parallelism`], kept in a
-/// reusable vector (threads are few, so a linear scan beats rebuilding
-/// hash maps every DRAM cycle).
+/// Number of `(channel, bank)` slots in the bitmask bookkeeping: slot
+/// `channel * 16 + bank`, so up to 4 channels × 16 banks — the same
+/// layout (and the same limit) as the original per-cycle walk's masks.
+const SLOTS: usize = 64;
+
+/// Channels tracked by the flattened data-bus-owner table. Every
+/// supported configuration uses ≤ 4 channels; a channel id beyond this
+/// bound is simply untracked (no owner, no bus charge), matching what a
+/// fixed-size hardware table would do.
+const MAX_BUS_CHANNELS: usize = 8;
+
+/// Incrementally maintained per-thread estimator state — the
+/// event-driven replacement for the per-DRAM-cycle request-buffer walk.
+///
+/// Counts transition exactly with the request lifecycle: `on_enqueue`
+/// adds a waiting read, the request's *first* command moves it from
+/// waiting to accessing, its column command schedules an end-of-service
+/// expiry at the data-done cycle, and a column command of any kind
+/// removes it from the queued (mode-decision) set. The aggregates are
+/// published into the register file once per real DRAM cycle, which
+/// reproduces the walk's tick-start snapshot semantics bit for bit.
+#[derive(Debug, Clone)]
+struct LiveThread {
+    /// Waiting (not-yet-started) reads per `(channel, bank)` slot.
+    waiting_slots: [u16; SLOTS],
+    /// Bitmask of slots with ≥ 1 waiting read (`BankWaitingParallelism`).
+    waiting_mask: u64,
+    /// Total waiting reads across all banks (`WaitingRequests`).
+    depth: u32,
+    /// In-service reads per slot (first command issued, data not done).
+    accessing_slots: [u16; SLOTS],
+    /// Bitmask of slots with ≥ 1 in-service read
+    /// (`BankAccessParallelism`).
+    accessing_mask: u64,
+    /// Arrival times of the waiting reads; the minimum drives the
+    /// `oldest_wait_cpu` register.
+    arrivals: BTreeSet<(CpuCycle, RequestId)>,
+    /// Buffered requests (any kind) still in `Queued` state — membership
+    /// in the mode decision's thread set.
+    queued: u32,
+}
+
+impl Default for LiveThread {
+    fn default() -> Self {
+        LiveThread {
+            waiting_slots: [0; SLOTS],
+            waiting_mask: 0,
+            depth: 0,
+            accessing_slots: [0; SLOTS],
+            accessing_mask: 0,
+            arrivals: BTreeSet::new(),
+            queued: 0,
+        }
+    }
+}
+
+impl LiveThread {
+    fn add_waiting(&mut self, slot: usize, arrival: CpuCycle, id: RequestId) {
+        self.waiting_slots[slot] += 1;
+        self.waiting_mask |= 1 << slot;
+        self.depth += 1;
+        self.arrivals.insert((arrival, id));
+    }
+
+    /// Saturating and non-creating, so hand-built command sequences (unit
+    /// tests issuing commands for requests never enqueued) cannot drive
+    /// the counts negative.
+    fn remove_waiting(&mut self, slot: usize, arrival: CpuCycle, id: RequestId) {
+        let c = &mut self.waiting_slots[slot];
+        *c = c.saturating_sub(1);
+        if *c == 0 {
+            self.waiting_mask &= !(1 << slot);
+        }
+        self.depth = self.depth.saturating_sub(1);
+        self.arrivals.remove(&(arrival, id));
+    }
+
+    fn add_accessing(&mut self, slot: usize) {
+        self.accessing_slots[slot] += 1;
+        self.accessing_mask |= 1 << slot;
+    }
+
+    fn remove_accessing(&mut self, slot: usize) {
+        let c = &mut self.accessing_slots[slot];
+        *c = c.saturating_sub(1);
+        if *c == 0 {
+            self.accessing_mask &= !(1 << slot);
+        }
+    }
+}
+
+/// Per-thread accumulator for the full request-buffer walk
+/// ([`Stfm::walk_scratch`]), kept in a reusable vector (threads are few,
+/// so a compact vector plus a thread-indexed lookup table beats
+/// rebuilding hash maps every DRAM cycle).
 #[derive(Debug, Clone, Copy)]
 struct ParScratch {
     thread: ThreadId,
@@ -169,7 +262,7 @@ impl Default for StfmConfig {
 
 /// The Stall-Time Fair Memory scheduler.
 ///
-/// Per DRAM cycle it recomputes every thread's slowdown estimate
+/// Per DRAM cycle it maintains every thread's slowdown estimate
 /// `S = Tshared / (Tshared − Tinterference)` from the register file, derives
 /// the system unfairness `Smax / Smin` over threads with buffered requests,
 /// and either schedules exactly like FR-FCFS (unfairness ≤ α) or prioritizes
@@ -182,6 +275,18 @@ impl Default for StfmConfig {
 /// bank), and own-thread extra latency (the difference between the actual
 /// and the would-have-been-alone row-buffer category, divided by
 /// `BankAccessParallelism`).
+///
+/// The per-command estimators maintain the paper's per-cycle register
+/// updates *incrementally*: request-lifecycle hooks keep per-thread
+/// waiting/accessing aggregates exact, a once-per-cycle
+/// publish step copies them into the register file (reproducing the
+/// original walk's tick-start snapshot), and the mode decision is
+/// recomputed only when an estimator generation counter shows one of its
+/// inputs actually moved. The time-sampled ablation keeps the literal
+/// per-cycle walk on real ticks and collapses elided spans in closed
+/// form. Both restructurings are pinned bit-identical to the original
+/// per-cycle recomputation by the golden digests, the event-equivalence
+/// fuzz, and the opt-in [`Stfm::enable_audit`] self-check.
 pub struct Stfm {
     timing: TimingParams,
     config: StfmConfig,
@@ -197,13 +302,41 @@ pub struct Stfm {
     /// Cumulative charge totals per update rule [bus, bank, own], for
     /// estimator diagnostics.
     charge_totals: [i64; 3],
-    /// Data-bus occupancy per channel: (owning thread, busy-until DRAM
-    /// cycle), maintained from issued column commands (time-sampled mode).
-    bus_owner: BTreeMap<u32, (ThreadId, DramCycle)>,
-    /// Reusable per-cycle scratch for `recompute_parallelism`.
+    /// Data-bus occupancy per channel, flattened to a fixed array indexed
+    /// by channel id: (owning thread, busy-until DRAM cycle), maintained
+    /// from issued column commands (time-sampled mode).
+    bus_owner: [Option<(ThreadId, DramCycle)>; MAX_BUS_CHANNELS],
+    /// Reusable scratch for the full request-buffer walk.
     par_scratch: Vec<ParScratch>,
-    /// Reusable per-cycle thread-dedup scratch for `decide_mode`.
-    mode_scratch: Vec<ThreadId>,
+    /// Thread-indexed lookup into `par_scratch`: `scratch_of[t]` is the
+    /// scratch index + 1 of thread `t`, 0 when absent this walk.
+    scratch_of: Vec<u32>,
+    /// Seen-thread bitmap for the walk-based mode decision.
+    seen_words: Vec<u64>,
+    /// Reusable victim-classification scratch ([bank, bus, slot]) for the
+    /// per-command interference update — cleared each command, kept
+    /// allocated across commands.
+    victims: [Vec<ThreadId>; 3],
+    /// Incremental per-thread estimator state, indexed by thread id.
+    live: Vec<LiveThread>,
+    /// Pending end-of-bank-service expiries, popped at the top of each
+    /// real cycle: (data-done cycle, request, thread, slot). Only ever
+    /// pushed and popped-min, so a binary heap beats an ordered set.
+    expiries: BinaryHeap<Reverse<(DramCycle, RequestId, ThreadId, u8)>>,
+    /// Estimator generation: bumped whenever any input of the mode
+    /// decision may have moved; the decision is carried while unchanged.
+    est_gen: u64,
+    /// Generation at which the mode decision last ran.
+    last_decided_gen: Option<u64>,
+    /// Bumped whenever the decision outputs that feed ranking
+    /// (`fairness_mode`, `tmax`) change; exported as the decision epoch
+    /// so the controller can carry per-bank rank winners across cycles.
+    decision_sig: u64,
+    /// Estimator work counters (see [`PolicyWork`]); bookkeeping only.
+    work: PolicyWork,
+    /// Opt-in per-cycle self-check: cross-validate the incremental state
+    /// against a fresh walk (tests only — O(queue) per cycle).
+    audit: bool,
 }
 
 impl Stfm {
@@ -225,9 +358,18 @@ impl Stfm {
             unfairness: Fx8::ONE,
             last_reset_cpu: CpuCycle::ZERO,
             charge_totals: [0; 3],
-            bus_owner: BTreeMap::new(),
+            bus_owner: [None; MAX_BUS_CHANNELS],
             par_scratch: Vec::new(),
-            mode_scratch: Vec::new(),
+            scratch_of: Vec::new(),
+            seen_words: Vec::new(),
+            victims: [Vec::new(), Vec::new(), Vec::new()],
+            live: Vec::new(),
+            expiries: BinaryHeap::new(),
+            est_gen: 0,
+            last_decided_gen: None,
+            decision_sig: 0,
+            work: PolicyWork::default(),
+            audit: false,
         }
     }
 
@@ -243,6 +385,7 @@ impl Stfm {
     pub fn set_alpha(&mut self, alpha: f64) {
         self.config.alpha = alpha;
         self.alpha = Fx8::from_f64(alpha);
+        self.est_gen += 1;
     }
 
     /// Current `α`.
@@ -260,6 +403,7 @@ impl Stfm {
     pub fn set_weight(&mut self, thread: ThreadId, weight: u32) {
         assert!(weight > 0, "thread weight must be positive");
         self.weights.insert(thread, weight);
+        self.est_gen += 1;
     }
 
     /// The weight of `thread` (default 1).
@@ -302,11 +446,20 @@ impl Stfm {
         (boosted / u64::from(parallelism.max(1))) as i64
     }
 
-    /// The scratch accumulator for `thread`, appended on first touch.
-    fn scratch_entry(scratch: &mut Vec<ParScratch>, thread: ThreadId) -> &mut ParScratch {
-        let i = match scratch.iter().position(|e| e.thread == thread) {
-            Some(i) => i,
-            None => {
+    /// The scratch accumulator for `thread`, appended on first touch and
+    /// found through the thread-indexed table (`scratch_of[t]` = scratch
+    /// index + 1) instead of a linear scan over the scratch vector.
+    fn scratch_entry<'a>(
+        scratch: &'a mut Vec<ParScratch>,
+        scratch_of: &mut Vec<u32>,
+        thread: ThreadId,
+    ) -> &'a mut ParScratch {
+        let t = thread.0 as usize;
+        if t >= scratch_of.len() {
+            scratch_of.resize(t + 1, 0);
+        }
+        let i = match scratch_of[t] {
+            0 => {
                 scratch.push(ParScratch {
                     thread,
                     waiting: 0,
@@ -315,39 +468,47 @@ impl Stfm {
                     oldest: 0,
                     column_ready: 0,
                 });
+                scratch_of[t] = scratch.len() as u32;
                 scratch.len() - 1
             }
+            i => i as usize - 1,
         };
         &mut scratch[i]
     }
 
-    /// Recomputes `BankWaitingParallelism` / `BankAccessParallelism` from
-    /// the request buffers (the paper's per-DRAM-cycle register updates)
-    /// and, in time-sampled mode, accrues this cycle's interference.
-    ///
-    /// Hot path: runs every DRAM cycle, so the per-thread accumulators
-    /// live in a reused vector keyed by (channel, bank) bitmasks — bank
-    /// counts are ≤ 16 and channels ≤ 4, so a u64 mask per thread
-    /// suffices — instead of per-cycle hash maps.
-    fn recompute_parallelism(&mut self, sys: &SystemView<'_>) {
+    /// Full request-buffer walk: rebuilds every thread's
+    /// waiting/accessing bitmasks, queue depth, and oldest-wait age into
+    /// `par_scratch`, plus (when `track_occupant`) the bank-occupancy map
+    /// and per-thread column-ready channels consumed by the time-sampled
+    /// charge. This is the paper's literal per-DRAM-cycle register
+    /// recomputation — retained as the time-sampled estimator's real-tick
+    /// path and as the audit oracle for the incremental state.
+    fn walk_scratch(
+        &mut self,
+        sys: &SystemView<'_>,
+        track_occupant: bool,
+        occupant: &mut [Option<ThreadId>; SLOTS],
+    ) {
         let mut scratch = std::mem::take(&mut self.par_scratch);
+        let mut scratch_of = std::mem::take(&mut self.scratch_of);
+        // Clear the lookup entries of the previous walk (exactly the
+        // threads in the previous scratch), then the scratch itself.
+        for e in &scratch {
+            scratch_of[e.thread.0 as usize] = 0;
+        }
         scratch.clear();
-        let time_sampled = self.config.estimator == EstimatorKind::TimeSampled;
         let now_cpu = ClockRatio::PAPER.dram_to_cpu(sys.now);
-        // Bank occupancy: (channel, bank) slot index → occupying thread
-        // (only consumed by the time-sampled estimator).
-        let mut occupant = [None::<ThreadId>; 64];
         for q in sys.channels() {
             let base = q.channel_id.0 * 16;
             for r in q.requests {
                 let slot = base + r.loc.bank.0;
                 let in_service = r.in_bank_service(sys.now);
-                if in_service && time_sampled {
+                if in_service && track_occupant {
                     occupant[slot as usize] = Some(r.thread);
                 }
                 // Writebacks never block commit, so they do not count into
                 // the stall-side bookkeeping below.
-                if r.kind != stfm_mc::AccessKind::Read {
+                if r.kind != AccessKind::Read {
                     continue;
                 }
                 let waiting_now = r.is_waiting() && !r.started();
@@ -355,13 +516,13 @@ impl Stfm {
                     continue;
                 }
                 let bit = 1u64 << slot;
-                let e = Self::scratch_entry(&mut scratch, r.thread);
+                let e = Self::scratch_entry(&mut scratch, &mut scratch_of, r.thread);
                 if waiting_now {
                     e.waiting |= bit;
                     e.depth += 1;
                     let age = now_cpu.saturating_since(r.arrival_cpu).get();
                     e.oldest = e.oldest.max(age);
-                    if time_sampled && q.is_row_hit(r) {
+                    if track_occupant && q.is_row_hit(r) {
                         e.column_ready |= 1u64 << q.channel_id.0;
                     }
                 }
@@ -370,69 +531,165 @@ impl Stfm {
                 }
             }
         }
+        self.par_scratch = scratch;
+        self.scratch_of = scratch_of;
+    }
+
+    /// Publishes the walk's aggregates into the register file (the
+    /// original two publish loops: registered threads get all four
+    /// fields, threads appearing for the first time get only their
+    /// parallelism counts).
+    fn publish_scratch(&mut self) {
         for (thread, regs) in self.regs.threads_mut() {
-            let e = scratch.iter().find(|e| e.thread == thread);
+            let e = self
+                .scratch_of
+                .get(thread.0 as usize)
+                .and_then(|&i| (i != 0).then(|| &self.par_scratch[i as usize - 1]));
             regs.bank_waiting_parallelism = e.map_or(0, |e| e.waiting.count_ones());
             regs.bank_access_parallelism = e.map_or(0, |e| e.accessing.count_ones());
             regs.waiting_requests = e.map_or(0, |e| e.depth);
             regs.oldest_wait_cpu = e.map_or(0, |e| e.oldest);
         }
         // Threads appearing for the first time this cycle.
-        for e in &scratch {
+        for i in 0..self.par_scratch.len() {
+            let e = self.par_scratch[i];
             let regs = self.regs.thread_mut(e.thread);
             regs.bank_waiting_parallelism = e.waiting.count_ones();
             regs.bank_access_parallelism = e.accessing.count_ones();
         }
+    }
 
-        match self.config.estimator {
-            EstimatorKind::TimeSampled => {
-                self.time_sampled_charge(sys, &scratch, &occupant);
+    /// Publishes the live incremental aggregates into the register file —
+    /// bit-identical to [`Stfm::publish_scratch`] after a fresh walk, but
+    /// O(threads) instead of O(queue), including the walk's quirk that
+    /// threads not yet in the register file get only their parallelism
+    /// fields written.
+    fn publish_live(&mut self, now_cpu: CpuCycle) {
+        for (thread, regs) in self.regs.threads_mut() {
+            let e = self.live.get(thread.0 as usize);
+            regs.bank_waiting_parallelism = e.map_or(0, |e| e.waiting_mask.count_ones());
+            regs.bank_access_parallelism = e.map_or(0, |e| e.accessing_mask.count_ones());
+            regs.waiting_requests = e.map_or(0, |e| e.depth);
+            regs.oldest_wait_cpu = e.map_or(0, |e| {
+                e.arrivals
+                    .first()
+                    .map_or(0, |&(a, _)| now_cpu.saturating_since(a).get())
+            });
+        }
+        for t in 0..self.live.len() {
+            let lt = &self.live[t];
+            if (lt.waiting_mask | lt.accessing_mask) != 0
+                && self.regs.thread(ThreadId(t as u32)).is_none()
+            {
+                let regs = self.regs.thread_mut(ThreadId(t as u32));
+                regs.bank_waiting_parallelism = lt.waiting_mask.count_ones();
+                regs.bank_access_parallelism = lt.accessing_mask.count_ones();
             }
-            EstimatorKind::PerCommandPaced => {
-                // Drain pending charges into Tinterference at wall-clock
-                // rate while the victim has work waiting, and cap the
-                // backlog: overcharge bursts from short waits must not
-                // haunt the estimate long after the wait ended.
-                let cycle_cpu = CPU_CYCLES_PER_DRAM_CYCLE as i64;
-                let cap = self.config.pending_cap;
-                for e in scratch.iter().filter(|e| e.waiting != 0) {
-                    let regs = self.regs.thread_mut(e.thread);
-                    if regs.pending_interference > 0 {
-                        // Attributed interference can outgrow observed
-                        // stall when a thread waits constantly but overlaps
-                        // its stalls (bandwidth saturation); physically the
-                        // extra stall cannot exceed total stall, so leave
-                        // 1/16 of Tshared as headroom — this keeps the
-                        // slowdown estimate off its saturation cap and the
-                        // cross-thread ordering meaningful.
-                        let take = if self.config.tshared_headroom {
-                            let ceiling = (regs.tshared() - regs.tshared() / 16) as i64;
-                            let headroom = (ceiling - regs.tinterference).max(0);
-                            regs.pending_interference.min(cycle_cpu).min(headroom)
-                        } else {
-                            regs.pending_interference.min(cycle_cpu)
-                        };
-                        regs.tinterference += take;
-                        regs.pending_interference -= take;
-                    }
-                    regs.pending_interference = regs.pending_interference.min(cap);
+        }
+    }
+
+    /// The live-state entry of `thread`, grown on demand.
+    fn live_mut(&mut self, thread: ThreadId) -> &mut LiveThread {
+        let t = thread.0 as usize;
+        if t >= self.live.len() {
+            self.live.resize_with(t + 1, LiveThread::default);
+        }
+        &mut self.live[t]
+    }
+
+    /// Retires end-of-bank-service expiries due at `now`: an in-service
+    /// read stops counting toward `BankAccessParallelism` once its data
+    /// is done (`now ≥ data_done`) — exactly the walk's
+    /// `in_bank_service` cutoff, applied before this cycle's publish.
+    fn expire_accessing(&mut self, now: DramCycle) {
+        while let Some(&Reverse((due, _, thread, slot))) = self.expiries.peek() {
+            if due > now {
+                break;
+            }
+            self.expiries.pop();
+            if let Some(lt) = self.live.get_mut(thread.0 as usize) {
+                lt.remove_accessing(slot as usize);
+            }
+            self.work.incremental_updates += 1;
+        }
+    }
+
+    /// Folds an issued command's lifecycle transition into the live
+    /// state: the request's first command moves it from waiting to
+    /// accessing, a column command removes it from the queued (mode) set
+    /// and schedules the end-of-service expiry at its data-done cycle.
+    fn note_command_live(&mut self, cmd: &DramCommand, req: &Request, now: DramCycle) {
+        let slot = (req.loc.channel.0 * 16 + req.loc.bank.0) as usize;
+        let is_column = cmd.is_column();
+        let first = req.service_started == Some(now);
+        let lt = self.live_mut(req.thread);
+        if is_column {
+            lt.queued = lt.queued.saturating_sub(1);
+        }
+        if req.kind == AccessKind::Read {
+            if first {
+                lt.remove_waiting(slot, req.arrival_cpu, req.id);
+                lt.add_accessing(slot);
+            }
+            if is_column {
+                if let RequestState::InService { data_done } = req.state {
+                    self.expiries
+                        .push(Reverse((data_done, req.id, req.thread, slot as u8)));
                 }
             }
-            EstimatorKind::PerCommand => {}
         }
-        self.par_scratch = scratch;
+        self.est_gen += 1;
+        self.work.incremental_updates += 1;
+    }
+
+    /// Per-cycle paced drain over the live waiting-thread set: drains
+    /// pending charges into `Tinterference` at wall-clock rate while the
+    /// victim has work waiting, and caps the backlog — overcharge bursts
+    /// from short waits must not haunt the estimate long after the wait
+    /// ended. Exactly the original walk-embedded drain loop (per-thread
+    /// steps are independent, so iteration order is immaterial); bumps
+    /// the decision generation when any `Tinterference` actually moved.
+    fn drain_pending(&mut self) {
+        let cycle_cpu = CPU_CYCLES_PER_DRAM_CYCLE as i64;
+        let cap = self.config.pending_cap;
+        let mut moved = false;
+        for t in 0..self.live.len() {
+            if self.live[t].depth == 0 {
+                continue;
+            }
+            let regs = self.regs.thread_mut(ThreadId(t as u32));
+            if regs.pending_interference > 0 {
+                // Attributed interference can outgrow observed stall when
+                // a thread waits constantly but overlaps its stalls
+                // (bandwidth saturation); physically the extra stall
+                // cannot exceed total stall, so leave 1/16 of Tshared as
+                // headroom — this keeps the slowdown estimate off its
+                // saturation cap and the cross-thread ordering meaningful.
+                let take = if self.config.tshared_headroom {
+                    let ceiling = (regs.tshared() - regs.tshared() / 16) as i64;
+                    let headroom = (ceiling - regs.tinterference).max(0);
+                    regs.pending_interference.min(cycle_cpu).min(headroom)
+                } else {
+                    regs.pending_interference.min(cycle_cpu)
+                };
+                regs.tinterference += take;
+                regs.pending_interference -= take;
+                moved |= take != 0;
+            }
+            regs.pending_interference = regs.pending_interference.min(cap);
+        }
+        if moved {
+            self.est_gen += 1;
+        }
     }
 
     /// Time-sampled interference accrual: one cycle (scaled by the
     /// victim's stall rate) to every thread blocked behind another
-    /// thread's bank occupancy or data-bus burst this cycle.
-    fn time_sampled_charge(
-        &mut self,
-        sys: &SystemView<'_>,
-        scratch: &[ParScratch],
-        occupant: &[Option<ThreadId>; 64],
-    ) {
+    /// thread's bank occupancy or data-bus burst this cycle. Reads the
+    /// walk results left in `par_scratch` by [`Stfm::walk_scratch`].
+    fn time_sampled_charge(&mut self, sys: &SystemView<'_>, occupant: &[Option<ThreadId>; SLOTS]) {
         let cycle_cpu = CPU_CYCLES_PER_DRAM_CYCLE as i64;
+        let scratch = std::mem::take(&mut self.par_scratch);
         for e in scratch.iter().filter(|e| e.waiting != 0) {
             let thread = e.thread;
             let mut delayed = false;
@@ -451,10 +708,10 @@ impl Stfm {
             // Or column-ready but the data bus carries a foreign burst?
             if !delayed {
                 for q in sys.channels() {
-                    let ch = q.channel_id.0;
+                    let ch = q.channel_id.0 as usize;
                     if e.column_ready & (1u64 << ch) != 0 {
-                        if let Some(&(owner, until)) = self.bus_owner.get(&ch) {
-                            if owner != thread && sys.now < until {
+                        if let Some(Some((owner, until))) = self.bus_owner.get(ch) {
+                            if *owner != thread && sys.now < *until {
                                 delayed = true;
                                 break;
                             }
@@ -469,25 +726,96 @@ impl Stfm {
                 self.charge_totals[1] += delta;
             }
         }
+        self.par_scratch = scratch;
     }
 
-    /// Determines the scheduling mode for this cycle (paper Section 3.2.1
-    /// steps 1, 2a, 2b) over threads with at least one buffered request.
+    /// Closed-form span replay of the time-sampled charge: under the
+    /// fast-forward freeze (no commands, arrivals, completions, or
+    /// samples in the span) the per-cycle walk sees the same occupancy,
+    /// readiness, and bus-owner table every cycle, and each thread's
+    /// stall rate is constant — so `cycles` stepped charges collapse to
+    /// one walk and a per-thread delayed-cycle count:
     ///
-    /// Hot path: the slowdown estimate is per thread, so it is computed
-    /// once per distinct thread (first-appearance order, preserving the
-    /// original per-request tie handling) rather than per request.
-    fn decide_mode(&mut self, sys: &SystemView<'_>) {
+    /// * a thread blocked behind a foreign bank occupant is delayed on
+    ///   every cycle of the span;
+    /// * otherwise, a thread with a column-ready read on a foreign-owned
+    ///   data bus is delayed exactly until the latest such burst ends:
+    ///   `clamp(max_until − now, 0, cycles)` cycles.
+    ///
+    /// The per-cycle publish/decide outputs the stepped loop would also
+    /// have produced are derived state: nothing reads them mid-span, and
+    /// the next real tick recomputes them from the same inputs.
+    fn time_sampled_fast_forward(&mut self, sys: &SystemView<'_>, cycles: u64) {
+        let mut occupant = [None::<ThreadId>; SLOTS];
+        self.walk_scratch(sys, true, &mut occupant);
+        self.work.full_rebuilds += 1;
+        let cycle_cpu = CPU_CYCLES_PER_DRAM_CYCLE as i64;
+        let scratch = std::mem::take(&mut self.par_scratch);
+        for e in scratch.iter().filter(|e| e.waiting != 0) {
+            let mut blocked_all = false;
+            let mut m = e.waiting;
+            while m != 0 {
+                let slot = m.trailing_zeros();
+                m &= m - 1;
+                if let Some(owner) = occupant[slot as usize] {
+                    if owner != e.thread {
+                        blocked_all = true;
+                        break;
+                    }
+                }
+            }
+            let delayed_cycles = if blocked_all {
+                cycles
+            } else {
+                let mut until_max: Option<DramCycle> = None;
+                for ch in 0..sys.num_channels() {
+                    if e.column_ready & (1u64 << ch) != 0 {
+                        if let Some(Some((owner, until))) = self.bus_owner.get(ch) {
+                            if *owner != e.thread {
+                                until_max = Some(until_max.map_or(*until, |u| u.max(*until)));
+                            }
+                        }
+                    }
+                }
+                until_max.map_or(0, |u| u.saturating_since(sys.now).get().min(cycles))
+            };
+            if delayed_cycles > 0 {
+                let regs = self.regs.thread_mut(e.thread);
+                let delta = (cycle_cpu * i64::from(regs.stall_rate.raw())) >> Fx8::FRAC_BITS;
+                let total = delta * delayed_cycles as i64;
+                regs.tinterference += total;
+                self.charge_totals[1] += total;
+            }
+        }
+        self.par_scratch = scratch;
+    }
+
+    /// Determines the scheduling mode (paper Section 3.2.1 steps 1, 2a,
+    /// 2b) over threads with at least one buffered request, by walking
+    /// the request buffers (time-sampled path). The slowdown estimate is
+    /// per thread, so it is computed once per distinct thread
+    /// (first-appearance order, preserving the original per-request tie
+    /// handling) rather than per request; dedup is a thread-indexed
+    /// bitmap rather than a linear `contains` scan.
+    fn decide_mode_walk(&mut self, sys: &SystemView<'_>) {
         let mut smax: Option<(ThreadId, Fx8)> = None;
         let mut smin: Option<Fx8> = None;
-        let mut seen = std::mem::take(&mut self.mode_scratch);
-        seen.clear();
+        let mut seen = std::mem::take(&mut self.seen_words);
+        seen.iter_mut().for_each(|w| *w = 0);
         for q in sys.channels() {
             for r in q.requests {
-                if !r.is_waiting() || seen.contains(&r.thread) {
+                if !r.is_waiting() {
                     continue;
                 }
-                seen.push(r.thread);
+                let t = r.thread.0 as usize;
+                let (word, bit) = (t / 64, 1u64 << (t % 64));
+                if word >= seen.len() {
+                    seen.resize(word + 1, 0);
+                }
+                if seen[word] & bit != 0 {
+                    continue;
+                }
+                seen[word] |= bit;
                 let weight = self.weight(r.thread);
                 let regs = self.regs.thread_mut(r.thread);
                 let s = if regs.tshared() < TSHARED_NOISE_FLOOR {
@@ -511,7 +839,88 @@ impl Stfm {
                 }
             }
         }
-        self.mode_scratch = seen;
+        self.seen_words = seen;
+        self.apply_decision(smax, smin);
+    }
+
+    /// The mode decision over the incrementally tracked thread set —
+    /// bit-identical to [`Stfm::decide_mode_walk`] but O(threads), with a
+    /// request-buffer scan needed only to break exact `Smax` ties in the
+    /// walk's first-appearance order.
+    fn decide_mode_live(&mut self, sys: &SystemView<'_>) {
+        let mut smax: Option<(ThreadId, Fx8)> = None;
+        let mut max_count = 0u32;
+        let mut smin: Option<Fx8> = None;
+        for t in 0..self.live.len() {
+            if self.live[t].queued == 0 {
+                continue;
+            }
+            let thread = ThreadId(t as u32);
+            let weight = self.weight(thread);
+            let regs = self.regs.thread_mut(thread);
+            let s = if regs.tshared() < TSHARED_NOISE_FLOOR {
+                Fx8::ONE
+            } else {
+                weighted_slowdown(regs.slowdown, weight)
+            };
+            regs.weighted_slowdown = s;
+            match &mut smax {
+                Some((tmax, cur)) if s > *cur => {
+                    *tmax = thread;
+                    *cur = s;
+                    max_count = 1;
+                }
+                Some((_, cur)) if s == *cur => max_count += 1,
+                None => {
+                    smax = Some((thread, s));
+                    max_count = 1;
+                }
+                _ => {}
+            }
+            match &mut smin {
+                Some(cur) if s < *cur => *cur = s,
+                None => smin = Some(s),
+                _ => {}
+            }
+        }
+        // Exact ties on Smax: the walk elects the thread whose first
+        // waiting request appears earliest in (channel, buffer) order.
+        // With a unique maximum the winner is order-independent, so the
+        // scan runs only for genuine fixed-point ties that would actually
+        // steer scheduling (fairness mode about to engage).
+        if let Some((tmax, hi)) = &mut smax {
+            if max_count > 1 && self.unfairness_would_engage(*hi, smin) {
+                self.work.full_rebuilds += 1;
+                'scan: for q in sys.channels() {
+                    for r in q.requests {
+                        if r.is_waiting()
+                            && self
+                                .regs
+                                .thread(r.thread)
+                                .is_some_and(|rg| rg.weighted_slowdown == *hi)
+                        {
+                            *tmax = r.thread;
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+        }
+        self.apply_decision(smax, smin);
+    }
+
+    /// Whether the fairness rule would engage for the given extremes
+    /// (used to decide if an `Smax` tie needs first-appearance
+    /// resolution before [`Stfm::apply_decision`] runs).
+    fn unfairness_would_engage(&self, hi: Fx8, smin: Option<Fx8>) -> bool {
+        smin.is_some_and(|lo| hi.saturating_div(lo.max(Fx8::from_raw(1))) > self.alpha)
+    }
+
+    /// Commits the decision outputs and bumps the decision signature
+    /// (the controller-visible epoch) when anything that feeds ranking
+    /// changed.
+    fn apply_decision(&mut self, smax: Option<(ThreadId, Fx8)>, smin: Option<Fx8>) {
+        let before = (self.fairness_mode, self.tmax);
         match (smax, smin) {
             (Some((tmax, hi)), Some(lo)) => {
                 self.unfairness = hi.saturating_div(lo.max(Fx8::from_raw(1)));
@@ -523,6 +932,60 @@ impl Stfm {
                 self.fairness_mode = false;
                 self.tmax = None;
             }
+        }
+        if (self.fairness_mode, self.tmax) != before {
+            self.decision_sig += 1;
+        }
+    }
+
+    /// Opt-in self-check: recompute the walk aggregates from the request
+    /// buffers and assert the incrementally published registers and the
+    /// live mode set match (O(queue) per cycle — tests only).
+    fn audit_incremental(&mut self, sys: &SystemView<'_>) {
+        let mut occupant = [None::<ThreadId>; SLOTS];
+        self.walk_scratch(sys, false, &mut occupant);
+        for (thread, regs) in self.regs.threads() {
+            let e = self.par_scratch.iter().find(|e| e.thread == thread);
+            assert_eq!(
+                regs.bank_waiting_parallelism,
+                e.map_or(0, |e| e.waiting.count_ones()),
+                "BankWaitingParallelism diverged for {thread:?} at {}",
+                sys.now
+            );
+            assert_eq!(
+                regs.bank_access_parallelism,
+                e.map_or(0, |e| e.accessing.count_ones()),
+                "BankAccessParallelism diverged for {thread:?} at {}",
+                sys.now
+            );
+            assert_eq!(
+                regs.waiting_requests,
+                e.map_or(0, |e| e.depth),
+                "waiting_requests diverged for {thread:?} at {}",
+                sys.now
+            );
+            assert_eq!(
+                regs.oldest_wait_cpu,
+                e.map_or(0, |e| e.oldest),
+                "oldest_wait_cpu diverged for {thread:?} at {}",
+                sys.now
+            );
+        }
+        let mut expect: Vec<ThreadId> = Vec::new();
+        for q in sys.channels() {
+            for r in q.requests {
+                if r.is_waiting() && !expect.contains(&r.thread) {
+                    expect.push(r.thread);
+                }
+            }
+        }
+        for t in 0..self.live.len() {
+            assert_eq!(
+                self.live[t].queued > 0,
+                expect.contains(&ThreadId(t as u32)),
+                "mode-set membership diverged for thread {t} at {}",
+                sys.now
+            );
         }
     }
 
@@ -573,24 +1036,54 @@ impl Stfm {
         // Charging bus + bank simultaneously, as a literal reading of the
         // paper's rules would, double-counts and saturates the estimates
         // (see `ablation_estimate` and DESIGN.md).
-        let mut bank_victims: Vec<ThreadId> = Vec::new();
-        let mut bus_victims: Vec<ThreadId> = Vec::new();
-        let mut slot_victims: Vec<ThreadId> = Vec::new();
+        // Classify each victim thread by scanning the channel queue, but
+        // short-circuit per-request work a thread's settled class makes
+        // irrelevant: once a thread is a bank victim nothing can upgrade
+        // it; a bus victim can only upgrade via a row-miss on the
+        // culprit's bank; the slot check never needs to run for a thread
+        // already classified. Membership is provably identical to the
+        // naive per-request chain — each skipped check could only have
+        // (re-)added the thread to a class the final retain step removes
+        // it from anyway — while skipping most of the expensive row-hit /
+        // bank-ready timing queries on deep queues.
+        let mut victims = std::mem::take(&mut self.victims);
+        let [bank_victims, bus_victims, slot_victims] = &mut victims;
+        bank_victims.clear();
+        bus_victims.clear();
+        slot_victims.clear();
         for r in q.requests {
             if r.thread == req.thread || !r.is_waiting() {
                 continue;
             }
-            if !q.is_row_hit(r) && r.loc.bank == cmd.bank {
-                if !bank_victims.contains(&r.thread) {
+            if bank_victims.contains(&r.thread) {
+                continue;
+            }
+            let same_bank = r.loc.bank == cmd.bank;
+            let in_bus = bus_victims.contains(&r.thread);
+            if in_bus && !same_bank {
+                continue;
+            }
+            if same_bank {
+                if !q.is_row_hit(r) {
                     bank_victims.push(r.thread);
+                    continue;
                 }
-            } else if q.is_row_hit(r) && is_column {
-                if !bus_victims.contains(&r.thread) {
+                if is_column {
+                    if !in_bus {
+                        bus_victims.push(r.thread);
+                    }
+                    continue;
+                }
+            } else if is_column && q.is_row_hit(r) {
+                if !in_bus {
                     bus_victims.push(r.thread);
                 }
-            } else if self.config.slot_rule
-                && q.is_bank_ready(r)
+                continue;
+            }
+            if !in_bus
+                && self.config.slot_rule
                 && !slot_victims.contains(&r.thread)
+                && q.is_bank_ready(r)
             {
                 slot_victims.push(r.thread);
             }
@@ -628,7 +1121,7 @@ impl Stfm {
                 scaled
             }
         };
-        for t in bus_victims {
+        for &t in bus_victims.iter() {
             let regs = self.regs.thread_mut(t);
             let delta = scale(tbus_cpu as i64, regs.waiting_requests, regs.stall_rate);
             if paced {
@@ -638,7 +1131,7 @@ impl Stfm {
             }
             self.charge_totals[0] += delta;
         }
-        for t in bank_victims {
+        for &t in bank_victims.iter() {
             let regs = self.regs.thread_mut(t);
             let bwp = regs.bank_waiting_parallelism;
             let depth = regs.waiting_requests;
@@ -652,7 +1145,7 @@ impl Stfm {
             }
             self.charge_totals[1] += delta;
         }
-        for t in slot_victims {
+        for &t in slot_victims.iter() {
             let regs = self.regs.thread_mut(t);
             // One lost command-bus slot ≈ one DRAM cycle (pre-compensate
             // the ¾ scale so the net charge is a full cycle).
@@ -668,6 +1161,7 @@ impl Stfm {
             }
             self.charge_totals[1] += delta;
         }
+        self.victims = victims;
 
         self.update_own_thread(cmd, req);
     }
@@ -699,12 +1193,23 @@ impl Stfm {
         }
     }
 
-    fn maybe_reset_interval(&mut self, now: DramCycle) {
+    /// Interval expiry check; returns `true` when a reset fired (the
+    /// caller bumps the estimator generation — every thread's registers
+    /// just moved).
+    fn maybe_reset_interval(&mut self, now: DramCycle) -> bool {
         let now_cpu = ClockRatio::PAPER.dram_to_cpu(now);
         if now_cpu.saturating_since(self.last_reset_cpu) >= self.config.interval_length {
             self.regs.reset_all_intervals();
             self.last_reset_cpu = now_cpu;
+            return true;
         }
+        false
+    }
+
+    /// Enables the per-cycle incremental-vs-walk self-check. O(queue)
+    /// per DRAM cycle — for equivalence tests only, never benchmarks.
+    pub fn enable_audit(&mut self) {
+        self.audit = true;
     }
 }
 
@@ -739,48 +1244,86 @@ impl SchedulerPolicy for Stfm {
     }
 
     fn on_dram_cycle(&mut self, sys: &SystemView<'_>) {
-        self.maybe_reset_interval(sys.now);
-        self.recompute_parallelism(sys);
-        for (_, regs) in self.regs.threads_mut() {
-            regs.compute_slowdown();
+        if self.maybe_reset_interval(sys.now) {
+            self.est_gen += 1;
         }
-        self.decide_mode(sys);
+        self.expire_accessing(sys.now);
+        match self.config.estimator {
+            // The time-sampled ablation keeps the literal per-cycle walk
+            // on real ticks: its charge depends on the advancing clock
+            // against the bus-owner table every cycle, so there is
+            // nothing to carry.
+            EstimatorKind::TimeSampled => {
+                let mut occupant = [None::<ThreadId>; SLOTS];
+                self.walk_scratch(sys, true, &mut occupant);
+                self.work.full_rebuilds += 1;
+                self.publish_scratch();
+                self.time_sampled_charge(sys, &occupant);
+                for (_, regs) in self.regs.threads_mut() {
+                    regs.compute_slowdown();
+                }
+                self.decide_mode_walk(sys);
+                self.work.decides_recomputed += 1;
+            }
+            // The per-command estimators publish the hook-maintained
+            // aggregates (O(threads), no buffer walk) and recompute the
+            // mode decision only when the estimator generation shows one
+            // of its inputs moved since the last decision — otherwise
+            // every slowdown, the unfairness, and the mode are provably
+            // unchanged and the previous outputs are carried.
+            EstimatorKind::PerCommand | EstimatorKind::PerCommandPaced => {
+                let now_cpu = ClockRatio::PAPER.dram_to_cpu(sys.now);
+                self.publish_live(now_cpu);
+                if self.config.estimator == EstimatorKind::PerCommandPaced {
+                    self.drain_pending();
+                }
+                if self.last_decided_gen != Some(self.est_gen) {
+                    for (_, regs) in self.regs.threads_mut() {
+                        regs.compute_slowdown();
+                    }
+                    self.decide_mode_live(sys);
+                    self.last_decided_gen = Some(self.est_gen);
+                    self.work.decides_recomputed += 1;
+                } else {
+                    self.work.decides_carried += 1;
+                }
+                if self.audit {
+                    self.audit_incremental(sys);
+                }
+            }
+        }
     }
 
     fn fast_forward(&mut self, sys: &SystemView<'_>, cycles: u64) -> bool {
         match self.config.estimator {
-            // Per-cycle sampling compares the advancing clock against the
-            // data-bus owner; its charges cannot be replicated without
-            // stepping, so veto the skip.
-            EstimatorKind::TimeSampled => false,
+            // One walk at span start, then closed-form per-thread counts
+            // (see `time_sampled_fast_forward`) — the span freeze makes
+            // every stepped cycle's walk identical.
+            EstimatorKind::TimeSampled => {
+                self.time_sampled_fast_forward(sys, cycles);
+                true
+            }
             // No per-cycle persistent state: interval resets are fenced by
             // `next_event_hint`, and everything else `on_dram_cycle`
-            // touches is derived state the next real call recomputes from
-            // scratch before any ranking or sampling reads it.
+            // touches is derived state the next real call recomputes
+            // before any ranking or sampling reads it.
             EstimatorKind::PerCommand => true,
             // Replicate the per-cycle pending-interference drain. The
             // drain set — threads with a waiting, not-yet-started read —
-            // is frozen with the buffers, and each thread's step reads
-            // only its own registers, so a per-thread loop of the exact
-            // stepped update is bit-identical to interleaved stepping.
+            // is frozen with the buffers (and tracked live), and each
+            // thread's step reads only its own registers, so a per-thread
+            // loop of the exact stepped update is bit-identical to
+            // interleaved stepping.
             EstimatorKind::PerCommandPaced => {
-                let mut waiting: Vec<ThreadId> = Vec::new();
-                for q in sys.channels() {
-                    for r in q.requests {
-                        if r.kind == stfm_mc::AccessKind::Read
-                            && r.is_waiting()
-                            && !r.started()
-                            && !waiting.contains(&r.thread)
-                        {
-                            waiting.push(r.thread);
-                        }
-                    }
-                }
                 let cycle_cpu = CPU_CYCLES_PER_DRAM_CYCLE as i64;
                 let cap = self.config.pending_cap;
                 let headroom_on = self.config.tshared_headroom;
-                for thread in waiting {
-                    let regs = self.regs.thread_mut(thread);
+                let mut moved = false;
+                for t in 0..self.live.len() {
+                    if self.live[t].depth == 0 {
+                        continue;
+                    }
+                    let regs = self.regs.thread_mut(ThreadId(t as u32));
                     for _ in 0..cycles {
                         let before = (regs.tinterference, regs.pending_interference);
                         if regs.pending_interference > 0 {
@@ -800,7 +1343,11 @@ impl SchedulerPolicy for Stfm {
                         if (regs.tinterference, regs.pending_interference) == before {
                             break;
                         }
+                        moved = true;
                     }
+                }
+                if moved {
+                    self.est_gen += 1;
                 }
                 true
             }
@@ -814,6 +1361,46 @@ impl SchedulerPolicy for Stfm {
         // cycle and fires exactly on schedule at the resume tick.
         let due_cpu = self.last_reset_cpu.get() + self.config.interval_length;
         Some(DramCycle::new(due_cpu.div_ceil(CPU_CYCLES_PER_DRAM_CYCLE)))
+    }
+
+    fn decision_epoch(&self, _now: DramCycle) -> Option<u64> {
+        // Outside fairness mode the rank is plain FR-FCFS; inside it the
+        // rank additionally keys on `tmax`. Both are pure functions of
+        // the request and the bank's open row once `(fairness_mode,
+        // tmax)` is fixed — which is exactly what `decision_sig` tracks —
+        // so per-bank winners carry across cycles. The one exception,
+        // the starvation guard's age comparison against the advancing
+        // clock, is covered per bank by [`Stfm::rank_expiry`].
+        Some(self.decision_sig)
+    }
+
+    fn rank_expiry(&self, q: &SchedQuery<'_>, bank_list: &[usize]) -> Option<DramCycle> {
+        // The starvation guard is the only clock-driven input to `rank`:
+        // while fairness mode is engaged, a request's rank flips to the
+        // guard override exactly when its age exceeds `8 × STARVATION_CPU`
+        // — a crossing cycle that is a pure function of its arrival time.
+        // Already-crossed requests are stable (the override ranks by
+        // arrival id alone), so the cached winner stays exact until the
+        // *earliest not-yet-crossed* candidate in this bank crosses:
+        // the first DRAM cycle whose CPU time passes `arrival + 8000`.
+        // Conservatively scans all waiting requests of the bank (both
+        // access kinds), which can only shorten the window, never
+        // overextend it.
+        if !(self.fairness_mode && self.config.starvation_guard) {
+            return None;
+        }
+        let now_cpu = ClockRatio::PAPER.dram_to_cpu(q.now);
+        let threshold = STARVATION_CPU * 8;
+        bank_list
+            .iter()
+            .map(|&i| q.requests[i].arrival_cpu)
+            .filter(|&a| now_cpu.saturating_since(a) <= threshold)
+            .min()
+            .map(|a| DramCycle::new((a.get() + threshold + 1).div_ceil(CPU_CYCLES_PER_DRAM_CYCLE)))
+    }
+
+    fn work_counters(&self) -> Option<PolicyWork> {
+        Some(self.work)
     }
 
     fn on_enqueue(&mut self, req: &Request, tshared: u64) {
@@ -836,16 +1423,27 @@ impl SchedulerPolicy for Stfm {
             regs.last_sample_cpu = req.arrival_cpu;
             regs.last_sample_tshared = tshared;
         }
+        // Fold the arrival into the live aggregates.
+        let slot = (req.loc.channel.0 * 16 + req.loc.bank.0) as usize;
+        let lt = self.live_mut(req.thread);
+        lt.queued += 1;
+        if req.kind == AccessKind::Read {
+            lt.add_waiting(slot, req.arrival_cpu, req.id);
+        }
+        self.est_gen += 1;
+        self.work.incremental_updates += 1;
     }
 
     fn on_command(&mut self, cmd: &DramCommand, req: &Request, q: &SchedQuery<'_>) {
+        self.note_command_live(cmd, req, q.now);
         match self.config.estimator {
             EstimatorKind::TimeSampled => {
                 if let CommandKind::Read { .. } | CommandKind::Write { .. } = cmd.kind {
                     // Track the data-bus owner for the per-cycle sampling.
                     let data_end = q.now + self.timing.t_cl + self.timing.burst_cycles();
-                    self.bus_owner
-                        .insert(req.loc.channel.0, (req.thread, data_end));
+                    if let Some(slot) = self.bus_owner.get_mut(req.loc.channel.0 as usize) {
+                        *slot = Some((req.thread, data_end));
+                    }
                 }
                 self.update_own_thread(cmd, req);
             }
@@ -857,6 +1455,7 @@ impl SchedulerPolicy for Stfm {
 
     fn on_thread_reset(&mut self, thread: ThreadId) {
         self.regs.reset_thread(thread);
+        self.est_gen += 1;
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

@@ -14,7 +14,7 @@ use crate::prefetch::{PrefetchConfig, StreamPrefetcher};
 use crate::trace::{MemOpKind, TraceOp, TraceSource};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use stfm_dram::{CpuCycle, CpuDelta, PhysAddr};
+use stfm_dram::{CpuCycle, CpuDelta, PhysAddr, CPU_CYCLES_PER_DRAM_CYCLE};
 use stfm_mc::{AccessKind, Completion, MemorySystem, RequestId, ThreadId};
 
 /// Core microarchitecture parameters (defaults = paper Table 2).
@@ -361,6 +361,33 @@ impl Core {
             if !e.done && e.dram && e.kind == MemOpKind::Load {
                 self.stats.mem_stall_cycles += cycles;
             }
+        }
+    }
+
+    /// Advances the core by one DRAM cycle's worth of CPU cycles
+    /// ([`CPU_CYCLES_PER_DRAM_CYCLE`]), fast-forwarding the provably
+    /// inert prefix and stepping the remainder for real.
+    ///
+    /// `wake` must be the [`Core::next_wake`] verdict computed against
+    /// `mem`'s current state. `None` (active core) steps every cycle;
+    /// `Some(w)` skips the cycles strictly before `w` in one
+    /// [`Core::fast_forward`] and steps from the wake cycle on — so a
+    /// completion landing mid-cycle no longer costs a full
+    /// [`CPU_CYCLES_PER_DRAM_CYCLE`] of no-op steps, and a wake beyond
+    /// the cycle boundary collapses to a pure fast-forward.
+    pub fn advance_dram_cycle(&mut self, wake: Option<CpuCycle>, mem: &mut MemorySystem) {
+        let mut left = CPU_CYCLES_PER_DRAM_CYCLE;
+        if let Some(w) = wake {
+            // fast_forward requires every skipped cycle strictly before
+            // `w`: the largest legal skip is `w - now - 1`.
+            let skip = w.get().saturating_sub(self.now.get() + 1).min(left);
+            if skip > 0 {
+                self.fast_forward(skip, mem);
+                left -= skip;
+            }
+        }
+        for _ in 0..left {
+            self.step(mem);
         }
     }
 

@@ -1,6 +1,5 @@
 //! The DRAM memory controller and the multi-channel memory system.
 
-use crate::calendar::{EventCalendar, EventKind};
 use crate::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
 use crate::request::{AccessKind, Request, RequestId, RequestState, ThreadId};
 use crate::stats::{SystemStats, ThreadStats};
@@ -78,6 +77,84 @@ pub struct Completion {
     pub finish_cpu: CpuCycle,
 }
 
+/// Cumulative scheduling-work counters for one run (summed over
+/// channels by [`MemorySystem::sched_counters`]). Bookkeeping only:
+/// counters never feed back into scheduling decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Scheduling passes over a channel (one per non-idle tick per
+    /// channel). The event loop's idle-channel skip makes this strictly
+    /// smaller than in a stepped run of the same workload.
+    pub sched_visits: u64,
+    /// Full per-bank rank passes (every eligible waiting request ranked).
+    pub rank_scans: u64,
+    /// Per-bank decisions served from the cross-tick cache without a
+    /// rank pass.
+    pub rank_carried: u64,
+}
+
+/// One bank's cached rank-pass outcome for cross-tick decision carrying.
+///
+/// Validity argument: a cached selection is exact while (a) the bank's
+/// waiting list and the row-buffer state of *this* bank are unchanged —
+/// enqueues, command issues, refreshes, and buffer compaction all
+/// invalidate — and (b) the policy's [`SchedulerPolicy::decision_epoch`]
+/// and the channel's eligible access kind are unchanged (checked via
+/// `cache_key`), and (c) the current cycle is before the entry's
+/// `valid_until` (the policy-declared [`SchedulerPolicy::rank_expiry`]:
+/// the first cycle an age-triggered rank flip could occur in this bank
+/// with no state transition). Readiness is never cached: the stored
+/// top/slip are re-checked against DRAM timing at the current cycle,
+/// and all row-hits of a bank share one command shape (as do all
+/// row-misses), so the stored best-row-hit fallback has the same
+/// issuability as every other row-hit candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BankCache {
+    /// No cached selection; the next scheduling pass rebuilds it.
+    Invalid,
+    /// The waiting list holds no request of the eligible kind.
+    NoEligible,
+    /// Winner of the rank pass plus the best row-hit fallback
+    /// (`(buffer index, rank, id)` each).
+    Top {
+        /// Highest-ranked eligible request of the bank.
+        top: (usize, Rank, RequestId),
+        /// Best-ranked row-hit other than `top` (the "slip" candidate
+        /// driven while `top`'s command is not ready), if any.
+        slip: Option<(usize, Rank, RequestId)>,
+        /// First DRAM cycle the cached ranks may silently change
+        /// ([`SchedulerPolicy::rank_expiry`] at fill time); `None`
+        /// means the ranks cannot expire on their own.
+        valid_until: Option<DramCycle>,
+    },
+}
+
+/// One bank's cached class representatives: the first eligible row-hit
+/// and row-miss of its waiting list (see [`MemorySystem::class_reps`]).
+///
+/// Unlike [`BankCache`], validity is purely *structural* — a cached
+/// pair is exact while the bank's waiting list and its row-buffer state
+/// are unchanged (command issues on the bank, refreshes, and the
+/// eligible access kind flipping all invalidate; an enqueue is folded
+/// in incrementally, since a newcomer appends at the tail and can only
+/// fill a still-empty representative slot). Policy decision epochs do
+/// not matter here: representatives carry timing shape, not rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RepCache {
+    /// No cached representatives; the next query rescans the list.
+    Invalid,
+    /// Cached `(hit, miss)` representative buffer indices for the given
+    /// eligible kind (a mismatched kind reads as invalid).
+    Reps {
+        /// Eligible access kind the pair was computed under.
+        kind: AccessKind,
+        /// First eligible row-hit of the waiting list, if any.
+        hit: Option<usize>,
+        /// First eligible row-miss of the waiting list, if any.
+        miss: Option<usize>,
+    },
+}
+
 /// Per-channel controller state: the device plus its request buffer and
 /// the incrementally maintained indexes over it.
 ///
@@ -113,6 +190,21 @@ pub(crate) struct ChannelCtrl {
     /// recomputed when completions are reaped. Lets the per-tick reap and
     /// the agenda scans skip the buffer entirely while no data is due.
     next_data_done: Option<DramCycle>,
+    /// Per-bank cached rank-pass winners (cross-tick decision carrying);
+    /// see [`BankCache`].
+    bank_cache: Vec<BankCache>,
+    /// Per-bank cached class representatives for the agenda and ready
+    /// pre-filter scans; see [`RepCache`].
+    rep_cache: Vec<RepCache>,
+    /// The `(decision epoch, eligible kind)` the cache was filled under;
+    /// any mismatch wipes every entry.
+    cache_key: Option<(u64, AccessKind)>,
+    /// Scheduling passes over this channel.
+    sched_visits: u64,
+    /// Full per-bank rank passes run.
+    rank_scans: u64,
+    /// Bank decisions served from `bank_cache` without a rank pass.
+    rank_carried: u64,
 }
 
 impl ChannelCtrl {
@@ -133,13 +225,99 @@ impl ChannelCtrl {
         }
     }
 
+    /// Wipes every cached bank decision (buffer indices shifted, a
+    /// refresh closed the rows, or the decision epoch moved).
+    fn invalidate_bank_cache(&mut self) {
+        for e in &mut self.bank_cache {
+            *e = BankCache::Invalid;
+        }
+    }
+
+    /// The bank's class representatives, served from [`RepCache`] when
+    /// valid and recomputed (and cached) from the waiting list otherwise.
+    fn reps(&mut self, bank: usize, eligible: AccessKind) -> (Option<usize>, Option<usize>) {
+        if let RepCache::Reps { kind, hit, miss } = self.rep_cache[bank] {
+            if kind == eligible {
+                debug_assert_eq!(
+                    (hit, miss),
+                    MemorySystem::class_reps(
+                        &self.requests,
+                        &self.channel,
+                        &self.bank_waiting[bank],
+                        eligible
+                    ),
+                    "cached class representatives diverged from a fresh scan"
+                );
+                return (hit, miss);
+            }
+        }
+        let (hit, miss) = MemorySystem::class_reps(
+            &self.requests,
+            &self.channel,
+            &self.bank_waiting[bank],
+            eligible,
+        );
+        self.rep_cache[bank] = RepCache::Reps {
+            kind: eligible,
+            hit,
+            miss,
+        };
+        (hit, miss)
+    }
+
+    /// Read-only variant of [`ChannelCtrl::reps`] for borrow contexts
+    /// that cannot cache: the cached pair when valid, `None` when a
+    /// fresh scan is needed.
+    fn reps_peek(
+        &self,
+        bank: usize,
+        eligible: AccessKind,
+    ) -> Option<(Option<usize>, Option<usize>)> {
+        if let RepCache::Reps { kind, hit, miss } = self.rep_cache[bank] {
+            if kind == eligible {
+                debug_assert_eq!(
+                    (hit, miss),
+                    MemorySystem::class_reps(
+                        &self.requests,
+                        &self.channel,
+                        &self.bank_waiting[bank],
+                        eligible
+                    ),
+                    "cached class representatives diverged from a fresh scan"
+                );
+                return Some((hit, miss));
+            }
+        }
+        None
+    }
+
     /// Registers a freshly pushed request (must be the last buffer entry).
     fn index_enqueue(&mut self) {
         let idx = self.requests.len() - 1;
         let r = &self.requests[idx];
         debug_assert!(r.is_waiting());
-        self.bank_waiting[r.loc.bank.0 as usize].push(idx);
-        match r.kind {
+        let bank = r.loc.bank.0 as usize;
+        let kind = r.kind;
+        self.bank_waiting[bank].push(idx);
+        // The newcomer may outrank the cached winner of its bank.
+        self.bank_cache[bank] = BankCache::Invalid;
+        // But it extends the *tail* of the waiting list, so it becomes a
+        // class representative only if its class had none.
+        let is_hit = self.channel.bank(r.loc.bank).open_row() == Some(r.loc.row);
+        if let RepCache::Reps {
+            kind: rep_kind,
+            hit,
+            miss,
+        } = &mut self.rep_cache[bank]
+        {
+            if *rep_kind == kind {
+                let slot = if is_hit { hit } else { miss };
+                if slot.is_none() {
+                    *slot = Some(idx);
+                }
+            }
+        }
+        match kind {
             AccessKind::Read => {
                 self.queued_reads += 1;
                 self.waiting_reads += 1;
@@ -163,17 +341,35 @@ impl ChannelCtrl {
         }
     }
 
-    /// Rebuilds the per-bank waiting lists from scratch. Needed after
-    /// completed requests are removed from the buffer (positions shift);
-    /// completions are rare relative to cycles, so the O(buffer) cost is
-    /// amortized away.
-    fn rebuild_bank_lists(&mut self) {
+    /// Re-points the per-bank indexes after completed requests were
+    /// removed from the buffer (`removed` = their old positions,
+    /// ascending): every surviving index shifts down by the number of
+    /// removed slots below it. Completed requests were in service, not
+    /// waiting, so the waiting *sets* — and therefore the cached
+    /// per-bank rank decisions — are untouched; only their stored
+    /// buffer indices move. Shifting preserves each list's ascending
+    /// order, so no cache entry is invalidated here.
+    fn compact_indexes(&mut self, removed: &[usize]) {
+        debug_assert!(removed.windows(2).all(|w| w[0] < w[1]));
+        let shift = |idx: usize| idx - removed.partition_point(|&r| r < idx);
         for list in &mut self.bank_waiting {
-            list.clear();
+            for idx in list.iter_mut() {
+                *idx = shift(*idx);
+            }
         }
-        for (i, r) in self.requests.iter().enumerate() {
-            if r.is_waiting() {
-                self.bank_waiting[r.loc.bank.0 as usize].push(i);
+        for e in &mut self.bank_cache {
+            if let BankCache::Top { top, slip, .. } = e {
+                top.0 = shift(top.0);
+                if let Some(s) = slip {
+                    s.0 = shift(s.0);
+                }
+            }
+        }
+        for e in &mut self.rep_cache {
+            if let RepCache::Reps { hit, miss, .. } = e {
+                for i in [hit, miss].into_iter().flatten() {
+                    *i = shift(*i);
+                }
             }
         }
     }
@@ -232,14 +428,14 @@ pub struct MemorySystem {
     sink: Box<dyn Sink>,
     sample_interval: DramDelta,
     next_sample: DramCycle,
-    /// The discrete-event agenda backing [`MemorySystem::predict_next`].
-    /// Sources `0..channels` are the per-channel controllers; two extra
-    /// sources carry the telemetry-sample and policy-hint edges.
-    calendar: EventCalendar,
-    /// Per-channel cached earliest edge (minimum of that channel's live
-    /// calendar entries); meaningful only while the channel is clean.
+    /// Per-channel cached earliest edge (the folded minimum of that
+    /// channel's upcoming drain-fence, data-completion, command-issue,
+    /// and refresh edges); meaningful only while the channel is clean.
+    /// [`MemorySystem::predict_next`] takes the minimum across channels
+    /// directly — channel counts are small enough that a flat scan beats
+    /// maintaining a heap agenda.
     chan_next: Vec<Option<DramCycle>>,
-    /// Channels whose calendar entries are stale and need a rescan.
+    /// Channels whose cached earliest edge is stale and needs a rescan.
     chan_dirty: Vec<bool>,
     /// Count of accepted enqueues, ever — the event loop's arrival
     /// detector for cutting an elision span short.
@@ -285,6 +481,12 @@ impl MemorySystem {
                 waiting_reads: 0,
                 rank_scratch: Vec::new(),
                 next_data_done: None,
+                bank_cache: vec![BankCache::Invalid; config.banks as usize],
+                rep_cache: vec![RepCache::Invalid; config.banks as usize],
+                cache_key: None,
+                sched_visits: 0,
+                rank_scans: 0,
+                rank_carried: 0,
             })
             .collect();
         let n = config.channels as usize;
@@ -301,7 +503,6 @@ impl MemorySystem {
             sink: Box::new(NullSink),
             sample_interval: DEFAULT_SAMPLE_INTERVAL,
             next_sample: DramCycle::ZERO,
-            calendar: EventCalendar::new(n + 2),
             chan_next: vec![None; n],
             chan_dirty: vec![true; n],
             arrivals: 0,
@@ -567,8 +768,6 @@ impl MemorySystem {
         let cmd = Self::next_command(&ctrl.channel, req);
         if let Some(at) = ctrl.channel.earliest_issue(&cmd, self.now) {
             let at = at.max(self.now);
-            self.calendar
-                .schedule(at, EventKind::CommandEdge, chan as u32);
             self.chan_next[chan] = Some(match self.chan_next[chan] {
                 Some(e) => e.min(at),
                 None => at,
@@ -593,6 +792,41 @@ impl MemorySystem {
     #[inline]
     pub fn reap_epoch(&self) -> u64 {
         self.reap_epoch
+    }
+
+    /// Cumulative scheduling-work counters, summed over channels. Purely
+    /// observational — reading them never perturbs simulation results.
+    pub fn sched_counters(&self) -> SchedCounters {
+        let mut total = SchedCounters::default();
+        for c in &self.channels {
+            total.sched_visits += c.sched_visits;
+            total.rank_scans += c.rank_scans;
+            total.rank_carried += c.rank_carried;
+        }
+        total
+    }
+
+    /// Emits an [`Event::EstimatorWork`] snapshot of the controller's
+    /// scheduling-work counters and the policy's estimator counters (if
+    /// it tracks any) to the attached sink. Never called from the tick
+    /// path: counters differ between the event-driven and stepped loops
+    /// by design (that difference *is* the speedup), so they must stay
+    /// out of the streams the differential fuzz compares. Harnesses call
+    /// this explicitly at end of run.
+    pub fn record_work_counters(&mut self) {
+        let work = self.policy.work_counters().unwrap_or_default();
+        let sched = self.sched_counters();
+        self.sink.record(&Event::EstimatorWork {
+            dram_cycle: self.now,
+            scheduler: self.policy.static_name(),
+            full_rebuilds: work.full_rebuilds,
+            incremental_updates: work.incremental_updates,
+            decides_recomputed: work.decides_recomputed,
+            decides_carried: work.decides_carried,
+            sched_visits: sched.sched_visits,
+            rank_scans: sched.rank_scans,
+            rank_carried: sched.rank_carried,
+        });
     }
 
     /// Advances the memory system to DRAM cycle `now`: housekeeping, policy
@@ -642,6 +876,13 @@ impl MemorySystem {
                 continue;
             }
             if let Some((start, end)) = ctrl.channel.tick(now) {
+                // The refresh precharges every bank: all cached row-hit
+                // classifications (and thus rank winners and class
+                // representatives) are stale.
+                ctrl.invalidate_bank_cache();
+                for e in &mut ctrl.rep_cache {
+                    *e = RepCache::Invalid;
+                }
                 if let Some(checker) = &mut ctrl.checker {
                     checker.observe_refresh(start, end);
                 }
@@ -768,8 +1009,8 @@ impl MemorySystem {
             for list in &ctrl.bank_waiting {
                 let (hit, miss) =
                     Self::class_reps(&ctrl.requests, &ctrl.channel, list, eligible_kind);
-                for r in [hit, miss].into_iter().flatten() {
-                    let cmd = Self::next_command(&ctrl.channel, r);
+                for idx in [hit, miss].into_iter().flatten() {
+                    let cmd = Self::next_command(&ctrl.channel, &ctrl.requests[idx]);
                     if let Some(at) = ctrl.channel.earliest_issue(&cmd, now) {
                         consider(at);
                     }
@@ -887,7 +1128,7 @@ impl MemorySystem {
     /// Semantically identical to [`MemorySystem::next_event_at`] clamped
     /// to `now` (debug-asserted), but incremental: only channels whose
     /// edges were consumed since the last call are rescanned; clean
-    /// channels reuse their live [`EventCalendar`] entries.
+    /// channels reuse their cached `chan_next` minimum.
     pub fn predict_next(&mut self, now: DramCycle) -> Option<DramCycle> {
         debug_assert_eq!(
             self.pending_elided, 0,
@@ -899,26 +1140,27 @@ impl MemorySystem {
                 self.chan_dirty[i] = false;
             }
         }
-        // The sample and policy-hint edges are global and cheap to
-        // recompute, so they are rescheduled on every call.
-        let sample_src = self.channels.len() as u32;
-        self.calendar.invalidate(sample_src);
-        if self.sink.is_enabled() {
-            self.calendar
-                .schedule(self.next_sample.max(now), EventKind::Sample, sample_src);
+        let mut next: Option<DramCycle> = None;
+        let mut consider = |c: DramCycle| {
+            next = Some(next.map_or(c, |n| n.min(c)));
+        };
+        for e in self.chan_next.iter().flatten() {
+            consider(*e);
         }
-        let hint_src = sample_src + 1;
-        self.calendar.invalidate(hint_src);
+        // The sample and policy-hint edges are global and cheap, so they
+        // are recomputed on every call.
+        if self.sink.is_enabled() {
+            consider(self.next_sample.max(now));
+        }
         if let Some(h) = self.policy.next_event_hint(now) {
-            self.calendar
-                .schedule(h.max(now), EventKind::PolicyHint, hint_src);
+            consider(h.max(now));
         }
         // Clamp: a request that arrived mid-tick, after its channel's
         // scheduling phase had already run, can carry an edge at that very
         // cycle — by query time the edge is *due*, not future. Frozen
         // channel state keeps an issuable command issuable, so `now` is
         // its exact firing cycle (the next tick dirties the channel).
-        let next = self.calendar.peek().map(|e| e.at.max(now));
+        let next = next.map(|e| e.max(now));
         debug_assert_eq!(
             next,
             self.next_event_at(now).map(|e| e.max(now)),
@@ -927,18 +1169,14 @@ impl MemorySystem {
         next
     }
 
-    /// Rebuilds channel `i`'s calendar entries from scratch (the
-    /// per-channel slice of [`MemorySystem::next_event_at`], scheduled
-    /// into the agenda instead of folded into a minimum).
+    /// Rebuilds channel `i`'s cached earliest edge from scratch (the
+    /// per-channel slice of [`MemorySystem::next_event_at`], folded into
+    /// the `chan_next` minimum).
     fn rescan_channel(&mut self, i: usize, now: DramCycle) {
-        let src = i as u32;
-        let calendar = &mut self.calendar;
-        let ctrl = &self.channels[i];
-        calendar.invalidate(src);
+        let ctrl = &mut self.channels[i];
         let mut earliest: Option<DramCycle> = None;
-        let mut put = |calendar: &mut EventCalendar, at: DramCycle, kind: EventKind| {
+        let mut put = |at: DramCycle| {
             let at = at.max(now);
-            calendar.schedule(at, kind, src);
             earliest = Some(earliest.map_or(at, |e| e.min(at)));
         };
         // Same fence as `next_event_at`: a pending drain flip freezes the
@@ -949,7 +1187,7 @@ impl MemorySystem {
             ctrl.queued_writes >= self.ctrl_config.drain_high
         };
         if drain_flips {
-            put(calendar, now, EventKind::DrainFence);
+            put(now);
             self.chan_next[i] = earliest;
             return;
         }
@@ -970,23 +1208,26 @@ impl MemorySystem {
             "stale next_data_done watermark"
         );
         if let Some(d) = ctrl.next_data_done {
-            put(calendar, d, EventKind::DataCompletion);
+            put(d);
         }
         let mut cmd_at: Option<DramCycle> = None;
-        for list in &ctrl.bank_waiting {
-            let (hit, miss) = Self::class_reps(&ctrl.requests, &ctrl.channel, list, eligible_kind);
-            for r in [hit, miss].into_iter().flatten() {
-                let cmd = Self::next_command(&ctrl.channel, r);
+        for b in 0..ctrl.bank_waiting.len() {
+            if ctrl.bank_waiting[b].is_empty() {
+                continue;
+            }
+            let (hit, miss) = ctrl.reps(b, eligible_kind);
+            for idx in [hit, miss].into_iter().flatten() {
+                let cmd = Self::next_command(&ctrl.channel, &ctrl.requests[idx]);
                 if let Some(at) = ctrl.channel.earliest_issue(&cmd, now) {
                     cmd_at = Some(cmd_at.map_or(at, |c: DramCycle| c.min(at)));
                 }
             }
         }
         if let Some(c) = cmd_at {
-            put(calendar, c, EventKind::CommandEdge);
+            put(c);
         }
         if let Some(at) = ctrl.channel.next_refresh_event(now) {
-            put(calendar, at, EventKind::RefreshDeadline);
+            put(at);
         }
         self.chan_next[i] = earliest;
     }
@@ -1032,6 +1273,7 @@ impl MemorySystem {
         row_policy: RowPolicy,
         sink: &mut dyn Sink,
     ) {
+        ctrl.sched_visits += 1;
         let reads_pending = ctrl.waiting_reads > 0;
         let drain = ctrl.drain_active;
         let eligible_kind = if drain || !reads_pending {
@@ -1040,75 +1282,132 @@ impl MemorySystem {
             AccessKind::Read
         };
 
+        // Cross-tick decision carrying: when the policy vouches (via
+        // `decision_epoch`) that ranks are a pure function of request and
+        // bank state, each bank's rank-pass winner is cached and reused
+        // until that bank — or the epoch / eligible kind — changes. Only
+        // the *selection* is carried; issuability is re-evaluated at `now`
+        // every cycle, so DRAM timing is never cached.
+        let carry_key = policy.decision_epoch(now).map(|e| (e, eligible_kind));
+        if carry_key != ctrl.cache_key {
+            ctrl.invalidate_bank_cache();
+            ctrl.cache_key = carry_key;
+        }
+        let carrying = carry_key.is_some();
+
         // Phase 1 (immutable): per-bank top request, then the globally
         // best *ready* command. Each bank visits only its own waiting
         // requests (the `bank_waiting` index), and every candidate's rank
-        // is computed exactly once per cycle (the scratch buffer carries
-        // it into the hit-slip pass). Selection is order-independent: the
-        // comparison key `(rank, older_first(id))` is unique per request.
+        // is computed at most once per cycle (the scratch buffer carries
+        // it into the hit-slip pass; a valid cache entry skips the pass
+        // entirely). Selection is order-independent: the comparison key
+        // `(rank, older_first(id))` is unique per request.
         let mut scratch = std::mem::take(&mut ctrl.rank_scratch);
+        let mut bank_cache = std::mem::take(&mut ctrl.bank_cache);
+        let mut rank_scans = 0u64;
+        let mut rank_carried = 0u64;
         let best = {
             let q = ctrl.query(channel_id, now);
             let mut best: Option<(usize, DramCommand)> = None;
             let mut best_key = (Rank::MIN, 0u64);
-            for bank_list in &ctrl.bank_waiting {
+            for (bank, bank_list) in ctrl.bank_waiting.iter().enumerate() {
                 if bank_list.is_empty() {
                     continue;
                 }
-                // Pre-filter on the two class representatives: if neither
-                // the row-hit column access nor the precharge/activate
-                // shape can issue this cycle, no candidate of this bank
-                // can, and the rank pass below would select nothing.
-                let (hit_rep, miss_rep) =
-                    Self::class_reps(&ctrl.requests, &ctrl.channel, bank_list, eligible_kind);
-                let ready = |r: Option<&Request>| {
-                    r.is_some_and(|r| {
-                        ctrl.channel
-                            .can_issue(&Self::next_command(&ctrl.channel, r), now)
-                    })
-                };
-                if !ready(hit_rep) && !ready(miss_rep) {
-                    continue;
-                }
-                // Highest-priority waiting request for this bank. The bank
-                // scheduler drives this request's commands; while its next
-                // command is not ready (tRAS, tRP, bus...), lower-priority
-                // requests may slip in *row-hit column accesses only* —
-                // they keep the bank busy but never destroy row-buffer
-                // state against the selected request's interest. This
-                // mirrors hardware two-level schedulers that consider only
-                // ready commands (paper footnote 4).
-                scratch.clear();
-                for &i in bank_list {
-                    let r = &ctrl.requests[i];
-                    if r.kind == eligible_kind {
-                        scratch.push((i, policy.rank(r, &q)));
+                let candidate = if carrying {
+                    match bank_cache[bank] {
+                        BankCache::NoEligible => {
+                            rank_carried += 1;
+                            debug_assert!(bank_list
+                                .iter()
+                                .all(|&i| ctrl.requests[i].kind != eligible_kind));
+                            None
+                        }
+                        BankCache::Top {
+                            top,
+                            slip,
+                            valid_until,
+                        } if valid_until.is_none_or(|d| now < d) => {
+                            rank_carried += 1;
+                            let c = Self::cached_candidate(
+                                &ctrl.requests,
+                                &ctrl.channel,
+                                now,
+                                top,
+                                slip,
+                            );
+                            debug_assert_eq!(
+                                c,
+                                Self::scan_candidate(
+                                    &ctrl.requests,
+                                    &ctrl.channel,
+                                    &*policy,
+                                    &q,
+                                    bank_list,
+                                    eligible_kind,
+                                    now,
+                                    &mut Vec::new(),
+                                ),
+                                "carried bank decision diverged from a fresh rank pass"
+                            );
+                            c
+                        }
+                        // Invalid, or a `Top` whose expiry has passed: a
+                        // rank may have flipped with no state transition,
+                        // so rebuild the entry from a fresh pass.
+                        BankCache::Invalid | BankCache::Top { .. } => {
+                            rank_scans += 1;
+                            let (c, entry) = Self::fill_bank_cache(
+                                &ctrl.requests,
+                                &ctrl.channel,
+                                &*policy,
+                                &q,
+                                bank_list,
+                                eligible_kind,
+                                now,
+                                &mut scratch,
+                            );
+                            bank_cache[bank] = entry;
+                            c
+                        }
                     }
-                }
-                let top = scratch
-                    .iter()
-                    .max_by_key(|(i, rank)| (*rank, Rank::older_first(ctrl.requests[*i].id)))
-                    .copied();
-                let Some((top_idx, top_rank)) = top else {
-                    continue;
-                };
-                let top_cmd = Self::next_command(&ctrl.channel, &ctrl.requests[top_idx]);
-                let candidate = if ctrl.channel.can_issue(&top_cmd, now) {
-                    Some((top_idx, top_cmd, top_rank, ctrl.requests[top_idx].id))
                 } else {
-                    scratch
-                        .iter()
-                        .filter(|(i, _)| *i != top_idx && q.is_row_hit(&ctrl.requests[*i]))
-                        .max_by_key(|(i, rank)| (*rank, Rank::older_first(ctrl.requests[*i].id)))
-                        .and_then(|&(i, rank)| {
-                            let cmd = Self::next_command(&ctrl.channel, &ctrl.requests[i]);
-                            ctrl.channel.can_issue(&cmd, now).then_some((
-                                i,
-                                cmd,
-                                rank,
-                                ctrl.requests[i].id,
-                            ))
+                    // Legacy path (no epoch): pre-filter on the two class
+                    // representatives — if neither the row-hit column
+                    // access nor the precharge/activate shape can issue
+                    // this cycle, no candidate of this bank can, and the
+                    // rank pass would select nothing.
+                    let (hit_rep, miss_rep) =
+                        ctrl.reps_peek(bank, eligible_kind).unwrap_or_else(|| {
+                            Self::class_reps(
+                                &ctrl.requests,
+                                &ctrl.channel,
+                                bank_list,
+                                eligible_kind,
+                            )
+                        });
+                    let ready = |i: Option<usize>| {
+                        i.is_some_and(|i| {
+                            ctrl.channel.can_issue(
+                                &Self::next_command(&ctrl.channel, &ctrl.requests[i]),
+                                now,
+                            )
                         })
+                    };
+                    if !ready(hit_rep) && !ready(miss_rep) {
+                        continue;
+                    }
+                    rank_scans += 1;
+                    Self::scan_candidate(
+                        &ctrl.requests,
+                        &ctrl.channel,
+                        &*policy,
+                        &q,
+                        bank_list,
+                        eligible_kind,
+                        now,
+                        &mut scratch,
+                    )
                 };
                 let Some((idx, cmd, rank, id)) = candidate else {
                     continue;
@@ -1123,6 +1422,9 @@ impl MemorySystem {
         };
         scratch.clear();
         ctrl.rank_scratch = scratch;
+        ctrl.bank_cache = bank_cache;
+        ctrl.rank_scans += rank_scans;
+        ctrl.rank_carried += rank_carried;
 
         let Some((idx, cmd)) = best else {
             return;
@@ -1169,6 +1471,12 @@ impl MemorySystem {
             ctrl.next_data_done = Some(ctrl.next_data_done.map_or(done, |d| d.min(done)));
             ctrl.index_unwait(idx);
         }
+        // The issue changed this bank's row state and/or candidate set;
+        // its cached decision is stale. Other banks are untouched (their
+        // ranks depend only on their own row state and the policy epoch,
+        // which is re-checked next pass).
+        ctrl.bank_cache[cmd.bank.0 as usize] = BankCache::Invalid;
+        ctrl.rep_cache[cmd.bank.0 as usize] = RepCache::Invalid;
         stats.record_command(&cmd);
         let req_copy = ctrl.requests[idx].clone();
         let q = SchedQuery {
@@ -1181,6 +1489,130 @@ impl MemorySystem {
         policy.on_command(&cmd, &req_copy, &q);
     }
 
+    /// One bank's full selection pass: rank every eligible waiting
+    /// request, take the top by `(rank, older_first(id))`, and — when the
+    /// top's command cannot issue at `now` — fall back to the best-ranked
+    /// row-hit whose (column) command can. Returns the issuable candidate
+    /// as `(buffer index, command, rank, id)`. This is the legacy
+    /// per-bank body of `schedule_channel`, factored out so the carried
+    /// path can cross-check against it in debug builds.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_candidate(
+        requests: &[Request],
+        channel: &Channel,
+        policy: &dyn SchedulerPolicy,
+        q: &SchedQuery<'_>,
+        bank_list: &[usize],
+        eligible_kind: AccessKind,
+        now: DramCycle,
+        scratch: &mut Vec<(usize, Rank)>,
+    ) -> Option<(usize, DramCommand, Rank, RequestId)> {
+        scratch.clear();
+        for &i in bank_list {
+            let r = &requests[i];
+            if r.kind == eligible_kind {
+                scratch.push((i, policy.rank(r, q)));
+            }
+        }
+        // Highest-priority waiting request for this bank. The bank
+        // scheduler drives this request's commands; while its next
+        // command is not ready (tRAS, tRP, bus...), lower-priority
+        // requests may slip in *row-hit column accesses only* — they
+        // keep the bank busy but never destroy row-buffer state against
+        // the selected request's interest. This mirrors hardware
+        // two-level schedulers that consider only ready commands (paper
+        // footnote 4).
+        let (top_idx, top_rank) = scratch
+            .iter()
+            .max_by_key(|(i, rank)| (*rank, Rank::older_first(requests[*i].id)))
+            .copied()?;
+        let top_cmd = Self::next_command(channel, &requests[top_idx]);
+        if channel.can_issue(&top_cmd, now) {
+            return Some((top_idx, top_cmd, top_rank, requests[top_idx].id));
+        }
+        scratch
+            .iter()
+            .filter(|(i, _)| *i != top_idx && q.is_row_hit(&requests[*i]))
+            .max_by_key(|(i, rank)| (*rank, Rank::older_first(requests[*i].id)))
+            .and_then(|&(i, rank)| {
+                let cmd = Self::next_command(channel, &requests[i]);
+                channel
+                    .can_issue(&cmd, now)
+                    .then_some((i, cmd, rank, requests[i].id))
+            })
+    }
+
+    /// [`Self::scan_candidate`] plus cache construction: runs the full
+    /// rank pass once and records the bank's top and best-row-hit slip so
+    /// later ticks can skip the pass while the bank is unchanged.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_bank_cache(
+        requests: &[Request],
+        channel: &Channel,
+        policy: &dyn SchedulerPolicy,
+        q: &SchedQuery<'_>,
+        bank_list: &[usize],
+        eligible_kind: AccessKind,
+        now: DramCycle,
+        scratch: &mut Vec<(usize, Rank)>,
+    ) -> (Option<(usize, DramCommand, Rank, RequestId)>, BankCache) {
+        scratch.clear();
+        for &i in bank_list {
+            let r = &requests[i];
+            if r.kind == eligible_kind {
+                scratch.push((i, policy.rank(r, q)));
+            }
+        }
+        let Some((top_idx, top_rank)) = scratch
+            .iter()
+            .max_by_key(|(i, rank)| (*rank, Rank::older_first(requests[*i].id)))
+            .copied()
+        else {
+            return (None, BankCache::NoEligible);
+        };
+        let top = (top_idx, top_rank, requests[top_idx].id);
+        let slip = scratch
+            .iter()
+            .filter(|(i, _)| *i != top_idx && q.is_row_hit(&requests[*i]))
+            .max_by_key(|(i, rank)| (*rank, Rank::older_first(requests[*i].id)))
+            .map(|&(i, rank)| (i, rank, requests[i].id));
+        let candidate = Self::cached_candidate(requests, channel, now, top, slip);
+        let valid_until = policy.rank_expiry(q, bank_list);
+        (
+            candidate,
+            BankCache::Top {
+                top,
+                slip,
+                valid_until,
+            },
+        )
+    }
+
+    /// Evaluates a cached bank selection at `now`: the cached top if its
+    /// command can issue, else the cached best row-hit if *its* command
+    /// can. Exact because, within a cache entry's validity window, the
+    /// candidate set, ranks, and row-hit classifications are unchanged —
+    /// and all row-hits share one command shape, so if the best one
+    /// cannot issue, none can.
+    fn cached_candidate(
+        requests: &[Request],
+        channel: &Channel,
+        now: DramCycle,
+        top: (usize, Rank, RequestId),
+        slip: Option<(usize, Rank, RequestId)>,
+    ) -> Option<(usize, DramCommand, Rank, RequestId)> {
+        let (top_idx, top_rank, top_id) = top;
+        let top_cmd = Self::next_command(channel, &requests[top_idx]);
+        if channel.can_issue(&top_cmd, now) {
+            return Some((top_idx, top_cmd, top_rank, top_id));
+        }
+        let (slip_idx, slip_rank, slip_id) = slip?;
+        let cmd = Self::next_command(channel, &requests[slip_idx]);
+        channel
+            .can_issue(&cmd, now)
+            .then_some((slip_idx, cmd, slip_rank, slip_id))
+    }
+
     /// The first `eligible`-kind row-hit and row-miss requests of one
     /// bank's waiting list. DRAM timing depends only on the command kind
     /// (the row value merely gates validity), and [`Self::next_command`]
@@ -1189,18 +1621,18 @@ impl MemorySystem {
     /// representatives carry the exact issuability and earliest-issue
     /// cycle of *all* the bank's candidates, making those scans O(1) per
     /// bank instead of O(waiting).
-    fn class_reps<'a>(
-        requests: &'a [Request],
+    fn class_reps(
+        requests: &[Request],
         channel: &Channel,
         list: &[usize],
         eligible: AccessKind,
-    ) -> (Option<&'a Request>, Option<&'a Request>) {
+    ) -> (Option<usize>, Option<usize>) {
         let Some(&first) = list.first() else {
             return (None, None);
         };
         let open = channel.bank(requests[first].loc.bank).open_row();
-        let mut hit: Option<&Request> = None;
-        let mut miss: Option<&Request> = None;
+        let mut hit: Option<usize> = None;
+        let mut miss: Option<usize> = None;
         for &i in list {
             let r = &requests[i];
             if r.kind != eligible {
@@ -1209,12 +1641,12 @@ impl MemorySystem {
             match open {
                 Some(row) if r.loc.row == row => {
                     if hit.is_none() {
-                        hit = Some(r);
+                        hit = Some(i);
                     }
                 }
                 _ => {
                     if miss.is_none() {
-                        miss = Some(r);
+                        miss = Some(i);
                     }
                 }
             }
@@ -1319,7 +1751,9 @@ impl MemorySystem {
                 _ => None,
             })
             .min();
-        ctrl.rebuild_bank_lists();
+        let mut removed: Vec<usize> = finished.iter().map(|&(_, _, i)| i).collect();
+        removed.sort_unstable();
+        ctrl.compact_indexes(&removed);
         ctrl.audit();
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
 use crate::request::Request;
+use stfm_dram::DramCycle;
 
 /// The FCFS scheduling policy.
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,6 +36,11 @@ impl SchedulerPolicy for Fcfs {
     fn fast_forward(&mut self, _sys: &SystemView<'_>, _cycles: u64) -> bool {
         // Stateless per cycle: skipping is always safe.
         true
+    }
+
+    fn decision_epoch(&self, _now: DramCycle) -> Option<u64> {
+        // Request ids fully determine the rank: always carriable.
+        Some(0)
     }
 }
 

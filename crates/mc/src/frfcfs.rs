@@ -7,6 +7,7 @@
 
 use crate::policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
 use crate::request::Request;
+use stfm_dram::DramCycle;
 
 /// The FR-FCFS scheduling policy.
 #[derive(Debug, Clone, Copy, Default)]
@@ -43,6 +44,12 @@ impl SchedulerPolicy for FrFcfs {
     fn fast_forward(&mut self, _sys: &SystemView<'_>, _cycles: u64) -> bool {
         // Stateless per cycle: skipping is always safe.
         true
+    }
+
+    fn decision_epoch(&self, _now: DramCycle) -> Option<u64> {
+        // Ranks depend only on the request and bank state, never on
+        // internal policy state: decisions carry across any span.
+        Some(0)
     }
 }
 

@@ -46,13 +46,13 @@ pub mod test_util;
 
 pub use calendar::{Event, EventCalendar, EventKind};
 pub use controller::{
-    Completion, ControllerConfig, MemorySystem, RowPolicy, DEFAULT_SAMPLE_INTERVAL,
+    Completion, ControllerConfig, MemorySystem, RowPolicy, SchedCounters, DEFAULT_SAMPLE_INTERVAL,
 };
 pub use fcfs::Fcfs;
 pub use frfcfs::FrFcfs;
 pub use frfcfs_cap::FrFcfsCap;
 pub use nfq::Nfq;
 pub use parbs::ParBs;
-pub use policy::{Rank, SchedQuery, SchedulerPolicy, SystemView};
+pub use policy::{PolicyWork, Rank, SchedQuery, SchedulerPolicy, SystemView};
 pub use request::{AccessKind, Request, RequestId, RequestState, ThreadId};
 pub use stats::{SystemStats, ThreadStats};

@@ -13,6 +13,22 @@ use crate::request::{AccessKind, Request};
 use stfm_dram::{Channel, ChannelId, DramCommand, DramCycle};
 use stfm_telemetry::{Event, Sink};
 
+/// Estimator work counters a policy may expose for performance
+/// accounting (see [`SchedulerPolicy::work_counters`]). All counts are
+/// cumulative over the policy's lifetime; they are bookkeeping only and
+/// never feed back into scheduling decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyWork {
+    /// O(queue) walks over a request buffer (full estimator rebuilds).
+    pub full_rebuilds: u64,
+    /// O(1) incremental state updates driven by lifecycle transitions.
+    pub incremental_updates: u64,
+    /// Per-cycle decision passes that actually recomputed slowdowns.
+    pub decides_recomputed: u64,
+    /// Per-cycle decision passes served from the cached previous result.
+    pub decides_carried: u64,
+}
+
 /// Lexicographic priority key; **larger compares as higher priority**.
 ///
 /// Conventional field usage (policies are free to deviate):
@@ -292,6 +308,46 @@ pub trait SchedulerPolicy {
     /// scratch may be left stale.
     fn fast_forward(&mut self, _sys: &SystemView<'_>, _cycles: u64) -> bool {
         false
+    }
+
+    /// Identifies the current *decision state* of the policy for the
+    /// controller's cross-tick rank cache. Two calls returning the same
+    /// `Some(epoch)` promise that [`SchedulerPolicy::rank`] is a pure
+    /// function of the request and the channel's bank state between them
+    /// — i.e. no policy-internal state that feeds ranking has changed,
+    /// and no rank flipped purely because `q.now` advanced. The current
+    /// cycle is provided so policies with *predictably* time-dependent
+    /// ranking (e.g. an age-triggered starvation override) can return
+    /// `None` exactly in the windows where such a flip could occur and
+    /// keep carrying everywhere else. Return `None` (the default) to
+    /// disable decision carrying entirely; stateless policies return a
+    /// constant, stateful ones bump an internal counter whenever
+    /// rank-relevant state moves.
+    fn decision_epoch(&self, _now: DramCycle) -> Option<u64> {
+        None
+    }
+
+    /// Per-bank expiry for the cross-tick rank cache: the first DRAM
+    /// cycle at which a rank in this bank's candidate set (`bank_list`,
+    /// indices into `q.requests`) could change *purely because time
+    /// advanced*, with no state transition. The controller calls this
+    /// once per rank pass (so an O(bank_list) scan adds nothing
+    /// asymptotically) and drops the cached winner at the returned
+    /// cycle instead of disabling carrying for the whole window.
+    /// `None` (the default) means the ranks never expire on their own —
+    /// correct for policies whose [`SchedulerPolicy::decision_epoch`]
+    /// already captures every rank change. Policies with an
+    /// age-triggered override (e.g. STFM's starvation guard) return the
+    /// earliest crossing among the not-yet-crossed candidates.
+    fn rank_expiry(&self, _q: &SchedQuery<'_>, _bank_list: &[usize]) -> Option<DramCycle> {
+        None
+    }
+
+    /// Cumulative estimator work counters, if the policy tracks them
+    /// (STFM does; see [`PolicyWork`]). Used by benches and regression
+    /// tests to assert the estimator does O(events) work, not O(cycles).
+    fn work_counters(&self) -> Option<PolicyWork> {
+        None
     }
 
     /// The next DRAM cycle (strictly after `now`) at which this policy's

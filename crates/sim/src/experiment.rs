@@ -563,6 +563,11 @@ impl Experiment {
                 }
             }
         }
+        // End-of-run work-counter snapshot for sinks that want it (e.g.
+        // the throughput benchmark and the work-counter regression
+        // tests). Emitted after the run, never from the tick path, so
+        // the cycle-by-cycle event streams stay loop-agnostic.
+        sys.memory_mut().record_work_counters();
         TracedRun {
             metrics: WorkloadMetrics {
                 scheduler: kind.name().to_string(),

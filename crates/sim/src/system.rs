@@ -227,15 +227,9 @@ impl System {
         for c in self.mem.drain_completions() {
             self.cores[c.thread.0 as usize].push_completion(c);
         }
-        let cpu_end = CPU_CYCLES_PER_DRAM_CYCLE * (self.dram_cycle.get() + 1);
         for core in &mut self.cores {
-            if core.next_wake(&self.mem).is_some_and(|w| w.get() > cpu_end) {
-                core.fast_forward(CPU_CYCLES_PER_DRAM_CYCLE, &self.mem);
-            } else {
-                for _ in 0..CPU_CYCLES_PER_DRAM_CYCLE {
-                    core.step(&mut self.mem);
-                }
-            }
+            let wake = core.next_wake(&self.mem);
+            core.advance_dram_cycle(wake, &mut self.mem);
         }
         self.dram_cycle += 1;
     }
@@ -392,9 +386,7 @@ impl System {
                     if wake.is_some_and(|w| w.get() > cpu_end) {
                         core.fast_forward(CPU_CYCLES_PER_DRAM_CYCLE, &self.mem);
                     } else {
-                        for _ in 0..CPU_CYCLES_PER_DRAM_CYCLE {
-                            core.step(&mut self.mem);
-                        }
+                        core.advance_dram_cycle(*wake, &mut self.mem);
                         *wake = core.next_wake(&self.mem);
                         any_stepped = true;
                     }

@@ -64,7 +64,21 @@ fn palette(idx: u64) -> Vec<Profile> {
 }
 
 fn draw_scheduler(rng: &mut SmallRng) -> SchedulerKind {
-    match rng.random_range(0u32..8) {
+    // The incremental estimator's correctness matrix: each STFM draw
+    // independently toggles the Tshared headroom clamp (a drain-path
+    // branch) and the starvation guard (whose age threshold feeds the
+    // controller's cross-tick carry deadline via `rank_expiry`).
+    let sel = rng.random_range(0u32..9);
+    let mut stfm = |estimator| {
+        SchedulerKind::StfmWith(StfmConfig {
+            alpha: 1.0 + rng.random_range(5u32..200) as f64 / 100.0,
+            estimator,
+            tshared_headroom: rng.random_range(0u32..2) == 0,
+            starvation_guard: rng.random_range(0u32..2) == 0,
+            ..StfmConfig::default()
+        })
+    };
+    match sel {
         0 => SchedulerKind::FrFcfs,
         1 => SchedulerKind::Fcfs,
         2 => SchedulerKind::FrFcfsCap {
@@ -72,18 +86,14 @@ fn draw_scheduler(rng: &mut SmallRng) -> SchedulerKind {
         },
         3 => SchedulerKind::Nfq,
         4 => SchedulerKind::Stfm,
-        5 => SchedulerKind::StfmWith(StfmConfig {
-            alpha: 1.0 + rng.random_range(5u32..200) as f64 / 100.0,
-            estimator: EstimatorKind::PerCommand,
-            ..StfmConfig::default()
-        }),
-        // The time-sampled estimator vetoes memory fast-forwards (its
-        // charges need the stepping clock), exercising the veto path.
-        6 => SchedulerKind::StfmWith(StfmConfig {
-            alpha: 1.0 + rng.random_range(5u32..200) as f64 / 100.0,
-            estimator: EstimatorKind::TimeSampled,
-            ..StfmConfig::default()
-        }),
+        5 => stfm(EstimatorKind::PerCommand),
+        // The time-sampled estimator's charges depend on the stepping
+        // clock; elided spans replay them in closed form
+        // (`time_sampled_fast_forward`), exercising that replay path.
+        6 => stfm(EstimatorKind::TimeSampled),
+        // The paced default, drawn explicitly so the headroom/guard
+        // toggles cover its drain loop too.
+        7 => stfm(EstimatorKind::PerCommandPaced),
         _ => SchedulerKind::ParBs,
     }
 }
@@ -132,8 +142,18 @@ fn draw_case(case: u64) -> CaseConfig {
 }
 
 /// Builds the system for one mode and runs it to completion, returning
-/// the outcome and the drained telemetry stream.
-fn run_mode(cfg: &CaseConfig, fast_forward: bool) -> (RunOutcome, Vec<Event>) {
+/// the outcome, the drained telemetry stream, and (for STFM policies)
+/// the end-of-run register-file digest.
+fn run_mode(cfg: &CaseConfig, fast_forward: bool) -> (RunOutcome, Vec<Event>, Option<u64>) {
+    run_mode_with(cfg, fast_forward, None)
+}
+
+/// [`run_mode`] with an optional cancellation token installed.
+fn run_mode_with(
+    cfg: &CaseConfig,
+    fast_forward: bool,
+    cancel: Option<stfm_sim::CancelToken>,
+) -> (RunOutcome, Vec<Event>, Option<u64>) {
     let policy = cfg.scheduler.build(cfg.dram.timing, &[], &[]);
     let mut mem = MemorySystem::with_controller_config(cfg.dram.clone(), cfg.ctrl, policy);
     mem.set_sink(Box::new(RingSink::new(1 << 18)));
@@ -152,14 +172,55 @@ fn run_mode(cfg: &CaseConfig, fast_forward: bool) -> (RunOutcome, Vec<Event>) {
         .collect();
     let mut sys = System::new(cores, mem);
     sys.set_fast_forward(fast_forward);
+    if let Some(token) = cancel {
+        sys.set_cancel_token(token);
+    }
     let out = sys.run_with_warmup(cfg.insts / 4, cfg.insts, cfg.insts.saturating_mul(4_000));
+    let regs = register_digest(sys.memory().policy());
     let mut sink = sys.memory_mut().take_sink();
     let ring = sink
         .as_any_mut()
         .downcast_mut::<RingSink>()
         .expect("RingSink comes back out");
     assert_eq!(ring.dropped(), 0, "telemetry ring too small for the run");
-    (out, ring.events().cloned().collect())
+    (out, ring.events().cloned().collect(), regs)
+}
+
+/// FNV-1a over every thread's STFM slowdown-estimation registers — the
+/// estimator's *internal* state, not just its scheduling decisions. The
+/// incremental estimator must leave these bit-identical to the stepped
+/// walk's, which is a strictly stronger claim than stream equality
+/// (identical decisions could mask compensating register errors).
+/// `None` for non-STFM policies.
+///
+/// Deliberately excluded: derived values that are recomputed on demand
+/// rather than accumulated — the four published queue snapshots
+/// (`bank_waiting_parallelism`, `bank_access_parallelism`,
+/// `waiting_requests`, `oldest_wait_cpu`, republished from the live
+/// aggregates each DRAM cycle the scheduler actually runs) and the
+/// slowdown pair (`slowdown`, `weighted_slowdown`, a pure function of
+/// the digested accumulators, recomputed whenever the estimator
+/// generation moves before a decision). When a run ends inside an
+/// elided span these lag the stepped oracle's per-cycle refresh by
+/// design — no decision ever reads the stale window; the debug-build
+/// `audit_incremental` check compares the snapshots against a fresh
+/// O(queue) walk at every real tick, and identical decisions plus
+/// identical accumulators pin the slowdowns at every point they are
+/// consulted.
+fn register_digest(policy: &dyn stfm_mc::SchedulerPolicy) -> Option<u64> {
+    let stfm = policy.as_any()?.downcast_ref::<stfm_core::Stfm>()?;
+    let mut h = Fnv64::new();
+    for (thread, r) in stfm.registers().threads() {
+        h.write_u64(u64::from(thread.0));
+        h.write_u64(r.core_tshared);
+        h.write_u64(r.tshared_base);
+        h.write_u64(r.tinterference as u64);
+        h.write_u64(u64::from(r.stall_rate.raw()));
+        h.write_u64(r.pending_interference as u64);
+        h.write_u64(r.last_sample_cpu.get());
+        h.write_u64(r.last_sample_tshared);
+    }
+    Some(h.finish())
 }
 
 /// FNV-1a over the serviced-request stream, field-for-field the same
@@ -193,8 +254,8 @@ fn completion_digest(events: &[Event]) -> u64 {
 /// Returns the case's completion digest for aggregate reporting.
 fn check_case(case: u64) -> u64 {
     let cfg = draw_case(case);
-    let (out_ev, stream_ev) = run_mode(&cfg, true);
-    let (out_st, stream_st) = run_mode(&cfg, false);
+    let (out_ev, stream_ev, regs_ev) = run_mode(&cfg, true);
+    let (out_st, stream_st, regs_st) = run_mode(&cfg, false);
     for (i, (a, b)) in stream_ev.iter().zip(&stream_st).enumerate() {
         assert_eq!(a, b, "case {case}: event {i} diverges\nconfig: {cfg:#?}");
     }
@@ -219,6 +280,10 @@ fn check_case(case: u64) -> u64 {
         out_ev.truncated, out_st.truncated,
         "case {case}: truncation verdict diverges\nconfig: {cfg:#?}"
     );
+    assert_eq!(
+        regs_ev, regs_st,
+        "case {case}: STFM register files diverge\nconfig: {cfg:#?}"
+    );
     let (d_ev, d_st) = (completion_digest(&stream_ev), completion_digest(&stream_st));
     assert_eq!(d_ev, d_st, "case {case}: completion digests diverge");
     d_ev
@@ -242,6 +307,36 @@ fn sweep(from: u64, to: u64) {
 #[test]
 fn event_loop_matches_stepped_oracle_200_cases() {
     sweep(0, 200);
+}
+
+/// Mid-run cancellation must not corrupt anything already simulated: a
+/// cancelled run's telemetry stream is an exact prefix of the
+/// uncancelled oracle's. The token's deadline is already expired at
+/// install time, so it fires at the loop's first masked deadline poll
+/// (poll 64 — deterministic in poll count, though the two loops reach
+/// it at different simulated cycles, which is why the cancelled runs
+/// are compared against the full oracle rather than each other).
+#[test]
+fn cancelled_runs_are_prefixes_of_the_oracle() {
+    let mut cancelled = 0u64;
+    for case in 0..24 {
+        let cfg = draw_case(case);
+        let (_, oracle, _) = run_mode(&cfg, false);
+        for fast_forward in [true, false] {
+            let token = stfm_sim::CancelToken::with_deadline(std::time::Instant::now());
+            let (out, stream, _) = run_mode_with(&cfg, fast_forward, Some(token));
+            assert!(
+                stream.len() <= oracle.len() && stream == oracle[..stream.len()],
+                "case {case} (fast_forward={fast_forward}): cancelled stream \
+                 is not an oracle prefix\nconfig: {cfg:#?}"
+            );
+            cancelled += u64::from(out.cancelled);
+        }
+    }
+    // Not vacuous: most cases must actually stop early (a case short
+    // enough to finish before the first deadline poll is fine, but the
+    // sweep as a whole has to exercise the mid-run stop).
+    assert!(cancelled >= 24, "only {cancelled}/48 runs were cancelled");
 }
 
 /// Deep sweep: 800 further cases. Slow; run explicitly with

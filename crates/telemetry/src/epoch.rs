@@ -353,9 +353,10 @@ impl EpochSampler {
             }
             Event::WriteDrainStart { .. } | Event::WriteDrainEnd { .. } => {}
             Event::RefreshIssued { .. } => self.cur.refreshes += 1,
-            // Serve-layer faults live outside simulated time; epochs
-            // aggregate simulator state only.
-            Event::ServeFault { .. } => {}
+            // Work-counter snapshots are performance accounting, not
+            // simulator state; serve-layer faults live outside simulated
+            // time. Epochs aggregate simulator state only.
+            Event::EstimatorWork { .. } | Event::ServeFault { .. } => {}
         }
     }
 }

@@ -140,6 +140,31 @@ pub enum Event {
         /// DRAM cycle the channel becomes usable again.
         end_cycle: DramCycle,
     },
+    /// End-of-run snapshot of scheduler/estimator work counters
+    /// (emitted only on explicit request — never from the tick path, so
+    /// differential stream comparisons stay loop-agnostic). All counts
+    /// are cumulative over the run; see `stfm-mc`'s `SchedCounters` and
+    /// `PolicyWork` for field semantics.
+    EstimatorWork {
+        /// DRAM cycle of the snapshot (normally the final cycle).
+        dram_cycle: DramCycle,
+        /// Scheduler name (`SchedulerPolicy::static_name`).
+        scheduler: &'static str,
+        /// O(queue) estimator walks (full rebuilds).
+        full_rebuilds: u64,
+        /// O(1) incremental estimator updates.
+        incremental_updates: u64,
+        /// Decision passes that recomputed per-thread slowdowns.
+        decides_recomputed: u64,
+        /// Decision passes served from the cached previous result.
+        decides_carried: u64,
+        /// Channel scheduling passes run.
+        sched_visits: u64,
+        /// Full per-bank rank passes run.
+        rank_scans: u64,
+        /// Per-bank decisions served from the cross-tick cache.
+        rank_carried: u64,
+    },
     /// A fault the serve layer detected and degraded around (it lives in
     /// wall-clock time, outside any simulation, so `dram_cycle` is zero).
     ServeFault {
@@ -171,6 +196,7 @@ impl Event {
             Event::WriteDrainStart { .. } => "write_drain_start",
             Event::WriteDrainEnd { .. } => "write_drain_end",
             Event::RefreshIssued { .. } => "refresh_issued",
+            Event::EstimatorWork { .. } => "estimator_work",
             Event::ServeFault { .. } => "serve_fault",
         }
     }
@@ -185,6 +211,7 @@ impl Event {
             | Event::WriteDrainStart { dram_cycle, .. }
             | Event::WriteDrainEnd { dram_cycle, .. }
             | Event::RefreshIssued { dram_cycle, .. }
+            | Event::EstimatorWork { dram_cycle, .. }
             | Event::ServeFault { dram_cycle, .. } => dram_cycle,
         }
     }
@@ -303,6 +330,27 @@ impl Event {
                 push_u64_field(&mut s, "dram_cycle", dram_cycle.get());
                 push_u64_field(&mut s, "channel", u64::from(*channel));
                 push_u64_field(&mut s, "end_cycle", end_cycle.get());
+            }
+            Event::EstimatorWork {
+                dram_cycle,
+                scheduler,
+                full_rebuilds,
+                incremental_updates,
+                decides_recomputed,
+                decides_carried,
+                sched_visits,
+                rank_scans,
+                rank_carried,
+            } => {
+                push_u64_field(&mut s, "dram_cycle", dram_cycle.get());
+                push_str_field(&mut s, "scheduler", scheduler);
+                push_u64_field(&mut s, "full_rebuilds", *full_rebuilds);
+                push_u64_field(&mut s, "incremental_updates", *incremental_updates);
+                push_u64_field(&mut s, "decides_recomputed", *decides_recomputed);
+                push_u64_field(&mut s, "decides_carried", *decides_carried);
+                push_u64_field(&mut s, "sched_visits", *sched_visits);
+                push_u64_field(&mut s, "rank_scans", *rank_scans);
+                push_u64_field(&mut s, "rank_carried", *rank_carried);
             }
             Event::ServeFault {
                 dram_cycle,
@@ -430,6 +478,30 @@ impl Event {
             } => {
                 c[3] = channel.to_string();
                 c[11] = end_cycle.to_string();
+            }
+            Event::EstimatorWork {
+                scheduler,
+                full_rebuilds,
+                incremental_updates,
+                decides_recomputed,
+                decides_carried,
+                sched_visits,
+                rank_scans,
+                rank_carried,
+                ..
+            } => {
+                // The counters share one free-text column (like the
+                // slowdown map) so the fixed CSV width is preserved.
+                c[12] = (*scheduler).to_string();
+                c[19] = format!(
+                    "full_rebuilds:{full_rebuilds};\
+                     incremental_updates:{incremental_updates};\
+                     decides_recomputed:{decides_recomputed};\
+                     decides_carried:{decides_carried};\
+                     sched_visits:{sched_visits};\
+                     rank_scans:{rank_scans};\
+                     rank_carried:{rank_carried}"
+                );
             }
             Event::ServeFault {
                 domain,
@@ -579,10 +651,48 @@ mod tests {
                 unfairness: None,
                 fairness_rule_active: None,
             },
+            Event::EstimatorWork {
+                dram_cycle: DramCycle::new(5000),
+                scheduler: "stfm",
+                full_rebuilds: 3,
+                incremental_updates: 4200,
+                decides_recomputed: 900,
+                decides_carried: 4100,
+                sched_visits: 5000,
+                rank_scans: 700,
+                rank_carried: 4300,
+            },
         ];
         for e in &events {
             assert_eq!(e.to_csv_row().split(',').count(), header_cols, "{e:?}");
         }
+    }
+
+    #[test]
+    fn estimator_work_encodes_in_json_and_csv() {
+        let e = Event::EstimatorWork {
+            dram_cycle: DramCycle::new(1234),
+            scheduler: "stfm",
+            full_rebuilds: 2,
+            incremental_updates: 99,
+            decides_recomputed: 10,
+            decides_carried: 40,
+            sched_visits: 50,
+            rank_scans: 7,
+            rank_carried: 43,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"event\":\"estimator_work\""), "{j}");
+        assert!(j.contains("\"full_rebuilds\":2"), "{j}");
+        assert!(j.contains("\"rank_carried\":43"), "{j}");
+        assert!(!j.contains(",}"), "dangling comma in {j}");
+        let row = e.to_csv_row();
+        assert_eq!(
+            row.split(',').count(),
+            Event::csv_header().split(',').count(),
+            "{row}"
+        );
+        assert!(row.contains("decides_carried:40"), "{row}");
     }
 
     #[test]
